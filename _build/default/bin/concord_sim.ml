@@ -1,0 +1,285 @@
+(* concord-sim: command-line driver for the Concord reproduction.
+
+   Subcommands:
+     list                      enumerate figures, systems, workloads
+     figure <id> [--full]     regenerate one paper figure/ablation
+     table1                    regenerate Table 1
+     sweep ...                 load-sweep a system on a workload
+     run ...                   one load point with a detailed summary *)
+
+open Cmdliner
+
+let print_figure fig = print_endline (Concord.Figure.render fig)
+
+(* ---- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    print_endline "figures:";
+    List.iter (fun (id, _) -> Printf.printf "  %s\n" id) Concord.Figures.all;
+    print_endline "  table1";
+    print_endline "systems:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Concord.Systems.all_names;
+    print_endline "workloads:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Concord.Presets.all;
+    print_endline "  leveldb";
+    print_endline "  leveldb-zippydb"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available figures, systems and workloads.")
+    Term.(const action $ const ())
+
+(* ---- figure -------------------------------------------------------- *)
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run at full scale (4x the requests per point).")
+
+let figure_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Figure id (see list).")
+  in
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+  in
+  let action id full csv =
+    let scale = if full then Concord.Figures.Full else Concord.Figures.Quick in
+    if String.equal id "table1" then print_endline (Concord.Table1.render (Concord.Table1.rows ()))
+    else begin
+      match Concord.Figures.by_id id with
+      | Some make ->
+        let fig = make ~scale () in
+        if csv then print_string (Concord.Figure.to_csv fig) else print_figure fig
+      | None ->
+        prerr_endline ("unknown figure id: " ^ id);
+        exit 1
+    end
+  in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one figure or table from the paper.")
+    Term.(const action $ id $ full_flag $ csv_flag)
+
+(* ---- table1 --------------------------------------------------------- *)
+
+let table1_cmd =
+  let action () = print_endline (Concord.Table1.render (Concord.Table1.rows ())) in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate Table 1 (instrumentation overhead/timeliness).")
+    Term.(const action $ const ())
+
+(* ---- shared options -------------------------------------------------- *)
+
+let system_arg =
+  Arg.(value & opt string "concord" & info [ "system"; "s" ] ~docv:"SYSTEM" ~doc:"System preset.")
+
+let workload_arg =
+  Arg.(
+    value & opt string "ycsb-a" & info [ "workload"; "w" ] ~docv:"WORKLOAD" ~doc:"Workload name.")
+
+let quantum_arg =
+  Arg.(value & opt float 5.0 & info [ "quantum"; "q" ] ~docv:"US" ~doc:"Scheduling quantum (us).")
+
+let workers_arg =
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")
+
+let requests_arg =
+  Arg.(value & opt int 60_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals per point.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let resolve ~system ~workload ~quantum ~workers =
+  match Concord.configure ~system ?n_workers:workers ~quantum_us:quantum () with
+  | Error e ->
+    prerr_endline e;
+    exit 1
+  | Ok config -> (
+    match Concord.workload workload with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok mix -> (config, mix))
+
+(* ---- sweep ----------------------------------------------------------- *)
+
+let sweep_cmd =
+  let points_arg =
+    Arg.(value & opt int 10 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let action system workload quantum workers points n_requests seed =
+    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let sweep = Concord.sweep ~config ~mix ~points ~n_requests ~seed () in
+    Printf.printf "%s on %s\n" (Concord.Config.describe config) sweep.Concord.Sweep.workload;
+    print_endline Concord.Metrics.summary_header;
+    List.iter
+      (fun (p : Concord.Sweep.point) ->
+        print_endline (Concord.Metrics.summary_row p.summary))
+      sweep.Concord.Sweep.points;
+    match Concord.max_load_under_slo sweep with
+    | Some rate -> Printf.printf "max load under 50x p99.9 slowdown: %.1f kRps\n" (rate /. 1e3)
+    | None -> print_endline "SLO violated at every load point"
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Run a load sweep and report the SLO crossing.")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ points_arg
+      $ requests_arg $ seed_arg)
+
+(* ---- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let rate_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Offered load in kRps.")
+  in
+  let action system workload quantum workers rate n_requests seed =
+    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let s = Concord.run ~config ~mix ~rate_rps:(rate *. 1e3) ~n_requests ~seed () in
+    Printf.printf "%s\n" (Concord.Config.describe config);
+    Printf.printf "workload: %s, offered %.1f kRps\n" mix.Concord.Mix.name rate;
+    print_endline Concord.Metrics.summary_header;
+    print_endline (Concord.Metrics.summary_row s);
+    Printf.printf
+      "dispatcher: %.1f%% dispatching + %.1f%% stolen app work; worker busy %.1f%%\n"
+      (100. *. s.Concord.Metrics.dispatcher_busy_frac)
+      (100. *. s.Concord.Metrics.dispatcher_app_frac)
+      (100. *. s.Concord.Metrics.worker_busy_frac);
+    Array.iter
+      (fun (name, count, p999) ->
+        if count > 0 then Printf.printf "  class %-10s n=%-8d p99.9 slowdown=%.2f\n" name count p999)
+      s.Concord.Metrics.per_class
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one load point and print a detailed summary.")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ rate_arg
+      $ requests_arg $ seed_arg)
+
+(* ---- replicate (6) ----------------------------------------------------- *)
+
+let replicate_cmd =
+  let instances_arg =
+    Arg.(value & opt int 2 & info [ "instances" ] ~docv:"K" ~doc:"Replica count.")
+  in
+  let rate_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Total offered load in kRps.")
+  in
+  let action system workload quantum workers instances rate n_requests seed =
+    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let s =
+      Repro_runtime.Replication.run ~instances ~config ~mix ~rate_rps:(rate *. 1e3)
+        ~n_requests ~seed ()
+    in
+    Printf.printf "%d x { %s }\n" instances (Concord.Config.describe config);
+    Printf.printf "total %.1f kRps -> goodput %.1f kRps, p50 %.2f, p99 %.2f, p99.9 %.2f\n"
+      (s.Repro_runtime.Replication.offered_rps /. 1e3)
+      (s.Repro_runtime.Replication.goodput_rps /. 1e3)
+      s.Repro_runtime.Replication.p50_slowdown s.Repro_runtime.Replication.p99_slowdown
+      s.Repro_runtime.Replication.p999_slowdown
+  in
+  Cmd.v
+    (Cmd.info "replicate" ~doc:"Run K single-dispatcher replicas with disjoint workers (6).")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ instances_arg
+      $ rate_arg $ requests_arg $ seed_arg)
+
+(* ---- sls (6) -------------------------------------------------------------- *)
+
+let sls_cmd =
+  let variant_arg =
+    Arg.(
+      value
+      & opt string "concord-sls"
+      & info [ "variant" ] ~docv:"V" ~doc:"concord-sls | shenango | d-fcfs")
+  in
+  let rate_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Offered load in kRps.")
+  in
+  let action variant workload quantum workers rate n_requests seed =
+    let module Sls = Repro_runtime.Sls_server in
+    let make =
+      match variant with
+      | "concord-sls" -> Sls.concord_sls
+      | "shenango" -> Sls.shenango_like
+      | "d-fcfs" -> Sls.partitioned_fcfs
+      | v ->
+        prerr_endline ("unknown SLS variant: " ^ v);
+        exit 1
+    in
+    let config =
+      make ?n_workers:workers ~quantum_ns:(int_of_float (quantum *. 1e3)) ()
+    in
+    let mix =
+      match Concord.workload workload with
+      | Ok m -> m
+      | Error e ->
+        prerr_endline e;
+        exit 1
+    in
+    let s =
+      Sls.run ~config ~mix
+        ~arrival:(Concord.Arrival.Poisson { rate_rps = rate *. 1e3 })
+        ~n_requests ~seed ()
+    in
+    Printf.printf "%s on %s at %.1f kRps\n" config.Sls.name mix.Concord.Mix.name rate;
+    print_endline Concord.Metrics.summary_header;
+    print_endline (Concord.Metrics.summary_row s)
+  in
+  Cmd.v
+    (Cmd.info "sls" ~doc:"Run a single-logical-queue (work-stealing) system (6).")
+    Term.(
+      const action $ variant_arg $ workload_arg $ quantum_arg $ workers_arg $ rate_arg
+      $ requests_arg $ seed_arg)
+
+(* ---- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let rate_arg =
+    Arg.(value & opt float 150.0 & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Offered load in kRps.")
+  in
+  let request_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "request" ] ~docv:"ID" ~doc:"Show only this request's lifecycle.")
+  in
+  let last_arg =
+    Arg.(value & opt int 60 & info [ "last" ] ~docv:"N" ~doc:"Show the last N events.")
+  in
+  let action system workload quantum workers rate n_requests seed request last =
+    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let tracer = Repro_runtime.Tracing.create () in
+    let (_ : Concord.Metrics.summary) =
+      Repro_runtime.Server.run ~config ~mix
+        ~arrival:(Concord.Arrival.Poisson { rate_rps = rate *. 1e3 })
+        ~n_requests ~seed ~tracer ()
+    in
+    let entries =
+      match request with
+      | Some id -> Repro_runtime.Tracing.of_request tracer ~request:id
+      | None ->
+        let all = Repro_runtime.Tracing.entries tracer in
+        let n = List.length all in
+        List.filteri (fun i _ -> i >= n - last) all
+    in
+    List.iter (fun e -> print_endline (Repro_runtime.Tracing.entry_to_string e)) entries;
+    let dropped = Repro_runtime.Tracing.dropped tracer in
+    if dropped > 0 then Printf.printf "(%d earlier events dropped from the ring)\n" dropped
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a small simulation and print request-lifecycle events.")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ rate_arg
+      $ Arg.(value & opt int 2_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals.")
+      $ seed_arg $ request_arg $ last_arg)
+
+let () =
+  let info =
+    Cmd.info "concord-sim" ~version:"1.0.0"
+      ~doc:"Simulation-based reproduction of Concord (SOSP 2023)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; figure_cmd; table1_cmd; sweep_cmd; run_cmd; replicate_cmd; sls_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_app.ml: Array Concord List Printf

@@ -1,0 +1,1 @@
+examples/leveldb_server.ml: Array Concord List Printf Repro_kvstore

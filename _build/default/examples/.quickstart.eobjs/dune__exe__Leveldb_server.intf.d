@@ -1,0 +1,1 @@
+examples/leveldb_server.mli:

@@ -1,0 +1,1 @@
+examples/policy_comparison.ml: Concord List Printf

@@ -1,0 +1,1 @@
+examples/scaling.ml: Concord List Printf Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+examples/small_vm.ml: Concord List Printf Repro_kvstore

@@ -1,0 +1,1 @@
+examples/small_vm.mli:

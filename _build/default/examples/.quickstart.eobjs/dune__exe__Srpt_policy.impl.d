@@ -1,0 +1,1 @@
+examples/srpt_policy.ml: Concord List Printf

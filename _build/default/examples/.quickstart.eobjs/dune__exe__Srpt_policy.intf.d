@@ -1,0 +1,1 @@
+examples/srpt_policy.mli:

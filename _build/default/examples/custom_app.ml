@@ -1,0 +1,50 @@
+(* Defining your own application with the Work DSL — the simulation-side
+   analogue of the paper's three-callback API (4.1): you describe what
+   handle_request does (computation, critical sections, probe density) and
+   Concord schedules it.
+
+   The app below is a tiny in-memory index service: cheap lookups, plus
+   occasional index rebuilds that hold the writer lock for part of their
+   work and run a coarse-probed merge loop.
+
+   Run with:  dune exec examples/custom_app.exe *)
+
+let lookup = Concord.Work.spin 750.0 (* ns *)
+
+let rebuild =
+  Concord.Work.(
+    seq
+      [
+        spin 4_000.0; (* gather *)
+        locked (spin 6_000.0); (* swap the index root under the writer lock *)
+        probe_every 800.0 (repeat 20 (spin 4_000.0)); (* merge loop, ~80us *)
+      ])
+
+let mix =
+  Concord.Work.handler_mix ~name:"index-service"
+    [ ("lookup", 0.95, lookup); ("rebuild", 0.05, rebuild) ]
+
+let () =
+  Printf.printf "workload: %s, mean service %.2f us\n" mix.Concord.Mix.name
+    (Concord.Mix.mean_service_ns mix /. 1e3);
+  let rebuild_profile = Concord.Work.to_profile rebuild in
+  Printf.printf "rebuild handler: %d ns total, lock window [%d, %d)\n\n"
+    rebuild_profile.Concord.Mix.service_ns
+    (fst rebuild_profile.Concord.Mix.lock_windows.(0))
+    (snd rebuild_profile.Concord.Mix.lock_windows.(0));
+  List.iter
+    (fun system ->
+      let config =
+        match Concord.configure ~system ~quantum_us:5.0 () with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      Printf.printf "%s\n" (Concord.Config.describe config);
+      print_endline Concord.Metrics.summary_header;
+      List.iter
+        (fun rate_rps ->
+          let s = Concord.run ~config ~mix ~rate_rps ~n_requests:60_000 () in
+          print_endline (Concord.Metrics.summary_row s))
+        [ 0.8e6; 1.6e6; 2.0e6; 2.3e6 ];
+      print_newline ())
+    [ "persephone"; "concord" ]

@@ -1,0 +1,36 @@
+(* Serve a real (simulated-cost) LevelDB store under Concord and Shinjuku
+   with Meta's ZippyDB request mix, the way 5.3 does, and report per-class
+   tail behaviour. Every GET/PUT/DELETE profile comes from executing the
+   actual skip-list/plain-table structures; SCANs use the store's validated
+   closed-form cost.
+
+   Run with:  dune exec examples/leveldb_server.exe *)
+
+let () =
+  let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
+  Printf.printf "LevelDB store: %d live keys, %d entries to scan\n"
+    (Repro_kvstore.Store.population store)
+    (Repro_kvstore.Store.total_entries store);
+  List.iter
+    (fun (op, mean) -> Printf.printf "  %-7s mean service %8.1f ns\n" op mean)
+    (Repro_kvstore.Kv_workload.measured_means store ~seed:11);
+  let mix = Repro_kvstore.Kv_workload.zippydb_mix store ~seed:7 in
+  let rate_rps = 250_000.0 in
+  Printf.printf "\nZippyDB mix at %.0f kRps, 5us quantum:\n" (rate_rps /. 1e3);
+  List.iter
+    (fun system ->
+      let config =
+        match Concord.configure ~system ~quantum_us:5.0 () with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      let s = Concord.run ~config ~mix ~rate_rps ~n_requests:60_000 () in
+      Printf.printf "\n%s\n" (Concord.Config.describe config);
+      print_endline Concord.Metrics.summary_header;
+      print_endline (Concord.Metrics.summary_row s);
+      Array.iter
+        (fun (name, count, p999) ->
+          if count > 0 then
+            Printf.printf "    class %-8s n=%-7d p99.9 slowdown %8.2f\n" name count p999)
+        s.Concord.Metrics.per_class)
+    [ "shinjuku"; "concord" ]

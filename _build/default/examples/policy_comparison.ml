@@ -1,0 +1,41 @@
+(* Compare Concord against the paper's two baselines (Shinjuku,
+   Persephone-FCFS) on both high-dispersion bimodal workloads, reporting the
+   maximum load each sustains under the 50x p99.9-slowdown SLO — the
+   headline comparison of 5.2.
+
+   Run with:  dune exec examples/policy_comparison.exe *)
+
+let sweep_system ~system ~mix ~quantum_us =
+  let config =
+    match Concord.configure ~system ~quantum_us () with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  Concord.sweep ~config ~mix ~points:10 ~n_requests:50_000 ()
+
+let compare_on ~workload ~quantum_us =
+  let mix = match Concord.workload workload with Ok m -> m | Error e -> failwith e in
+  Printf.printf "\n== %s, quantum %.0fus ==\n" mix.Concord.Mix.name quantum_us;
+  let results =
+    List.map
+      (fun system -> (system, sweep_system ~system ~mix ~quantum_us))
+      [ "persephone"; "shinjuku"; "concord" ]
+  in
+  List.iter
+    (fun (system, sweep) ->
+      match Concord.max_load_under_slo sweep with
+      | Some rate -> Printf.printf "  %-12s sustains %8.1f kRps under the 50x SLO\n" system (rate /. 1e3)
+      | None -> Printf.printf "  %-12s violates the SLO at every load\n" system)
+    results;
+  match (List.assoc_opt "shinjuku" results, List.assoc_opt "concord" results) with
+  | Some baseline, Some candidate -> (
+    match Concord.Slo.improvement ~baseline ~candidate () with
+    | Some frac -> Printf.printf "  -> Concord improvement over Shinjuku: %+.0f%%\n" (100. *. frac)
+    | None -> ())
+  | (Some _ | None), (Some _ | None) -> ()
+
+let () =
+  compare_on ~workload:"ycsb-a" ~quantum_us:5.0;
+  compare_on ~workload:"ycsb-a" ~quantum_us:2.0;
+  compare_on ~workload:"usr" ~quantum_us:5.0;
+  compare_on ~workload:"usr" ~quantum_us:2.0

@@ -1,0 +1,31 @@
+(* Quickstart: build the Concord runtime, offer it a bimodal workload at a
+   moderate load, and read the tail-latency summary.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A system: Concord with 14 workers and a 5us scheduling quantum. *)
+  let config =
+    match Concord.configure ~system:"concord" ~quantum_us:5.0 () with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  (* 2. A workload: the YCSB-A-style bimodal (half 1us, half 100us). *)
+  let mix =
+    match Concord.workload "ycsb-a" with Ok m -> m | Error e -> failwith e
+  in
+  Printf.printf "system:   %s\n" (Concord.Config.describe config);
+  Printf.printf "workload: %s (mean service %.1f us)\n\n" mix.Concord.Mix.name
+    (Concord.Mix.mean_service_ns mix /. 1e3);
+  (* 3. One load point: 200 kRps of Poisson arrivals. *)
+  let summary = Concord.run ~config ~mix ~rate_rps:200_000.0 () in
+  print_endline Concord.Metrics.summary_header;
+  print_endline (Concord.Metrics.summary_row summary);
+  Printf.printf "\np99.9 slowdown is %.1fx the un-instrumented service time;\n"
+    summary.Concord.Metrics.p999_slowdown;
+  Printf.printf "the paper's SLO allows up to %.0fx.\n" Concord.Slo.default_slowdown;
+  (* 4. A full sweep: find the max load Concord sustains under the SLO. *)
+  let sweep = Concord.sweep ~config ~mix ~points:8 ~n_requests:40_000 () in
+  match Concord.max_load_under_slo sweep with
+  | Some rate -> Printf.printf "max load under the 50x SLO: %.0f kRps\n" (rate /. 1e3)
+  | None -> print_endline "SLO violated at every swept load"

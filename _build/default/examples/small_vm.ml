@@ -1,0 +1,33 @@
+(* The cloud small-VM scenario of 2.2.3 / Fig. 13: on a 4-core VM
+   (dispatcher + networker + 2 workers), a dedicated dispatcher wastes a
+   large fraction of the machine. Concord's work-conserving dispatcher wins
+   it back by running application requests under rdtsc self-preemption
+   whenever all workers are busy.
+
+   Run with:  dune exec examples/small_vm.exe *)
+
+let () =
+  let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
+  let mix = Repro_kvstore.Kv_workload.get_scan_mix store ~seed:7 in
+  let sweep_of system =
+    let config =
+      match Concord.configure ~system ~n_workers:2 ~quantum_us:5.0 () with
+      | Ok c -> c
+      | Error e -> failwith e
+    in
+    let rates = List.init 9 (fun i -> 800.0 *. float_of_int (i + 1)) in
+    (config, Concord.Sweep.run ~config ~mix ~rates ~n_requests:12_000 ())
+  in
+  List.iter
+    (fun system ->
+      let config, sweep = sweep_of system in
+      Printf.printf "\n%s\n" (Concord.Config.describe config);
+      print_endline Concord.Metrics.summary_header;
+      List.iter
+        (fun (p : Concord.Sweep.point) -> print_endline (Concord.Metrics.summary_row p.summary))
+        sweep.Concord.Sweep.points;
+      (match Concord.max_load_under_slo sweep with
+      | Some rate -> Printf.printf "  max load under 50x SLO: %.2f kRps\n" (rate /. 1e3)
+      | None -> print_endline "  SLO violated everywhere");
+      ())
+    [ "concord-no-steal"; "concord" ]

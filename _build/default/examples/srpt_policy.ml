@@ -1,0 +1,26 @@
+(* Extension (3.1): the Concord dispatcher's global visibility makes
+   non-FCFS policies trivial to add. This example compares the default FCFS
+   policy against Shortest-Remaining-Processing-Time on a high-dispersion
+   workload where SRPT's preference for short requests should tighten the
+   tail of the short class at high load.
+
+   Run with:  dune exec examples/srpt_policy.exe *)
+
+let () =
+  let mix = match Concord.workload "ycsb-a" with Ok m -> m | Error e -> failwith e in
+  let rates = [ 150e3; 200e3; 230e3; 250e3 ] in
+  List.iter
+    (fun system ->
+      let config =
+        match Concord.configure ~system ~quantum_us:5.0 () with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      Printf.printf "\n%s\n" (Concord.Config.describe config);
+      print_endline Concord.Metrics.summary_header;
+      List.iter
+        (fun rate_rps ->
+          let s = Concord.run ~config ~mix ~rate_rps ~n_requests:60_000 () in
+          print_endline (Concord.Metrics.summary_row s))
+        rates)
+    [ "concord"; "srpt"; "locality" ]

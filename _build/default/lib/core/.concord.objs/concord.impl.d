@@ -1,0 +1,1 @@
+lib/core/concord.ml: Figure Figures List Printf Repro_hw Repro_kvstore Repro_runtime Repro_workload Slo String Sweep Table1 Work

@@ -1,0 +1,1 @@
+lib/core/concord.mli: Figure Figures Repro_hw Repro_runtime Repro_workload Slo Sweep Table1 Work

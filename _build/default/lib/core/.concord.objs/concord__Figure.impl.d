@@ -1,0 +1,1 @@
+lib/core/figure.ml: Float List Option Printf String

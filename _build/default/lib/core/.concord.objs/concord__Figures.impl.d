@@ -1,0 +1,1 @@
+lib/core/figures.ml: Array Figure Float List Printf Repro_hw Repro_kvstore Repro_runtime Repro_workload Slo Sweep

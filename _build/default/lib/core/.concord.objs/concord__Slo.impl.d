@@ -1,0 +1,1 @@
+lib/core/slo.ml: Option Sweep

@@ -1,0 +1,1 @@
+lib/core/slo.mli: Sweep

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: List Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Repro_runtime Repro_workload

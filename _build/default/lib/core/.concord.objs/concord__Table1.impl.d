@@ -1,0 +1,1 @@
+lib/core/table1.ml: Figure Float List Printf Repro_hw Repro_instrument

@@ -1,0 +1,1 @@
+lib/core/work.ml: Array Float List Repro_workload

@@ -1,0 +1,1 @@
+lib/core/work.mli: Repro_workload

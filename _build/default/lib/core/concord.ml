@@ -1,0 +1,57 @@
+module Config = Repro_runtime.Config
+module Systems = Repro_runtime.Systems
+module Policy = Repro_runtime.Policy
+module Metrics = Repro_runtime.Metrics
+module Mix = Repro_workload.Mix
+module Service_dist = Repro_workload.Service_dist
+module Arrival = Repro_workload.Arrival
+module Presets = Repro_workload.Presets
+module Costs = Repro_hw.Costs
+module Mechanism = Repro_hw.Mechanism
+module Sweep = Sweep
+module Slo = Slo
+module Figure = Figure
+module Work = Work
+module Figures = Figures
+module Table1 = Table1
+
+let configure ?(system = "concord") ?n_workers ?(quantum_us = 5.0) () =
+  match Systems.by_name system with
+  | None ->
+    Error
+      (Printf.sprintf "unknown system %S (expected one of: %s)" system
+         (String.concat ", " Systems.all_names))
+  | Some make ->
+    let quantum_ns = int_of_float (quantum_us *. 1e3) in
+    if quantum_ns < 1 then Error "quantum must be positive"
+    else Ok (make ?n_workers ~quantum_ns ())
+
+let workload name =
+  match name with
+  | "leveldb" ->
+    let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
+    Ok (Repro_kvstore.Kv_workload.get_scan_mix store ~seed:7)
+  | "leveldb-zippydb" ->
+    let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
+    Ok (Repro_kvstore.Kv_workload.zippydb_mix store ~seed:7)
+  | name -> (
+    match Presets.by_name name with
+    | Some mix -> Ok mix
+    | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (expected one of: %s)" name
+           (String.concat ", "
+              (List.map fst Presets.all @ [ "leveldb"; "leveldb-zippydb" ]))))
+
+let run ~config ~mix ~rate_rps ?(n_requests = 60_000) ?(seed = 42) () =
+  Repro_runtime.Server.run ~config ~mix
+    ~arrival:(Arrival.Poisson { rate_rps })
+    ~n_requests ~seed ()
+
+let sweep ~config ~mix ?(points = 10) ?(max_util = 0.95) ?n_requests ?seed () =
+  let rates =
+    Sweep.default_rates ~mix ~n_workers:config.Config.n_workers ~points ~max_util ()
+  in
+  Sweep.run ~config ~mix ~rates ?n_requests ?seed ()
+
+let max_load_under_slo = Slo.max_load_under_slo

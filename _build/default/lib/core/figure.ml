@@ -1,0 +1,82 @@
+type series = { label : string; points : (float * float) list }
+
+type t = {
+  id : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  notes : string list;
+}
+
+let render_rows ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row -> match List.nth_opt row c with Some s -> max acc (String.length s) | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = Option.value (List.nth_opt row c) ~default:"" in
+           Printf.sprintf "%*s" w s)
+         widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e7 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3g" v
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let xs =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s.points) t.series)
+  in
+  let header = String.concat "," (List.map csv_escape (t.xlabel :: List.map (fun s -> s.label) t.series)) in
+  let rows =
+    List.map
+      (fun x ->
+        String.concat ","
+          (Printf.sprintf "%g" x
+          :: List.map
+               (fun s ->
+                 match List.assoc_opt x s.points with
+                 | Some y -> Printf.sprintf "%g" y
+                 | None -> "")
+               t.series))
+      xs
+  in
+  String.concat "\n" (header :: rows) ^ "\n"
+
+let render t =
+  let xs =
+    List.sort_uniq compare (List.concat_map (fun s -> List.map fst s.points) t.series)
+  in
+  let header = t.xlabel :: List.map (fun s -> s.label) t.series in
+  let rows =
+    List.map
+      (fun x ->
+        fmt_value x
+        :: List.map
+             (fun s ->
+               match List.assoc_opt x s.points with Some y -> fmt_value y | None -> "-")
+             t.series)
+      xs
+  in
+  let notes = List.map (fun n -> "  note: " ^ n) t.notes in
+  String.concat "\n"
+    ((Printf.sprintf "[%s] %s" t.id t.title)
+     :: Printf.sprintf "  y: %s" t.ylabel
+     :: render_rows ~header ~rows
+     :: notes)

@@ -1,0 +1,25 @@
+(** A reproduced table or figure: labelled data series plus provenance
+    notes, rendered as an aligned text table (the repository's equivalent
+    of the paper's plots). *)
+
+type series = { label : string; points : (float * float) list }
+
+type t = {
+  id : string;  (** experiment id, e.g. "fig6a" *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  notes : string list;  (** paper-vs-measured commentary *)
+}
+
+val render : t -> string
+(** Multi-line aligned table: one row per x value, one column per series.
+    Missing points render as "-". *)
+
+val render_rows : header:string list -> rows:string list list -> string
+(** Generic aligned table used by Table 1 and ad-hoc reports. *)
+
+val to_csv : t -> string
+(** Comma-separated form (header row: x label then series labels; one row
+    per x; empty cells for missing points) for external plotting. *)

@@ -1,0 +1,26 @@
+let default_slowdown = 50.0
+
+let max_load_under_slo ?(slo = default_slowdown) (sweep : Sweep.t) =
+  let series = Sweep.p999_series sweep in
+  let rec scan last_under = function
+    | [] -> last_under (* never crossed: report the highest load measured *)
+    | (rate, p999) :: rest ->
+      if p999 <= slo then scan (Some (rate, p999)) rest
+      else begin
+        match last_under with
+        | None -> None (* violates the SLO even at the lowest load *)
+        | Some (r0, p0) ->
+          (* Linear interpolation between the bracketing points. *)
+          if p999 <= p0 then Some (r0, p0)
+          else begin
+            let frac = (slo -. p0) /. (p999 -. p0) in
+            Some (r0 +. (frac *. (rate -. r0)), slo)
+          end
+      end
+  in
+  Option.map fst (scan None series)
+
+let improvement ~baseline ~candidate ?slo () =
+  match (max_load_under_slo ?slo baseline, max_load_under_slo ?slo candidate) with
+  | Some b, Some c when b > 0.0 -> Some ((c -. b) /. b)
+  | Some _, Some _ | Some _, None | None, Some _ | None, None -> None

@@ -1,0 +1,17 @@
+(** Service-level-objective analysis of sweep results.
+
+    The paper's headline metric is the largest offered load at which the
+    99.9th-percentile slowdown stays under 50× (§5.1). *)
+
+val default_slowdown : float
+(** 50.0 — the paper's slowdown SLO. *)
+
+val max_load_under_slo : ?slo:float -> Sweep.t -> float option
+(** Largest sustainable load, linearly interpolated between the last point
+    under the SLO and the first above it. [None] when even the lowest point
+    violates the SLO; when no point violates it, the highest swept load is
+    returned (a lower bound). *)
+
+val improvement : baseline:Sweep.t -> candidate:Sweep.t -> ?slo:float -> unit -> float option
+(** Fractional throughput improvement of [candidate] over [baseline] at the
+    SLO: 0.52 means "supports 52 % greater throughput". *)

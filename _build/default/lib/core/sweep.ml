@@ -1,0 +1,36 @@
+module Mix = Repro_workload.Mix
+module Arrival = Repro_workload.Arrival
+
+type point = { rate_rps : float; summary : Repro_runtime.Metrics.summary }
+
+type t = {
+  system : string;
+  workload : string;
+  points : point list;
+}
+
+let run ~config ~mix ~rates ?(n_requests = 60_000) ?(seed = 42) ?(burst = 1) () =
+  let run_one rate_rps =
+    let arrival =
+      if burst > 1 then Arrival.Burst_poisson { rate_rps; burst } else Arrival.Poisson { rate_rps }
+    in
+    let summary =
+      Repro_runtime.Server.run ~config ~mix ~arrival ~n_requests ~seed ()
+    in
+    { rate_rps; summary }
+  in
+  {
+    system = config.Repro_runtime.Config.name;
+    workload = mix.Mix.name;
+    points = List.map run_one (List.sort_uniq compare rates);
+  }
+
+let default_rates ~mix ~n_workers ?(points = 10) ?(max_util = 0.95) () =
+  let mean_ns = Mix.mean_service_ns mix in
+  let capacity = float_of_int n_workers /. mean_ns *. 1e9 in
+  List.init points (fun i ->
+      let frac = max_util *. float_of_int (i + 1) /. float_of_int points in
+      frac *. capacity)
+
+let p999_series t =
+  List.map (fun p -> (p.rate_rps, p.summary.Repro_runtime.Metrics.p999_slowdown)) t.points

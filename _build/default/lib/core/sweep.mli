@@ -1,0 +1,35 @@
+(** Load sweeps: the paper's core experimental procedure (§5.1).
+
+    A sweep runs the same system/workload at increasing offered loads and
+    records the tail-slowdown summary at each point; the SLO analysis in
+    {!Slo} then extracts "maximum throughput under a p99.9 slowdown of
+    50×" — the number every comparison in the paper reports. *)
+
+type point = { rate_rps : float; summary : Repro_runtime.Metrics.summary }
+
+type t = {
+  system : string;  (** configuration name *)
+  workload : string;
+  points : point list;  (** ascending offered load *)
+}
+
+val run :
+  config:Repro_runtime.Config.t ->
+  mix:Repro_workload.Mix.t ->
+  rates:float list ->
+  ?n_requests:int ->
+  ?seed:int ->
+  ?burst:int ->
+  unit ->
+  t
+(** Simulate each offered load with a Poisson open-loop client ([burst] > 1
+    switches to batched Poisson). [n_requests] (default 60 000) arrivals per
+    point; the warm-up tenth is discarded. *)
+
+val default_rates :
+  mix:Repro_workload.Mix.t -> n_workers:int -> ?points:int -> ?max_util:float -> unit -> float list
+(** Evenly spaced offered loads from ~5 % to [max_util] (default 0.95) of
+    the ideal worker capacity [n_workers / mean service time]. *)
+
+val p999_series : t -> (float * float) list
+(** (offered load, p99.9 slowdown) pairs. *)

@@ -1,0 +1,22 @@
+(** Table 1: overhead and timeliness of Concord's instrumentation across
+    the 24 Splash-2 / Phoenix / Parsec benchmark kernels, compared to
+    Compiler-Interrupts (CI). *)
+
+type row = {
+  name : string;
+  suite : string;
+  concord_overhead : float;  (** fractional; negative = unrolling won *)
+  ci_overhead : float;
+  stddev_us : float;  (** achieved-quantum deviation at a 5 µs quantum *)
+  p99_lateness_us : float;
+  probe_spacing_ns : float;  (** mean gap between probes, wall time *)
+}
+
+val rows : unit -> row list
+(** Analyze all 24 kernels (milliseconds of work). *)
+
+val averages : row list -> float * float * float
+(** (mean Concord overhead, mean CI overhead, mean σ in µs). *)
+
+val render : row list -> string
+(** Aligned text table in the paper's layout plus summary rows. *)

@@ -1,0 +1,93 @@
+module Mix = Repro_workload.Mix
+
+type t =
+  | Spin of float
+  | Locked of t
+  | Probe_every of float * t
+  | Seq of t list
+
+let spin ns =
+  if ns <= 0.0 then invalid_arg "Work.spin: duration must be positive";
+  Spin ns
+
+let locked w = Locked w
+
+let probe_every spacing w =
+  if spacing <= 0.0 then invalid_arg "Work.probe_every: spacing must be positive";
+  Probe_every (spacing, w)
+
+let seq ws = Seq ws
+
+let repeat n w =
+  if n < 0 then invalid_arg "Work.repeat: negative count";
+  Seq (List.init n (fun _ -> w))
+
+let rec total_ns = function
+  | Spin ns -> ns
+  | Locked w | Probe_every (_, w) -> total_ns w
+  | Seq ws -> List.fold_left (fun acc w -> acc +. total_ns w) 0.0 ws
+
+(* Walk the description accumulating progress, open/close lock windows, and
+   track the coarsest probe spacing requested anywhere. *)
+type walk = {
+  mutable progress : float;
+  mutable lock_depth : int;
+  mutable window_start : float;
+  mutable windows : (int * int) list; (* reversed *)
+  mutable spacing : float; (* 0 = runtime default *)
+}
+
+let rec exec st = function
+  | Spin ns -> st.progress <- st.progress +. ns
+  | Locked w ->
+    if st.lock_depth = 0 then st.window_start <- st.progress;
+    st.lock_depth <- st.lock_depth + 1;
+    exec st w;
+    st.lock_depth <- st.lock_depth - 1;
+    if st.lock_depth = 0 then begin
+      let start = int_of_float st.window_start and stop = int_of_float st.progress in
+      if stop > start then st.windows <- (start, stop) :: st.windows
+    end
+  | Probe_every (spacing, w) ->
+    st.spacing <- Float.max st.spacing spacing;
+    exec st w
+  | Seq ws -> List.iter (exec st) ws
+
+let to_profile w =
+  let st =
+    { progress = 0.0; lock_depth = 0; window_start = 0.0; windows = []; spacing = 0.0 }
+  in
+  exec st w;
+  let service_ns = int_of_float st.progress in
+  if service_ns < 1 then invalid_arg "Work.to_profile: handler performs no work";
+  (* Adjacent-or-overlapping windows merge so the array stays disjoint. *)
+  let windows =
+    List.fold_left
+      (fun acc (s, e) ->
+        match acc with
+        | (ps, pe) :: rest when s <= pe -> (ps, max pe e) :: rest
+        | acc -> (s, e) :: acc)
+      []
+      (List.sort compare (List.rev st.windows))
+  in
+  {
+    Mix.class_id = 0;
+    service_ns;
+    lock_windows = Array.of_list (List.rev windows);
+    probe_spacing_ns = st.spacing;
+  }
+
+let handler_class ~name ?(weight = 1.0) w =
+  let profile = to_profile w in
+  {
+    Mix.name;
+    weight;
+    mean_ns = float_of_int profile.Mix.service_ns;
+    generate = (fun _rng -> profile);
+  }
+
+let handler_mix ~name handlers =
+  if handlers = [] then invalid_arg "Work.handler_mix: no handlers";
+  Mix.of_classes ~name
+    (Array.of_list
+       (List.map (fun (cls, weight, w) -> handler_class ~name:cls ~weight w) handlers))

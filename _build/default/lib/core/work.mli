@@ -1,0 +1,60 @@
+(** Describing application request handlers.
+
+    The paper's API (§4.1) is three callbacks, of which
+    [handle_request] does the actual work. In a simulation, "the work" is
+    a description: how many nanoseconds of computation, which parts hold
+    application locks (and therefore defer safety-first preemption, §3.1),
+    and how densely the instrumented code probes. This module is that
+    description language:
+
+    {[
+      let handler =
+        Work.(
+          seq
+            [
+              spin 300.0;                   (* parse *)
+              locked (spin 900.0);          (* update shared state *)
+              probe_every 500.0 (spin 40_000.0); (* coarse-probed loop *)
+            ])
+      in
+      let mix = Work.handler_mix ~name:"my-app" handler
+    ]}
+
+    The resulting {!Concord.Mix.t} plugs into {!Concord.run} like any paper
+    workload. *)
+
+type t
+
+val spin : float -> t
+(** [spin ns] is [ns] nanoseconds of preemptible computation (> 0). *)
+
+val locked : t -> t
+(** Work performed while holding an application lock: Concord will not
+    preempt inside it (the 4-line lock-counter integration of §3.1).
+    Nesting is allowed and behaves like one outer critical section. *)
+
+val probe_every : float -> t -> t
+(** Override the mean probe spacing (ns of executed code between yield
+    checks) for the enclosed work. The coarsest spacing in a handler wins
+    for the whole request — the runtime models one spacing per request —
+    so use this to mark the loop that dominates the handler. *)
+
+val seq : t list -> t
+(** Sequential composition. *)
+
+val repeat : int -> t -> t
+(** [repeat n w] is [w] executed [n] times (n >= 0). *)
+
+val total_ns : t -> float
+(** Total un-instrumented service time of one execution. *)
+
+val to_profile : t -> Repro_workload.Mix.profile
+(** Compile into a per-request profile (service time, lock windows, probe
+    spacing). Raises [Invalid_argument] on non-positive total work. *)
+
+val handler_class :
+  name:string -> ?weight:float -> t -> Repro_workload.Mix.class_def
+(** A mix class whose every request executes this handler. *)
+
+val handler_mix : name:string -> (string * float * t) list -> Repro_workload.Mix.t
+(** A multi-class application: [(class name, weight, handler)]. *)

@@ -1,0 +1,1 @@
+lib/engine/zipf.ml: Array Rng

@@ -1,0 +1,110 @@
+(* Array-based binary min-heap ordered by (key, seq); seq is a per-heap
+   insertion counter that breaks ties FIFO so simulation replays are
+   deterministic. Slot 0 of the arrays is the root. *)
+
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  {
+    keys = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    vals = [||];
+    size = 0;
+    next_seq = 0;
+  }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h v =
+  let old = Array.length h.keys in
+  let cap = old * 2 in
+  let keys = Array.make cap 0
+  and seqs = Array.make cap 0
+  and vals = Array.make cap v in
+  Array.blit h.keys 0 keys 0 h.size;
+  Array.blit h.seqs 0 seqs 0 h.size;
+  Array.blit h.vals 0 vals 0 h.size;
+  h.keys <- keys;
+  h.seqs <- seqs;
+  h.vals <- vals
+
+(* [less h i j] decides whether slot [i] must sit above slot [j]. *)
+let less h i j =
+  let ki = h.keys.(i) and kj = h.keys.(j) in
+  ki < kj || (ki = kj && h.seqs.(i) < h.seqs.(j))
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 in
+  if l < h.size then begin
+    let r = l + 1 in
+    let smallest = if r < h.size && less h r l then r else l in
+    if less h smallest i then begin
+      swap h i smallest;
+      sift_down h smallest
+    end
+  end
+
+let add h ~key v =
+  if h.size = 0 && Array.length h.vals = 0 then
+    h.vals <- Array.make (Array.length h.keys) v
+  else if h.size = Array.length h.keys then grow h v;
+  let i = h.size in
+  h.keys.(i) <- key;
+  h.seqs.(i) <- h.next_seq;
+  h.vals.(i) <- v;
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h i
+
+let min_key h = if h.size = 0 then None else Some h.keys.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and v = h.vals.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.keys.(0) <- h.keys.(h.size);
+      h.seqs.(0) <- h.seqs.(h.size);
+      h.vals.(0) <- h.vals.(h.size);
+      sift_down h 0
+    end;
+    Some (key, v)
+  end
+
+let clear h =
+  h.size <- 0;
+  h.next_seq <- 0
+
+let iter h ~f =
+  for i = 0 to h.size - 1 do
+    f ~key:h.keys.(i) h.vals.(i)
+  done

@@ -1,0 +1,33 @@
+(** Growable binary min-heap keyed by integer priorities.
+
+    Entries with equal keys are returned in insertion order, which makes the
+    event queue of {!Sim} deterministic: two events scheduled for the same
+    simulated instant fire in the order they were scheduled. *)
+
+type 'a t
+(** A min-heap holding values of type ['a]. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap. [capacity] pre-sizes the backing array. *)
+
+val length : 'a t -> int
+(** Number of entries currently in the heap. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add h ~key v] inserts [v] with priority [key]. O(log n). *)
+
+val min_key : 'a t -> int option
+(** Smallest key present, or [None] if the heap is empty. O(1). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the entry with the smallest key (FIFO among equal
+    keys). O(log n). *)
+
+val clear : 'a t -> unit
+(** Remove all entries. Does not shrink the backing array. *)
+
+val iter : 'a t -> f:(key:int -> 'a -> unit) -> unit
+(** Apply [f] to every entry in unspecified order. *)

@@ -1,0 +1,95 @@
+(* HDR-style histogram: values below 2^b are exact; above that, each power-
+   of-two range is split into 2^(b-1) sub-buckets, bounding relative error
+   by 2^-(b-1). *)
+
+type t = {
+  sub_bits : int;
+  max_value : int;
+  counts : int array;
+  mutable total : int;
+}
+
+let msb v =
+  (* Position of the most significant set bit of v >= 1. *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let create ?(max_value = 10_000_000_000) ?(significant_bits = 7) () =
+  if significant_bits < 2 || significant_bits > 16 then
+    invalid_arg "Histogram.create: significant_bits out of range";
+  if max_value < 2 then invalid_arg "Histogram.create: max_value too small";
+  let sub_bits = significant_bits in
+  let sub_count = 1 lsl sub_bits in
+  let half = sub_count / 2 in
+  let k_max = max 1 (msb max_value - sub_bits + 1) in
+  let buckets = sub_count + (k_max * half) in
+  { sub_bits; max_value; counts = Array.make buckets 0; total = 0 }
+
+let index t v =
+  let sub_count = 1 lsl t.sub_bits in
+  if v < sub_count then v
+  else begin
+    let half = sub_count / 2 in
+    let k = msb v - t.sub_bits + 1 in
+    let i = sub_count + ((k - 1) * half) + ((v lsr k) - half) in
+    min i (Array.length t.counts - 1)
+  end
+
+(* Inclusive upper bound of the value range covered by bucket [i]. *)
+let bucket_upper t i =
+  let sub_count = 1 lsl t.sub_bits in
+  if i < sub_count then i
+  else begin
+    let half = sub_count / 2 in
+    let r = i - sub_count in
+    let k = (r / half) + 1 in
+    let off = r mod half in
+    ((half + off + 1) lsl k) - 1
+  end
+
+let record t v =
+  if v < 0 then invalid_arg "Histogram.record: negative value";
+  let v = min v t.max_value in
+  let i = index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p out of range";
+  let rank = max 1 (int_of_float (ceil ((p *. float_of_int t.total /. 100.0) -. 1e-9))) in
+  let rec scan i acc =
+    if i >= Array.length t.counts then bucket_upper t (Array.length t.counts - 1)
+    else begin
+      let acc = acc + t.counts.(i) in
+      if acc >= rank then bucket_upper t i else scan (i + 1) acc
+    end
+  in
+  scan 0 0
+
+let mean t =
+  if t.total = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to Array.length t.counts - 1 do
+      if t.counts.(i) > 0 then begin
+        let upper = bucket_upper t i in
+        sum := !sum +. (float_of_int t.counts.(i) *. float_of_int upper)
+      end
+    done;
+    !sum /. float_of_int t.total
+  end
+
+let max_recorded t =
+  let rec scan i = if i < 0 then 0 else if t.counts.(i) > 0 then bucket_upper t i else scan (i - 1) in
+  scan (Array.length t.counts - 1)
+
+let merge_into ~src ~dst =
+  if
+    src.sub_bits <> dst.sub_bits
+    || Array.length src.counts <> Array.length dst.counts
+  then invalid_arg "Histogram.merge_into: incompatible histograms";
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.total <- dst.total + src.total

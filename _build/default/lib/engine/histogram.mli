@@ -1,0 +1,34 @@
+(** Log-bucketed latency histogram (HDR-histogram style).
+
+    Records non-negative integer values (nanoseconds in this codebase) into
+    buckets whose width grows geometrically, giving a bounded relative
+    quantile error with O(1) memory regardless of sample count. Used when an
+    experiment runs too many requests to retain raw samples. *)
+
+type t
+
+val create : ?max_value:int -> ?significant_bits:int -> unit -> t
+(** [create ()] covers values up to [max_value] (default 10^10 ns ≈ 10 s)
+    with [significant_bits] bits of sub-bucket precision (default 7, i.e.
+    < 1 % relative error). *)
+
+val record : t -> int -> unit
+(** Record one value. Values above [max_value] clamp to the top bucket;
+    negative values raise [Invalid_argument]. *)
+
+val count : t -> int
+(** Total number of recorded values. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] is an upper bound of the bucket containing the
+    nearest-rank [p]-th percentile. Raises [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** Approximate mean using bucket midpoints. *)
+
+val max_recorded : t -> int
+(** Upper bound of the highest non-empty bucket (0 when empty). *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add all of [src]'s counts into [dst]. The histograms must have been
+    created with identical parameters. *)

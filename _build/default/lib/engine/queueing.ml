@@ -1,0 +1,53 @@
+let check_stability ~servers ~offered_load =
+  if servers < 1 then invalid_arg "Queueing: need at least one server";
+  if offered_load < 0.0 || offered_load >= float_of_int servers then
+    invalid_arg "Queueing: offered load must be in [0, servers)"
+
+let erlang_c ~servers ~offered_load =
+  check_stability ~servers ~offered_load;
+  if offered_load = 0.0 then 0.0
+  else begin
+    let a = offered_load and c = float_of_int servers in
+    (* Sum a^k/k! for k < c, computed incrementally to avoid overflow. *)
+    let term = ref 1.0 in
+    let sum = ref 1.0 in
+    for k = 1 to servers - 1 do
+      term := !term *. a /. float_of_int k;
+      sum := !sum +. !term
+    done;
+    let tail = !term *. a /. float_of_int servers *. (c /. (c -. a)) in
+    tail /. (!sum +. tail)
+  end
+
+let mmc_mean_wait ~servers ~arrival_rate ~service_rate =
+  if service_rate <= 0.0 then invalid_arg "Queueing: service rate must be positive";
+  let a = arrival_rate /. service_rate in
+  check_stability ~servers ~offered_load:a;
+  let pw = erlang_c ~servers ~offered_load:a in
+  pw /. ((float_of_int servers *. service_rate) -. arrival_rate)
+
+let mm1_mean_sojourn ~arrival_rate ~service_rate =
+  if service_rate <= arrival_rate then invalid_arg "Queueing: unstable M/M/1";
+  1.0 /. (service_rate -. arrival_rate)
+
+let mg1_mean_wait ~arrival_rate ~mean_service ~second_moment =
+  let rho = arrival_rate *. mean_service in
+  if rho >= 1.0 then invalid_arg "Queueing: unstable M/G/1";
+  arrival_rate *. second_moment /. (2.0 *. (1.0 -. rho))
+
+let mgc_mean_wait_approx ~servers ~arrival_rate ~mean_service ~scv =
+  let service_rate = 1.0 /. mean_service in
+  let base = mmc_mean_wait ~servers ~arrival_rate ~service_rate in
+  base *. ((1.0 +. scv) /. 2.0)
+
+let mmc_wait_quantile ~servers ~arrival_rate ~service_rate ~p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Queueing: quantile p must be in (0,1)";
+  let a = arrival_rate /. service_rate in
+  check_stability ~servers ~offered_load:a;
+  let pw = erlang_c ~servers ~offered_load:a in
+  if pw <= 1.0 -. p then 0.0
+  else begin
+    (* Conditional on waiting, delay is exponential with rate cµ − λ. *)
+    let rate = (float_of_int servers *. service_rate) -. arrival_rate in
+    -.log ((1.0 -. p) /. pw) /. rate
+  end

@@ -1,0 +1,32 @@
+(** Closed-form queueing-theory results.
+
+    The simulator's zero-overhead configuration is an M/G/c queue; these
+    formulas give the exact (M/M/c) and classical-approximation (M/G/c)
+    answers the simulator must reproduce, which the test suite uses as an
+    independent oracle. They are also handy for sizing sweeps. *)
+
+val erlang_c : servers:int -> offered_load:float -> float
+(** [erlang_c ~servers ~offered_load] is the Erlang-C probability that an
+    arrival must wait, where [offered_load] = λ·E[S] (in Erlangs,
+    < [servers] for stability). Raises [Invalid_argument] outside the
+    stable region. *)
+
+val mmc_mean_wait : servers:int -> arrival_rate:float -> service_rate:float -> float
+(** Mean queueing delay (excluding service) of an M/M/c queue. Units follow
+    the rates (e.g. rates per ns give ns). *)
+
+val mm1_mean_sojourn : arrival_rate:float -> service_rate:float -> float
+(** Mean time in system of an M/M/1 queue: 1/(µ − λ). *)
+
+val mg1_mean_wait :
+  arrival_rate:float -> mean_service:float -> second_moment:float -> float
+(** Pollaczek–Khinchine: mean wait of an M/G/1 queue given E[S], E[S²]. *)
+
+val mgc_mean_wait_approx :
+  servers:int -> arrival_rate:float -> mean_service:float -> scv:float -> float
+(** The standard Lee–Longton M/G/c approximation: M/M/c wait scaled by
+    (1 + c²ᵥ)/2, where c²ᵥ is the squared coefficient of variation. *)
+
+val mmc_wait_quantile : servers:int -> arrival_rate:float -> service_rate:float -> p:float -> float
+(** [p]-quantile (0 < p < 1) of M/M/c queueing delay: 0 when Erlang-C ≤
+    1 − p, else the exponential conditional-wait quantile. *)

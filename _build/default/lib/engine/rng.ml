@@ -1,0 +1,97 @@
+(* xoshiro256** by Blackman & Vigna, seeded via splitmix64. Both are public
+   domain reference algorithms; we transcribe them directly so simulations
+   are reproducible across OCaml versions (unlike Stdlib.Random). *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) in
+  create ~seed
+
+(* Top 53 bits scaled into [0,1). *)
+let float t = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Modulo over 63 random bits; the bias is bound/2^63, far below anything
+     a simulation of < 2^40 draws can observe. *)
+  let r = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. float t in
+  -.mean *. log u
+
+let normal t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let rec normal_positive t ~mu ~sigma =
+  let x = normal t ~mu ~sigma in
+  if x >= mu then x else normal_positive t ~mu ~sigma
+
+let lognormal t ~mu ~sigma = exp (normal t ~mu ~sigma)
+
+let pareto t ~scale ~shape =
+  if scale <= 0.0 || shape <= 0.0 then invalid_arg "Rng.pareto: parameters must be positive";
+  let u = 1.0 -. float t in
+  scale /. (u ** (1.0 /. shape))
+
+let categorical t ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.categorical: weights must sum to a positive value";
+  let x = float t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  done

@@ -1,0 +1,38 @@
+type 'e t = {
+  mutable now : int;
+  mutable stopped : bool;
+  events : 'e Heap.t;
+}
+
+let create () = { now = 0; stopped = false; events = Heap.create ~capacity:1024 () }
+let now t = t.now
+
+let schedule_at t ~time e =
+  if time < t.now then invalid_arg "Sim.schedule_at: time is in the past";
+  Heap.add t.events ~key:time e
+
+let schedule_after t ~delay e =
+  if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
+  Heap.add t.events ~key:(t.now + delay) e
+
+let pending t = Heap.length t.events
+let stop t = t.stopped <- true
+
+let run t ?until ~handler () =
+  t.stopped <- false;
+  let horizon = match until with None -> max_int | Some h -> h in
+  let rec loop () =
+    if not t.stopped then begin
+      match Heap.min_key t.events with
+      | None -> ()
+      | Some key when key > horizon -> ()
+      | Some _ ->
+        (match Heap.pop t.events with
+        | None -> ()
+        | Some (time, e) ->
+          t.now <- time;
+          handler t e;
+          loop ())
+    end
+  in
+  loop ()

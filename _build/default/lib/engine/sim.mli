@@ -1,0 +1,31 @@
+(** Discrete-event simulation driver.
+
+    A simulation is a clock (integer nanoseconds) plus a priority queue of
+    pending events. The event type ['e] is chosen by the model (the server
+    runtime uses a variant of worker/dispatcher/arrival events). Events
+    scheduled for the same instant fire in scheduling order. *)
+
+type 'e t
+
+val create : unit -> 'e t
+
+val now : 'e t -> int
+(** Current simulated time in nanoseconds. *)
+
+val schedule_at : 'e t -> time:int -> 'e -> unit
+(** Enqueue an event for absolute [time]. Raises [Invalid_argument] if
+    [time] is in the past. *)
+
+val schedule_after : 'e t -> delay:int -> 'e -> unit
+(** Enqueue an event [delay] ns from now ([delay] >= 0). *)
+
+val pending : 'e t -> int
+(** Number of events not yet fired. *)
+
+val stop : 'e t -> unit
+(** Make the current [run] return after the in-flight handler finishes. *)
+
+val run : 'e t -> ?until:int -> handler:('e t -> 'e -> unit) -> unit -> unit
+(** Pop and handle events in time order until the queue drains, [stop] is
+    called, or the next event is later than [until]. The clock advances to
+    each event's timestamp just before its handler runs. *)

@@ -1,0 +1,100 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sorted : bool; (* whether data.(0..size-1) is currently sorted *)
+}
+
+let create ?(capacity = 1024) () =
+  { data = Array.make (max capacity 1) 0.0; size = 0; sorted = true }
+
+let add t x =
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) 0.0 in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+let is_empty t = t.size = 0
+
+let mean t =
+  if t.size = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      sum := !sum +. t.data.(i)
+    done;
+    !sum /. float_of_int t.size
+  end
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      let d = t.data.(i) -. m in
+      sum := !sum +. (d *. d)
+    done;
+    sqrt (!sum /. float_of_int t.size)
+  end
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.data 0 t.size in
+    Array.sort compare live;
+    Array.blit live 0 t.data 0 t.size;
+    t.sorted <- true
+  end
+
+let min_value t =
+  if t.size = 0 then invalid_arg "Stats.min_value: empty";
+  ensure_sorted t;
+  t.data.(0)
+
+let max_value t =
+  if t.size = 0 then invalid_arg "Stats.max_value: empty";
+  ensure_sorted t;
+  t.data.(t.size - 1)
+
+let percentile t p =
+  if t.size = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  ensure_sorted t;
+  (* Nearest-rank: the smallest sample such that at least p% of samples are
+     <= it. *)
+  let rank = int_of_float (ceil ((p *. float_of_int t.size /. 100.0) -. 1e-9)) in
+  let idx = max 0 (min (t.size - 1) (rank - 1)) in
+  t.data.(idx)
+
+let median t = percentile t 50.0
+let values t = Array.sub t.data 0 t.size
+
+let merge a b =
+  let t = create ~capacity:(a.size + b.size) () in
+  for i = 0 to a.size - 1 do
+    add t a.data.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add t b.data.(i)
+  done;
+  t
+
+module Online = struct
+  type acc = { mutable n : int; mutable m : float; mutable m2 : float }
+
+  let create () = { n = 0; m = 0.0; m2 = 0.0 }
+
+  let add acc x =
+    acc.n <- acc.n + 1;
+    let delta = x -. acc.m in
+    acc.m <- acc.m +. (delta /. float_of_int acc.n);
+    acc.m2 <- acc.m2 +. (delta *. (x -. acc.m))
+
+  let count acc = acc.n
+  let mean acc = acc.m
+  let stddev acc = if acc.n < 2 then 0.0 else sqrt (acc.m2 /. float_of_int acc.n)
+end

@@ -1,0 +1,51 @@
+(** Sample collection and summary statistics.
+
+    Experiments accumulate per-request samples (latency, slowdown) into a
+    {!t} and then query percentiles. Percentile queries sort the backing
+    array once and reuse the sorted order until new samples arrive. *)
+
+type t
+(** A growable collection of float samples. *)
+
+val create : ?capacity:int -> unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val is_empty : t -> bool
+
+val mean : t -> float
+(** Arithmetic mean. 0 for an empty collection. *)
+
+val stddev : t -> float
+(** Population standard deviation. 0 for fewer than two samples. *)
+
+val min_value : t -> float
+(** Smallest sample. Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> float
+(** Largest sample. Raises [Invalid_argument] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]: nearest-rank percentile of the
+    samples. Raises [Invalid_argument] when empty or [p] out of range.
+    [percentile t 99.9] is the paper's p99.9 metric. *)
+
+val median : t -> float
+(** [median t] is [percentile t 50.0]. *)
+
+val values : t -> float array
+(** Copy of the samples in insertion order. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh collection with the samples of both. *)
+
+(** Online mean/variance accumulator (Welford) for streams where retaining
+    samples is unnecessary. *)
+module Online : sig
+  type acc
+
+  val create : unit -> acc
+  val add : acc -> float -> unit
+  val count : acc -> int
+  val mean : acc -> float
+  val stddev : acc -> float
+end

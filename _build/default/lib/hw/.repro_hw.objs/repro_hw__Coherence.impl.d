@@ -1,0 +1,1 @@
+lib/hw/coherence.ml: Array Costs

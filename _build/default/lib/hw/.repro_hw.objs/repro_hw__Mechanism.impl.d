@@ -1,0 +1,1 @@
+lib/hw/mechanism.ml: Costs Printf Repro_engine

@@ -1,0 +1,1 @@
+lib/hw/mechanism.mli: Costs Repro_engine

@@ -1,0 +1,73 @@
+(* Per-line state: which cores hold a copy, and whether one of them holds it
+   Modified. This is MSI without the E state, which is enough to reproduce
+   the RaW / WaR miss accounting of the paper's §2.2.2. *)
+
+type line_state = {
+  mutable sharer_mask : int; (* bit i set = core i has a readable copy *)
+  mutable modified_by : int; (* core holding it Modified, or -1 *)
+}
+
+type line = { index : int }
+type t = { ncores : int; costs : Costs.t; mutable lines : line_state array; mutable used : int }
+
+type access = { cycles : int; hit : bool }
+
+let create ~ncores ~costs =
+  if ncores < 1 || ncores > 62 then invalid_arg "Coherence.create: ncores out of range";
+  { ncores; costs; lines = Array.init 16 (fun _ -> { sharer_mask = 0; modified_by = -1 }); used = 0 }
+
+let line t =
+  if t.used = Array.length t.lines then begin
+    let bigger = Array.init (2 * t.used) (fun _ -> { sharer_mask = 0; modified_by = -1 }) in
+    Array.blit t.lines 0 bigger 0 t.used;
+    t.lines <- bigger
+  end;
+  let l = { index = t.used } in
+  t.used <- t.used + 1;
+  l
+
+let state t l = t.lines.(l.index)
+let has_copy st core = st.sharer_mask land (1 lsl core) <> 0
+
+let read t ~core l =
+  if core < 0 || core >= t.ncores then invalid_arg "Coherence.read: bad core";
+  let st = state t l in
+  if has_copy st core then { cycles = t.costs.Costs.probe_check_cycles; hit = true }
+  else begin
+    let cycles =
+      if st.modified_by >= 0 then t.costs.Costs.coherence_miss_cycles
+      else t.costs.Costs.coherence_miss_cycles / 2
+    in
+    (* The dirty holder writes back and keeps a shared copy. *)
+    st.modified_by <- -1;
+    st.sharer_mask <- st.sharer_mask lor (1 lsl core);
+    { cycles; hit = false }
+  end
+
+let write t ~core l =
+  if core < 0 || core >= t.ncores then invalid_arg "Coherence.write: bad core";
+  let st = state t l in
+  if st.modified_by = core then { cycles = t.costs.Costs.probe_check_cycles; hit = true }
+  else begin
+    (* Invalidate everyone else and take ownership. *)
+    let cycles =
+      if st.sharer_mask = 0 || st.sharer_mask = 1 lsl core then
+        t.costs.Costs.coherence_miss_cycles / 2
+      else t.costs.Costs.coherence_miss_cycles
+    in
+    st.sharer_mask <- 1 lsl core;
+    st.modified_by <- core;
+    { cycles; hit = false }
+  end
+
+let holder t l =
+  let st = state t l in
+  if st.modified_by >= 0 then Some st.modified_by else None
+
+let sharers t l =
+  let st = state t l in
+  let rec collect core acc =
+    if core < 0 then acc
+    else collect (core - 1) (if has_copy st core then core :: acc else acc)
+  in
+  collect (t.ncores - 1) []

@@ -1,0 +1,40 @@
+(** A small MSI-style cache-coherence model.
+
+    The scheduling simulation charges scalar coherence costs directly (for
+    speed), but those scalars — "a probe is an L1 hit except the final
+    check", "the single-queue hand-off is at least two cache-to-cache
+    misses" — are claims about a coherence protocol. This module models that
+    protocol explicitly so tests can *derive* the scalars from first
+    principles: replaying the dispatcher/worker flag protocol on this model
+    must reproduce the per-event costs the simulator charges. *)
+
+type t
+(** A set of cores sharing cache lines. *)
+
+type line
+(** One 64-byte cache line. *)
+
+(** Outcome of an access, with its cycle cost. *)
+type access = {
+  cycles : int;
+  hit : bool;  (** whether the access was served from the local cache *)
+}
+
+val create : ncores:int -> costs:Costs.t -> t
+val line : t -> line
+
+val read : t -> core:int -> line -> access
+(** Load from [line] on [core]. A local hit costs
+    [costs.probe_check_cycles]; fetching a line last written by another core
+    costs [costs.coherence_miss_cycles] (cache-to-cache transfer); fetching
+    a clean line costs half of that (L2/LLC). *)
+
+val write : t -> core:int -> line -> access
+(** Store to [line] on [core]. A hit requires exclusive ownership; any other
+    state pays an ownership transfer ([costs.coherence_miss_cycles]). *)
+
+val holder : t -> line -> int option
+(** Core currently holding the line exclusively (Modified), if any. *)
+
+val sharers : t -> line -> int list
+(** Cores holding a readable copy, ascending order. *)

@@ -1,0 +1,95 @@
+type t = {
+  clock : Cycles.clock;
+  ipi_notif_cycles : int;
+  linux_ipi_notif_cycles : int;
+  uipi_notif_cycles : int;
+  cacheline_notif_cycles : int;
+  probe_check_cycles : int;
+  rdtsc_cycles : int;
+  coop_proc_overhead : float;
+  rdtsc_proc_overhead : float;
+  probe_spacing_ns : float;
+  context_switch_cycles : int;
+  coherence_miss_cycles : int;
+  worker_receive_cycles : int;
+  local_pop_cycles : int;
+  flag_propagation_cycles : int;
+  disp_ingress_cycles : int;
+  disp_send_cycles : int;
+  disp_completion_cycles : int;
+  disp_requeue_cycles : int;
+  disp_ipi_send_cycles : int;
+  disp_flag_write_cycles : int;
+  disp_jbsq_pick_cycles : int;
+}
+
+let default =
+  {
+    clock = Cycles.default;
+    ipi_notif_cycles = 1200;
+    linux_ipi_notif_cycles = 2400;
+    uipi_notif_cycles = 400;
+    cacheline_notif_cycles = 150;
+    probe_check_cycles = 2;
+    rdtsc_cycles = 30;
+    coop_proc_overhead = 0.010;
+    rdtsc_proc_overhead = 0.21;
+    probe_spacing_ns = 100.0;
+    context_switch_cycles = 200;
+    coherence_miss_cycles = 200;
+    worker_receive_cycles = 150;
+    local_pop_cycles = 40;
+    flag_propagation_cycles = 100;
+    disp_ingress_cycles = 150;
+    disp_send_cycles = 180;
+    disp_completion_cycles = 120;
+    disp_requeue_cycles = 60;
+    disp_ipi_send_cycles = 180;
+    disp_flag_write_cycles = 40;
+    disp_jbsq_pick_cycles = 20;
+  }
+
+let c6420 = { default with clock = Cycles.c6420 }
+
+let sapphire_rapids =
+  let scale c = int_of_float (Float.round (float_of_int c *. 1.5)) in
+  {
+    default with
+    clock = Cycles.sapphire_rapids;
+    cacheline_notif_cycles = scale default.cacheline_notif_cycles;
+    coherence_miss_cycles = scale default.coherence_miss_cycles;
+    worker_receive_cycles = scale default.worker_receive_cycles;
+    flag_propagation_cycles = scale default.flag_propagation_cycles;
+    (* UIPI reception also rides the coherence fabric (memory-mapped posted
+       descriptors), so it scales the same way; its base cost is ≈2× the
+       cache-line read it replaces (§5.6). *)
+    uipi_notif_cycles = scale default.uipi_notif_cycles;
+  }
+
+let zero_overhead =
+  {
+    clock = Cycles.default;
+    ipi_notif_cycles = 0;
+    linux_ipi_notif_cycles = 0;
+    uipi_notif_cycles = 0;
+    cacheline_notif_cycles = 0;
+    probe_check_cycles = 0;
+    rdtsc_cycles = 0;
+    coop_proc_overhead = 0.0;
+    rdtsc_proc_overhead = 0.0;
+    probe_spacing_ns = 0.0;
+    context_switch_cycles = 0;
+    coherence_miss_cycles = 0;
+    worker_receive_cycles = 0;
+    local_pop_cycles = 0;
+    flag_propagation_cycles = 0;
+    disp_ingress_cycles = 0;
+    disp_send_cycles = 0;
+    disp_completion_cycles = 0;
+    disp_requeue_cycles = 0;
+    disp_ipi_send_cycles = 0;
+    disp_flag_write_cycles = 0;
+    disp_jbsq_pick_cycles = 0;
+  }
+
+let ns_of t cycles = Cycles.ns_of_cycles t.clock cycles

@@ -1,0 +1,66 @@
+(** The hardware cost model: every constant the simulation charges.
+
+    All costs are in CPU cycles (converted through {!Cycles}) except the
+    instrumentation overheads, which are dimensionless fractions of service
+    time, and the probe spacing, which is in nanoseconds of executed code.
+    Defaults come from the paper: §2.2 for IPI / coherence / rdtsc costs,
+    §3.1 for the cache-line probe costs, §3.2 for JBSQ, Fig. 8 for the
+    dispatcher's per-request budget. *)
+
+type t = {
+  clock : Cycles.clock;
+  (* --- preemption notification (cnotif) --- *)
+  ipi_notif_cycles : int;  (** receive a Shinjuku posted IPI (≈1200). *)
+  linux_ipi_notif_cycles : int;  (** receive a Linux signal-based IPI (≈2400). *)
+  uipi_notif_cycles : int;  (** receive an Intel user-space interrupt. *)
+  cacheline_notif_cycles : int;
+      (** final probe check: Read-after-Write coherence miss (≈150). *)
+  (* --- instrumentation (cproc) --- *)
+  probe_check_cycles : int;  (** one cache-line probe: L1 hit + compare (≈2). *)
+  rdtsc_cycles : int;  (** one [rdtsc] probe (≈30). *)
+  coop_proc_overhead : float;
+      (** fraction of service time lost to cache-line probes (≈0.01). *)
+  rdtsc_proc_overhead : float;
+      (** fraction lost to rdtsc probes at ≈200-instruction spacing (≈0.21). *)
+  probe_spacing_ns : float;
+      (** mean executed-code distance between consecutive probes (≈100 ns,
+          i.e. ≈200 IR instructions at 2 GHz). *)
+  (* --- context switching and hand-off (cswitch, cnext) --- *)
+  context_switch_cycles : int;  (** user-level context switch (≈200, ≈100 ns). *)
+  coherence_miss_cycles : int;  (** one cache-to-cache transfer (≈200). *)
+  worker_receive_cycles : int;
+      (** worker-side read miss when a new request lands (≈150). *)
+  local_pop_cycles : int;  (** JBSQ core-local dequeue, no coherence traffic (≈40). *)
+  flag_propagation_cycles : int;
+      (** delay before the dispatcher's poll can observe a worker flag (≈100). *)
+  (* --- dispatcher micro-op costs --- *)
+  disp_ingress_cycles : int;  (** pull one request from the NIC queue (≈150). *)
+  disp_send_cycles : int;  (** hand a request to a worker: WaR miss + bookkeeping (≈180). *)
+  disp_completion_cycles : int;  (** observe a completion flag: RaW miss (≈120). *)
+  disp_requeue_cycles : int;  (** re-place a preempted request on the queue (≈60). *)
+  disp_ipi_send_cycles : int;
+      (** dispatcher-side cost of sending an IPI: posted-descriptor write +
+          doorbell (≈180). *)
+  disp_flag_write_cycles : int;
+      (** dispatcher-side cost of writing a preemption cache line (≈40). *)
+  disp_jbsq_pick_cycles : int;  (** compute the shortest per-worker queue (≈20). *)
+}
+
+val default : t
+(** Paper constants at a 2 GHz clock. *)
+
+val c6420 : t
+(** Same constants at the 2.6 GHz Cloudlab testbed clock. *)
+
+val sapphire_rapids : t
+(** §5.6 machine: 192 cores make coherence misses ≈1.5× more expensive,
+    which raises both Concord's notification cost and the dispatcher's
+    coherence-bound micro-ops; UIPI reception costs ≈2× Concord's read. *)
+
+val zero_overhead : t
+(** All cycle costs zero and no instrumentation overhead: turns the server
+    into an ideal queueing simulator (used for Fig. 5 and for tests that
+    compare against queueing theory). *)
+
+val ns_of : t -> int -> int
+(** [ns_of t cycles] converts under [t]'s clock. *)

@@ -1,0 +1,13 @@
+type clock = { ghz : float }
+
+let default = { ghz = 2.0 }
+let c6420 = { ghz = 2.6 }
+let sapphire_rapids = { ghz = 2.1 }
+
+let ns_of_cycles clock cycles =
+  int_of_float (Float.round (float_of_int cycles /. clock.ghz))
+
+let ns_of_cycles_f clock cycles = cycles /. clock.ghz
+
+let cycles_of_ns clock ns =
+  int_of_float (Float.round (float_of_int ns *. clock.ghz))

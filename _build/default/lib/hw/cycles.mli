@@ -1,0 +1,26 @@
+(** CPU clock and cycle/time conversions.
+
+    The paper quotes every cost in cycles and does its arithmetic at a 2 GHz
+    clock (§2.2.1); simulated time is integer nanoseconds. This module is the
+    single place where the two meet. *)
+
+type clock = { ghz : float }
+(** A fixed-frequency CPU clock. *)
+
+val default : clock
+(** 2 GHz — the clock used by the paper's overhead arithmetic. *)
+
+val c6420 : clock
+(** 2.6 GHz — the Cloudlab c6420 testbed (Intel Xeon Gold 6142). *)
+
+val sapphire_rapids : clock
+(** 2.1 GHz — the Sapphire Rapids machine of the UIPI experiment (§5.6). *)
+
+val ns_of_cycles : clock -> int -> int
+(** Convert a cycle count to nanoseconds, rounding to nearest. *)
+
+val ns_of_cycles_f : clock -> float -> float
+(** Float variant, for overhead arithmetic that must not round. *)
+
+val cycles_of_ns : clock -> int -> int
+(** Convert nanoseconds to cycles, rounding to nearest. *)

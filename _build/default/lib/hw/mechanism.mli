@@ -1,0 +1,54 @@
+(** Preemption mechanisms and their cost/timing semantics.
+
+    A mechanism answers three questions the runtime asks during a
+    preemption: how many cycles does the worker lose to the notification
+    itself ([cnotif], Eq. 3)? what fraction of all executed code is lost to
+    bookkeeping probes ([cproc], Eq. 2)? and how *late* past the signal does
+    the worker actually stop? *)
+
+type t =
+  | Ipi  (** Shinjuku's posted inter-processor interrupts: precise, ≈1200 cycles. *)
+  | Linux_ipi  (** Kernel-delivered IPIs/signals: precise, ≈2× Shinjuku's cost. *)
+  | Uipi  (** Intel user-space interrupts (Sapphire Rapids, §5.6): precise. *)
+  | Rdtsc_probe
+      (** Compiler-Interrupts-style self-preemption: [rdtsc] probes every
+          ≈200 instructions; no notification, high constant [cproc]. *)
+  | Cache_line
+      (** Concord: compiler-inserted polls of a per-core cache line; tiny
+          [cproc], notification is one coherence miss, yield happens at the
+          next probe after the dispatcher's write. *)
+  | Model_lateness of { sigma_ns : float }
+      (** Abstract mechanism for the Fig. 5 queueing study: zero cost,
+          preemption lands one-sided-normally late (σ in ns). *)
+  | No_preempt  (** Run-to-completion (Persephone-FCFS). *)
+
+val name : t -> string
+
+val notif_cost_cycles : Costs.t -> t -> int
+(** Worker-side cycles consumed by receiving one preemption. *)
+
+val proc_overhead : Costs.t -> t -> float
+(** Fraction of service time lost to instrumentation while running under
+    this mechanism (0 for interrupt mechanisms: baselines run
+    un-instrumented code, §5.1). *)
+
+val needs_dispatcher_signal : t -> bool
+(** Whether the dispatcher must notice quantum expiry and signal the worker
+    (true for everything except [Rdtsc_probe] self-preemption and
+    [No_preempt]). *)
+
+val is_precise : t -> bool
+(** Whether the worker stops at the instant the signal arrives (interrupt
+    mechanisms) rather than at its next probe. *)
+
+val preemptive : t -> bool
+(** [false] only for [No_preempt]. *)
+
+val yield_lateness_ns :
+  t -> costs:Costs.t -> rng:Repro_engine.Rng.t -> probe_spacing_ns:float -> int
+(** How many nanoseconds after the signal's arrival the worker keeps
+    executing application code before it begins to yield. Zero for precise
+    mechanisms; the residual distance to the next probe for probe-based
+    ones; a one-sided normal for [Model_lateness]. [probe_spacing_ns] lets
+    the application override the mean probe distance (e.g. a coarse,
+    rarely-probed code region). *)

@@ -1,0 +1,1 @@
+lib/instrument/analysis.ml: Array Float Hashtbl Ir List Option Repro_hw

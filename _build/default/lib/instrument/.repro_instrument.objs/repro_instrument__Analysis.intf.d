@@ -1,0 +1,1 @@
+lib/instrument/analysis.mli: Ir Repro_hw

@@ -1,0 +1,1 @@
+lib/instrument/ir.ml: List

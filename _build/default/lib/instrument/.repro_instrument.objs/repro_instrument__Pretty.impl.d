@@ -1,0 +1,1 @@
+lib/instrument/pretty.ml: Buffer Ir List Printf String

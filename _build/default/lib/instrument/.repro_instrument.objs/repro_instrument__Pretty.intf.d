@@ -1,0 +1,1 @@
+lib/instrument/pretty.mli: Ir

@@ -1,0 +1,1 @@
+lib/instrument/programs.ml: Ir List String

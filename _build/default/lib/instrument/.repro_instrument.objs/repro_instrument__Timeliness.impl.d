@@ -1,0 +1,1 @@
+lib/instrument/timeliness.ml: Analysis Array Float Repro_engine Repro_hw

@@ -1,0 +1,1 @@
+lib/instrument/timeliness.mli: Analysis Repro_engine Repro_hw

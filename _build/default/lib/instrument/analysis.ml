@@ -1,0 +1,83 @@
+type t = {
+  work_instrs : int;
+  probes : int;
+  gaps : (int * int) array;
+}
+
+type state = {
+  mutable work : int;
+  mutable probes : int;
+  mutable gap : int; (* instructions since the previous probe *)
+  gap_counts : (int, int) Hashtbl.t;
+}
+
+let record_probe st =
+  st.probes <- st.probes + 1;
+  let g = st.gap in
+  (if g > 0 then
+     let prev = Option.value (Hashtbl.find_opt st.gap_counts g) ~default:0 in
+     Hashtbl.replace st.gap_counts g (prev + 1));
+  st.gap <- 0
+
+let run_instrs st n =
+  st.work <- st.work + n;
+  st.gap <- st.gap + n
+
+let analyze (p : Ir.program) =
+  let st = { work = 0; probes = 0; gap = 0; gap_counts = Hashtbl.create 64 } in
+  let rec exec_block block = List.iter exec_instr block
+  and exec_instr = function
+    | Ir.Compute n -> run_instrs st n
+    | Ir.Probe -> record_probe st
+    | Ir.External n -> run_instrs st (Ir.call_overhead_instrs + n)
+    | Ir.Call f ->
+      run_instrs st Ir.call_overhead_instrs;
+      exec_block f.Ir.body
+    | Ir.Loop { trips; body } ->
+      for _ = 1 to trips do
+        run_instrs st Ir.loop_branch_instrs;
+        exec_block body
+      done
+  in
+  exec_block p.Ir.entry.Ir.body;
+  (* Close the trailing gap so every instruction belongs to one gap. *)
+  if st.gap > 0 then record_probe st;
+  let gaps =
+    Hashtbl.fold (fun g c acc -> (g, c) :: acc) st.gap_counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> Array.of_list
+  in
+  { work_instrs = st.work; probes = st.probes; gaps }
+
+let concord_probe_cycles = 2.0
+let rdtsc_probe_cycles = 30.0
+let ci_counter_instrs = 2.0
+let ci_interval_instrs = 200.0
+
+let concord_overhead ~baseline_instrs t =
+  let base = float_of_int baseline_instrs in
+  (float_of_int t.work_instrs +. (concord_probe_cycles *. float_of_int t.probes) -. base)
+  /. base
+
+let ci_overhead ~baseline_instrs t =
+  let base = float_of_int baseline_instrs in
+  let cost =
+    Array.fold_left
+      (fun acc (gap, count) ->
+        let amortized_rdtsc =
+          rdtsc_probe_cycles *. Float.min 1.0 (float_of_int gap /. ci_interval_instrs)
+        in
+        acc +. (float_of_int count *. (ci_counter_instrs +. amortized_rdtsc)))
+      0.0 t.gaps
+  in
+  (float_of_int t.work_instrs +. cost -. base) /. base
+
+let mean_gap_instrs t =
+  let total, count =
+    Array.fold_left
+      (fun (tot, cnt) (gap, c) -> (tot + (gap * c), cnt + c))
+      (0, 0) t.gaps
+  in
+  if count = 0 then 0.0 else float_of_int total /. float_of_int count
+
+let probe_spacing_ns t ~clock = Repro_hw.Cycles.ns_of_cycles_f clock (mean_gap_instrs t)

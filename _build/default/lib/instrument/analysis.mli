@@ -1,0 +1,39 @@
+(** Dynamic analysis of an instrumented program: executed work, probe
+    executions, and the distribution of gaps between consecutive probes.
+
+    The gap distribution is the load-bearing artifact: probe overhead is
+    probes over work, and preemption *timeliness* is the length-biased
+    residual of the gaps (a preemption signal lands inside some gap and the
+    worker yields at its end). *)
+
+type t = {
+  work_instrs : int;
+      (** dynamic non-probe instructions executed (compute + loop branches
+          + call overhead + external code) *)
+  probes : int;  (** dynamic probe executions *)
+  gaps : (int * int) array;
+      (** [(gap_instrs, count)]: distribution of instruction distances
+          between consecutive probe executions, ascending by gap *)
+}
+
+val analyze : Ir.program -> t
+(** Literally executes the (instrumented) program's structure. *)
+
+val concord_overhead : baseline_instrs:int -> t -> float
+(** Fractional slowdown of Concord instrumentation vs the un-instrumented
+    program: probes cost [2] cycles each; loop unrolling may have removed
+    back-edge work, so the result can be negative (Table 1). Assumes one IR
+    instruction per cycle. *)
+
+val ci_overhead : baseline_instrs:int -> t -> float
+(** Compiler-Interrupts cost model on the same (un-unrolled) placement:
+    every probe site executes a ≈2-instruction counter update, and a full
+    [rdtsc] probe (≈30 cycles) fires once per ≈200 instructions of gap
+    (the tool's interval parameter), i.e. tight loops amortize the rdtsc
+    but still pay the counter on every iteration. *)
+
+val mean_gap_instrs : t -> float
+
+val probe_spacing_ns : t -> clock:Repro_hw.Cycles.clock -> float
+(** Mean probe spacing converted to wall time (1 instruction ≈ 1 cycle) —
+    what the scheduling runtime uses as this application's probe spacing. *)

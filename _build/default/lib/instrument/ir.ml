@@ -1,0 +1,36 @@
+type instr =
+  | Compute of int
+  | Call of func
+  | External of int
+  | Loop of { trips : int; body : block }
+  | Probe
+
+and block = instr list
+
+and func = { fname : string; body : block }
+
+type program = { name : string; suite : string; entry : func }
+
+let func fname body = { fname; body }
+let program ~name ~suite entry = { name; suite; entry }
+
+let loop_branch_instrs = 2
+let call_overhead_instrs = 4
+
+let rec static_size block = List.fold_left (fun acc i -> acc + static_instr i) 0 block
+
+and static_instr = function
+  | Compute n -> n
+  | Call f -> call_overhead_instrs + static_size f.body
+  | External n -> call_overhead_instrs + n
+  | Loop { body; _ } -> loop_branch_instrs + static_size body
+  | Probe -> 0
+
+let rec dynamic_size block = List.fold_left (fun acc i -> acc + dynamic_instr i) 0 block
+
+and dynamic_instr = function
+  | Compute n -> n
+  | Call f -> call_overhead_instrs + dynamic_size f.body
+  | External n -> call_overhead_instrs + n
+  | Loop { trips; body } -> trips * (loop_branch_instrs + dynamic_size body)
+  | Probe -> 0

@@ -1,0 +1,44 @@
+(** A miniature intermediate representation standing in for LLVM IR.
+
+    The Concord compiler's interesting behaviour — where probes land, how
+    loops are unrolled, what the instrumentation costs — is a function of
+    program *structure*: instruction counts, loop nests, call sites,
+    external calls. This IR captures exactly that structure and nothing
+    else, so the probe-placement pass (§4.3) can be reproduced and analyzed
+    without an LLVM dependency. One IR instruction models one LLVM IR
+    instruction, executing in ≈1 cycle. *)
+
+type instr =
+  | Compute of int
+      (** straight-line block of N instructions, no control flow *)
+  | Call of func  (** call to instrumented code (gets an entry probe) *)
+  | External of int
+      (** call into un-instrumented code (syscall, libc) running N
+          instructions; never preempted inside (§3.1), probed around *)
+  | Loop of { trips : int; body : block }  (** counted loop *)
+  | Probe  (** inserted by the pass; never written by hand *)
+
+and block = instr list
+
+and func = { fname : string; body : block }
+
+type program = { name : string; suite : string; entry : func }
+
+val func : string -> block -> func
+val program : name:string -> suite:string -> func -> program
+
+val static_size : block -> int
+(** Static instruction count of one copy of the block (loop bodies counted
+    once, calls counted as their body's size plus call overhead). *)
+
+val dynamic_size : block -> int
+(** Dynamic instruction count of executing the block (loops multiplied by
+    trip counts). Probes count 0 here: they are accounted separately by
+    {!Analysis} because their cost depends on the mechanism. *)
+
+val loop_branch_instrs : int
+(** Instructions spent per loop back-edge (compare + branch); what
+    unrolling saves. *)
+
+val call_overhead_instrs : int
+(** Instructions per call/return sequence. *)

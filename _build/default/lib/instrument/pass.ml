@@ -1,0 +1,52 @@
+let default_min_loop_body = 200
+
+(* Unroll [body] (already instrumented) so one unrolled iteration holds at
+   least [min_body] instructions, preserving total work: [trips] original
+   iterations become [trips / k] unrolled ones plus an inlined remainder. *)
+let unroll_loop ~min_body ~trips body =
+  let size = Ir.static_size body + Ir.loop_branch_instrs in
+  if size >= min_body || trips <= 1 then [ Ir.Loop { trips; body = body @ [ Ir.Probe ] } ]
+  else begin
+    let k = min trips ((min_body + size - 1) / size) in
+    (* Each unrolled copy keeps its induction-variable update (1 instr):
+       unrolling removes the compare+branch, not the whole iteration
+       bookkeeping. *)
+    let copy = body @ [ Ir.Compute 1 ] in
+    let rec copies n = if n = 0 then [] else copy @ copies (n - 1) in
+    let main_trips = trips / k in
+    let remainder = trips mod k in
+    let unrolled =
+      if main_trips = 0 then []
+      else [ Ir.Loop { trips = main_trips; body = copies k @ [ Ir.Probe ] } ]
+    in
+    let rest = if remainder = 0 then [] else copies remainder @ [ Ir.Probe ] in
+    unrolled @ rest
+  end
+
+let run ?(min_loop_body = default_min_loop_body) ~unroll (p : Ir.program) =
+  let rec instrument_block block = List.concat_map instrument_instr block
+  and instrument_instr = function
+    | Ir.Compute n -> [ Ir.Compute n ]
+    | Ir.Probe -> [ Ir.Probe ]
+    | Ir.Call f -> [ Ir.Call (instrument_func f) ]
+    | Ir.External n ->
+      (* Yield points around, never inside, un-instrumented code (§3.1). *)
+      [ Ir.Probe; Ir.External n; Ir.Probe ]
+    | Ir.Loop { trips; body } ->
+      let body = instrument_block body in
+      if unroll then unroll_loop ~min_body:min_loop_body ~trips body
+      else [ Ir.Loop { trips; body = body @ [ Ir.Probe ] } ]
+  and instrument_func f = Ir.func f.Ir.fname (Ir.Probe :: instrument_block f.Ir.body) in
+  Ir.program ~name:p.Ir.name ~suite:p.Ir.suite (instrument_func p.Ir.entry)
+
+let rec count_probes block =
+  List.fold_left
+    (fun acc i ->
+      acc
+      +
+      match i with
+      | Ir.Probe -> 1
+      | Ir.Call f -> count_probes f.Ir.body
+      | Ir.Loop { body; _ } -> count_probes body
+      | Ir.Compute _ | Ir.External _ -> 0)
+    0 block

@@ -1,0 +1,20 @@
+(** The Concord compiler pass (§4.3), reproduced on the mini IR.
+
+    Probes are placed at the beginning of every function, before and after
+    calls to un-instrumented code, and at every loop back-edge. To keep
+    tight loops from being probed too often, each loop body is unrolled
+    until it holds at least [min_loop_body] (≈200) IR instructions — which
+    is also why Concord's measured overhead is sometimes *negative*: the
+    unrolling eliminates more back-edge branches than the probes add
+    (Table 1). *)
+
+val default_min_loop_body : int
+(** 200 IR instructions (§4.3). *)
+
+val run : ?min_loop_body:int -> unroll:bool -> Ir.program -> Ir.program
+(** Insert probes; when [unroll] is set, unroll loop bodies to
+    [min_loop_body] first (Concord). [unroll:false] models
+    Compiler-Interrupts-style placement on the original loop structure. *)
+
+val count_probes : Ir.block -> int
+(** Static probe count of an instrumented block. *)

@@ -1,0 +1,26 @@
+let rec render buf ~indent block =
+  let pad = String.make indent ' ' in
+  List.iter
+    (fun instr ->
+      match instr with
+      | Ir.Compute n -> Buffer.add_string buf (Printf.sprintf "%scompute %d\n" pad n)
+      | Ir.Probe -> Buffer.add_string buf (pad ^ "probe\n")
+      | Ir.External n -> Buffer.add_string buf (Printf.sprintf "%sexternal %d\n" pad n)
+      | Ir.Call f ->
+        Buffer.add_string buf (Printf.sprintf "%scall %s {\n" pad f.Ir.fname);
+        render buf ~indent:(indent + 2) f.Ir.body;
+        Buffer.add_string buf (pad ^ "}\n")
+      | Ir.Loop { trips; body } ->
+        Buffer.add_string buf (Printf.sprintf "%sloop x%d {\n" pad trips);
+        render buf ~indent:(indent + 2) body;
+        Buffer.add_string buf (pad ^ "}\n"))
+    block
+
+let block_to_string ?(indent = 0) block =
+  let buf = Buffer.create 256 in
+  render buf ~indent block;
+  Buffer.contents buf
+
+let program_to_string (p : Ir.program) =
+  Printf.sprintf "program %s (%s)\n%s" p.Ir.name p.Ir.suite
+    (block_to_string ~indent:2 p.Ir.entry.Ir.body)

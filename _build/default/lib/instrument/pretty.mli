@@ -1,0 +1,11 @@
+(** Textual rendering of mini-IR programs.
+
+    Probe placement is the whole point of the compiler pass; being able to
+    *read* an instrumented kernel makes the pass auditable. Used by tests
+    (golden comparisons) and available for debugging. *)
+
+val block_to_string : ?indent:int -> Ir.block -> string
+(** One instruction per line; nested loops and calls indent by two. *)
+
+val program_to_string : Ir.program -> string
+(** Header line (name/suite) plus the entry function's body. *)

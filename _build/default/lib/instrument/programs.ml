@@ -1,0 +1,153 @@
+open Ir
+
+(* Building blocks ---------------------------------------------------- *)
+
+(* A tight inner loop: [body] instructions per iteration. Small bodies get
+   unrolled by the Concord pass (negative overhead) and hammered by the CI
+   counter (large overhead). *)
+let tight ~body ~trips = Loop { trips; body = [ Compute body ] }
+
+(* A doubly nested loop: matrix-style kernels. *)
+let nested ~inner ~inner_trips ~outer_trips ~prologue =
+  Loop
+    {
+      trips = outer_trips;
+      body = [ Compute prologue; Loop { trips = inner_trips; body = [ Compute inner ] } ];
+    }
+
+(* A call-heavy phase: [trips] calls to a small leaf function — every call
+   carries an entry probe that unrolling cannot remove. *)
+let call_heavy ~leaf_instrs ~trips =
+  let leaf = func "leaf" [ Compute leaf_instrs ] in
+  Loop { trips; body = [ Call leaf ] }
+
+(* A phase with long straight-line stretches: few probes, large gaps. *)
+let straight ~block ~trips = Loop { trips; body = [ Compute block ] }
+
+(* External-call-heavy phase (I/O, allocator): probes bracket each call. *)
+let external_heavy ~ext_instrs ~work ~trips =
+  Loop { trips; body = [ Compute work; External ext_instrs ] }
+
+let mk name suite body = program ~name ~suite (func "main" body)
+
+(* The 24 kernels ------------------------------------------------------ *)
+(* Trip counts are sized so each kernel executes a few million IR
+   instructions: large enough for stable gap statistics, small enough to
+   analyze in milliseconds. *)
+
+let water_nsquared =
+  mk "water-nsquared" "Splash-2"
+    [ nested ~inner:70 ~inner_trips:80 ~outer_trips:600 ~prologue:900 ]
+
+let water_spatial =
+  mk "water-spatial" "Splash-2"
+    [ nested ~inner:55 ~inner_trips:64 ~outer_trips:700 ~prologue:800 ]
+
+let ocean_cp =
+  (* Long vectorized straight-line stretches between probes: high sigma. *)
+  mk "ocean-cp" "Splash-2" [ straight ~block:12_000 ~trips:500 ]
+
+let ocean_ncp =
+  mk "ocean-ncp" "Splash-2"
+    [ straight ~block:6_500 ~trips:500; tight ~body:150 ~trips:8_000 ]
+
+let volrend =
+  mk "volrend" "Splash-2"
+    [ nested ~inner:120 ~inner_trips:40 ~outer_trips:500 ~prologue:1_800 ]
+
+let fmm =
+  mk "fmm" "Splash-2"
+    [ tight ~body:45 ~trips:40_000; straight ~block:420 ~trips:2_000 ]
+
+let raytrace =
+  (* Recursive-descent structure: small functions called everywhere. *)
+  mk "raytrace" "Splash-2" [ call_heavy ~leaf_instrs:110 ~trips:30_000 ]
+
+let radix =
+  mk "radix" "Splash-2" [ tight ~body:28 ~trips:120_000; tight ~body:2_200 ~trips:800 ]
+
+let fft =
+  mk "fft" "Splash-2"
+    [ nested ~inner:260 ~inner_trips:32 ~outer_trips:400 ~prologue:2_400 ]
+
+let lu_c =
+  (* Blocked LU: mid-size bodies where probes outweigh unroll savings. *)
+  mk "lu-c" "Splash-2" [ call_heavy ~leaf_instrs:40 ~trips:60_000 ]
+
+let lu_nc =
+  mk "lu-nc" "Splash-2" [ tight ~body:18 ~trips:200_000 ]
+
+let cholesky =
+  mk "cholesky" "Splash-2" [ tight ~body:24 ~trips:150_000 ]
+
+let histogram =
+  mk "histogram" "Phoenix" [ tight ~body:12 ~trips:300_000; straight ~block:3_000 ~trips:300 ]
+
+let kmeans =
+  mk "kmeans" "Phoenix"
+    [ nested ~inner:90 ~inner_trips:50 ~outer_trips:700 ~prologue:2_200 ]
+
+let pca =
+  mk "pca" "Phoenix" [ tight ~body:16 ~trips:220_000 ]
+
+let string_match =
+  mk "string_match" "Phoenix" [ call_heavy ~leaf_instrs:70 ~trips:40_000 ]
+
+let linear_regression =
+  (* Per-point accumulate in a tiny helper: a probe per ~30 instructions. *)
+  mk "linear_regression" "Phoenix" [ call_heavy ~leaf_instrs:26 ~trips:100_000 ]
+
+let word_count =
+  mk "word_count" "Phoenix"
+    [ call_heavy ~leaf_instrs:42 ~trips:60_000; tight ~body:2_500 ~trips:400 ]
+
+let blackscholes =
+  mk "blackscholes" "Parsec" [ straight ~block:2_600 ~trips:1_500 ]
+
+let fluidanimate =
+  mk "fluidanimate" "Parsec"
+    [ nested ~inner:65 ~inner_trips:60 ~outer_trips:800 ~prologue:600 ]
+
+let swapoptions =
+  mk "swapoptions" "Parsec" [ call_heavy ~leaf_instrs:55 ~trips:50_000 ]
+
+let canneal =
+  mk "canneal" "Parsec"
+    [ external_heavy ~ext_instrs:240 ~work:90 ~trips:12_000 ]
+
+let streamcluster =
+  mk "streamcluster" "Parsec" [ tight ~body:34 ~trips:110_000 ]
+
+let dedup =
+  mk "dedup" "Parsec"
+    [ external_heavy ~ext_instrs:2_800 ~work:1_400 ~trips:1_200 ]
+
+let all =
+  [
+    water_nsquared;
+    water_spatial;
+    ocean_cp;
+    ocean_ncp;
+    volrend;
+    fmm;
+    raytrace;
+    radix;
+    fft;
+    lu_c;
+    lu_nc;
+    cholesky;
+    histogram;
+    kmeans;
+    pca;
+    string_match;
+    linear_regression;
+    word_count;
+    blackscholes;
+    fluidanimate;
+    swapoptions;
+    canneal;
+    streamcluster;
+    dedup;
+  ]
+
+let by_name name = List.find_opt (fun p -> String.equal p.Ir.name name) all

@@ -1,0 +1,15 @@
+(** The 24 benchmark kernels of Table 1.
+
+    The paper evaluates Concord's instrumentation on Splash-2, Phoenix and
+    Parsec. We cannot ship those C programs, so each benchmark is modelled
+    as a mini-IR kernel whose *shape* matches the real program's hot code:
+    tight array loops (radix, histogram), nested matrix loops (lu, ocean),
+    deep small-function call chains (raytrace, linear_regression),
+    long straight-line stretches (ocean-cp, blackscholes), and
+    external-call-heavy phases (dedup, canneal). Shape is what determines
+    probe placement, so it is what Table 1's columns measure. *)
+
+val all : Ir.program list
+(** The 24 kernels, in Table 1's order. *)
+
+val by_name : string -> Ir.program option

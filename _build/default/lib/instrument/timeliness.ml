@@ -1,0 +1,70 @@
+module Rng = Repro_engine.Rng
+
+type t = {
+  mean_lateness_ns : float;
+  stddev_ns : float;
+  p99_lateness_ns : float;
+  max_gap_ns : float;
+}
+
+(* Lateness in instruction units: the signal lands in a gap with
+   probability proportional to gap length, uniformly within it. *)
+let moments (a : Analysis.t) =
+  let l, m2, m3 =
+    Array.fold_left
+      (fun (l, m2, m3) (g, c) ->
+        let g = float_of_int g and c = float_of_int c in
+        (l +. (g *. c), m2 +. (g *. g *. c), m3 +. (g *. g *. g *. c)))
+      (0.0, 0.0, 0.0) a.Analysis.gaps
+  in
+  if l <= 0.0 then (0.0, 0.0)
+  else begin
+    let e1 = m2 /. (2.0 *. l) in
+    let e2 = m3 /. (3.0 *. l) in
+    (e1, sqrt (Float.max 0.0 (e2 -. (e1 *. e1))))
+  end
+
+let lateness_cdf (a : Analysis.t) x =
+  let l, mass =
+    Array.fold_left
+      (fun (l, mass) (g, c) ->
+        let g = float_of_int g and c = float_of_int c in
+        (l +. (g *. c), mass +. (c *. Float.min g x)))
+      (0.0, 0.0) a.Analysis.gaps
+  in
+  if l <= 0.0 then 1.0 else mass /. l
+
+let percentile (a : Analysis.t) p =
+  let max_gap =
+    Array.fold_left (fun acc (g, _) -> max acc g) 0 a.Analysis.gaps |> float_of_int
+  in
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if lateness_cdf a mid < p then bisect mid hi (iters - 1) else bisect lo mid (iters - 1)
+    end
+  in
+  bisect 0.0 max_gap 60
+
+let of_gaps (a : Analysis.t) ~clock =
+  let to_ns instrs = Repro_hw.Cycles.ns_of_cycles_f clock instrs in
+  let mean, sd = moments a in
+  let max_gap =
+    Array.fold_left (fun acc (g, _) -> max acc g) 0 a.Analysis.gaps |> float_of_int
+  in
+  {
+    mean_lateness_ns = to_ns mean;
+    stddev_ns = to_ns sd;
+    p99_lateness_ns = to_ns (percentile a 0.99);
+    max_gap_ns = to_ns max_gap;
+  }
+
+let simulate (a : Analysis.t) ~clock ~rng ~samples =
+  let weights =
+    Array.map (fun (g, c) -> float_of_int g *. float_of_int c) a.Analysis.gaps
+  in
+  Array.init samples (fun _ ->
+      let idx = Rng.categorical rng ~weights in
+      let gap, _ = a.Analysis.gaps.(idx) in
+      Repro_hw.Cycles.ns_of_cycles_f clock (Rng.float rng *. float_of_int gap))

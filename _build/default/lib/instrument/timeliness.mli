@@ -1,0 +1,30 @@
+(** Preemption timeliness: how far past the desired quantum a request
+    actually yields (Table 1, last column; Fig. 5's lateness model).
+
+    A preemption signal lands at a uniformly random instant of execution,
+    i.e. inside a probe gap chosen with probability proportional to its
+    length; the worker yields at the gap's end. Lateness is therefore the
+    length-biased residual of the gap distribution, computable in closed
+    form from the {!Analysis.t} gap histogram. *)
+
+type t = {
+  mean_lateness_ns : float;
+  stddev_ns : float;
+      (** standard deviation of the achieved quantum around the target —
+          the paper's "std.dev" column *)
+  p99_lateness_ns : float;
+      (** 99th percentile of lateness: the paper checks it stays within
+          3 standard deviations *)
+  max_gap_ns : float;  (** worst possible lateness: the longest gap *)
+}
+
+val of_gaps : Analysis.t -> clock:Repro_hw.Cycles.clock -> t
+(** Closed-form moments (1 instruction ≈ 1 cycle under [clock]). *)
+
+val simulate :
+  Analysis.t ->
+  clock:Repro_hw.Cycles.clock ->
+  rng:Repro_engine.Rng.t ->
+  samples:int ->
+  float array
+(** Monte-Carlo lateness samples (ns), for tests validating [of_gaps]. *)

@@ -1,0 +1,1 @@
+lib/kvstore/cost_meter.ml: Array List

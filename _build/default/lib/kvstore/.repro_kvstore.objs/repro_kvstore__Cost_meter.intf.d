@@ -1,0 +1,1 @@
+lib/kvstore/cost_meter.mli:

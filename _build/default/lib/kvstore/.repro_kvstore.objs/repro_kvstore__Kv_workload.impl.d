@@ -1,0 +1,1 @@
+lib/kvstore/kv_workload.ml: Char List Printf Repro_engine Repro_workload Store String

@@ -1,0 +1,1 @@
+lib/kvstore/kv_workload.mli: Repro_workload Store

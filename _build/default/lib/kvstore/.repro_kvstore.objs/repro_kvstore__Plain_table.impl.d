@@ -1,0 +1,1 @@
+lib/kvstore/plain_table.ml: Array Cost_meter Skiplist String

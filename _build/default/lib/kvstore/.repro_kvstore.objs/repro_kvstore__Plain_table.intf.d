@@ -1,0 +1,1 @@
+lib/kvstore/plain_table.mli: Cost_meter Skiplist

@@ -1,0 +1,1 @@
+lib/kvstore/skiplist.ml: Array Cost_meter Option Repro_engine String

@@ -1,0 +1,1 @@
+lib/kvstore/skiplist.mli: Cost_meter Repro_engine

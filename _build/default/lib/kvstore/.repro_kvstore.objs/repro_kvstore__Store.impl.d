@@ -1,0 +1,1 @@
+lib/kvstore/store.ml: Array Cost_meter Hashtbl List Plain_table Repro_engine Skiplist String Wal

@@ -1,0 +1,1 @@
+lib/kvstore/wal.ml: Array Buffer Bytes Char Int32 Lazy List Skiplist String

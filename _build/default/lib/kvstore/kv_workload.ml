@@ -1,0 +1,128 @@
+module Rng = Repro_engine.Rng
+module Mix = Repro_workload.Mix
+
+let scan_probe_spacing_ns = 230.0
+
+let key_of_index i = Printf.sprintf "user%08d" i
+
+let value_of_index ~value_bytes i =
+  (* Deterministic, mildly varied payload. *)
+  String.init value_bytes (fun j -> Char.chr (33 + ((i + (7 * j)) mod 94)))
+
+let populate ?(n_keys = 15_000) ?(value_bytes = 100) ~seed () =
+  let store = Store.create ~seed () in
+  let pairs =
+    List.init n_keys (fun i -> (key_of_index i, value_of_index ~value_bytes i))
+  in
+  Store.load store pairs;
+  store
+
+let profile_of_outcome (o : Store.outcome) ~probe_spacing_ns : Mix.profile =
+  {
+    Mix.class_id = 0;
+    service_ns = max 1 o.Store.service_ns;
+    lock_windows = o.Store.lock_windows;
+    probe_spacing_ns;
+  }
+
+(* The number of distinct keys the generators draw from; writes stay inside
+   this space so the live population (and hence SCAN cost) is stationary. *)
+let keyspace store = max 1 (Store.population store)
+
+(* Key-popularity model: uniform by default; a positive [zipf_alpha] makes
+   rank 0 the hottest key (production KV traffic is famously skewed). *)
+let key_picker ~keyspace_size ~zipf_alpha =
+  if zipf_alpha <= 0.0 then fun rng -> Rng.int rng ~bound:keyspace_size
+  else begin
+    let zipf = Repro_engine.Zipf.create ~n:keyspace_size ~alpha:zipf_alpha in
+    fun rng -> Repro_engine.Zipf.sample zipf rng
+  end
+
+let get_class store ~pick ~weight : Mix.class_def =
+  let generate rng =
+    let key = key_of_index (pick rng) in
+    profile_of_outcome (Store.get store ~key) ~probe_spacing_ns:0.0
+  in
+  (* Mean measured lazily by the caller via [measured_means]; this field
+     seeds sweep sizing, so a representative constant is enough. *)
+  { Mix.name = "GET"; weight; mean_ns = 600.0; generate }
+
+let put_class store ~pick ~value_bytes ~weight : Mix.class_def =
+  let generate rng =
+    let i = pick rng in
+    let key = key_of_index i in
+    let value = value_of_index ~value_bytes i in
+    profile_of_outcome (Store.put store ~key ~value) ~probe_spacing_ns:0.0
+  in
+  { Mix.name = "PUT"; weight; mean_ns = 2_300.0; generate }
+
+let delete_class store ~pick ~weight : Mix.class_def =
+  let generate rng =
+    let key = key_of_index (pick rng) in
+    profile_of_outcome (Store.delete store ~key) ~probe_spacing_ns:0.0
+  in
+  { Mix.name = "DELETE"; weight; mean_ns = 2_300.0; generate }
+
+let scan_class store ~weight : Mix.class_def =
+  (* One real metered walk anchors the lock window shape; subsequent
+     requests use the closed-form estimate against current store state. *)
+  let anchor = Store.scan store in
+  let generate _rng =
+    let service_ns = max 1 (Store.scan_estimate_ns store) in
+    {
+      Mix.class_id = 0;
+      service_ns;
+      lock_windows = anchor.Store.lock_windows;
+      probe_spacing_ns = scan_probe_spacing_ns;
+    }
+  in
+  { Mix.name = "SCAN"; weight; mean_ns = float_of_int anchor.Store.service_ns; generate }
+
+let get_scan_mix ?(zipf_alpha = 0.0) store ~seed:_ =
+  let pick = key_picker ~keyspace_size:(keyspace store) ~zipf_alpha in
+  Mix.of_classes ~name:"LevelDB 50% GET / 50% SCAN"
+    [| get_class store ~pick ~weight:0.5; scan_class store ~weight:0.5 |]
+
+let zippydb_mix ?(zipf_alpha = 0.0) store ~seed:_ =
+  let pick = key_picker ~keyspace_size:(keyspace store) ~zipf_alpha in
+  Mix.of_classes ~name:"LevelDB ZippyDB"
+    [|
+      get_class store ~pick ~weight:0.78;
+      put_class store ~pick ~value_bytes:100 ~weight:0.13;
+      delete_class store ~pick ~weight:0.06;
+      scan_class store ~weight:0.03;
+    |]
+
+let measured_means store ~seed =
+  let rng = Rng.create ~seed in
+  let keyspace_size = keyspace store in
+  let sample n f =
+    let total = ref 0 in
+    for _ = 1 to n do
+      total := !total + f ()
+    done;
+    float_of_int !total /. float_of_int n
+  in
+  let get_mean =
+    sample 200 (fun () ->
+        (Store.get store ~key:(key_of_index (Rng.int rng ~bound:keyspace_size))).Store.service_ns)
+  in
+  let put_mean =
+    sample 200 (fun () ->
+        let i = Rng.int rng ~bound:keyspace_size in
+        (Store.put store ~key:(key_of_index i) ~value:(value_of_index ~value_bytes:100 i))
+          .Store.service_ns)
+  in
+  let delete_mean =
+    sample 50 (fun () ->
+        let i = Rng.int rng ~bound:keyspace_size in
+        (Store.delete store ~key:(key_of_index i)).Store.service_ns)
+  in
+  (* Repair the deletions so the caller's store keeps its population. *)
+  for i = 0 to keyspace_size - 1 do
+    let key = key_of_index i in
+    if (Store.get store ~key).Store.found = None then
+      ignore (Store.put store ~key ~value:(value_of_index ~value_bytes:100 i))
+  done;
+  let scan_mean = sample 3 (fun () -> (Store.scan store).Store.service_ns) in
+  [ ("GET", get_mean); ("PUT", put_mean); ("DELETE", delete_mean); ("SCAN", scan_mean) ]

@@ -1,0 +1,48 @@
+type t = { keys : string array; vals : Skiplist.entry array }
+
+let of_sorted entries =
+  let n = Array.length entries in
+  for i = 1 to n - 1 do
+    if String.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
+      invalid_arg "Plain_table.of_sorted: keys not strictly ascending"
+  done;
+  { keys = Array.map fst entries; vals = Array.map snd entries }
+
+let length t = Array.length t.keys
+
+let get ?meter t ~key =
+  let charge () =
+    match meter with
+    | None -> ()
+    | Some m ->
+      Cost_meter.table_probe m;
+      Cost_meter.key_compare m
+  in
+  let rec search lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      charge ();
+      let c = String.compare key t.keys.(mid) in
+      if c = 0 then Some t.vals.(mid)
+      else if c < 0 then search lo mid
+      else search (mid + 1) hi
+    end
+  in
+  search 0 (Array.length t.keys)
+
+let entries t = Array.init (Array.length t.keys) (fun i -> (t.keys.(i), t.vals.(i)))
+
+module Cursor = struct
+  type cursor = { table : t; mutable idx : int }
+
+  let start table = { table; idx = 0 }
+
+  let peek c =
+    if c.idx < Array.length c.table.keys then Some (c.table.keys.(c.idx), c.table.vals.(c.idx))
+    else None
+
+  let advance ?meter c =
+    (match meter with None -> () | Some m -> Cost_meter.iter_step m);
+    if c.idx < Array.length c.table.keys then c.idx <- c.idx + 1
+end

@@ -1,0 +1,28 @@
+(** Immutable sorted string table — LevelDB's "memory-mapped plain table"
+    format (§5.3), the read-optimized on-"disk" complement of the memtable.
+
+    Lookups are binary searches charged per probe; scans advance a cursor
+    charged per step. Tables are produced by flushing/compacting a store
+    (unmetered: LevelDB does this on a background thread). *)
+
+type t
+
+val of_sorted : (string * Skiplist.entry) array -> t
+(** Build from entries already sorted by strictly ascending key. Raises
+    [Invalid_argument] when unsorted or containing duplicates. *)
+
+val length : t -> int
+
+val get : ?meter:Cost_meter.t -> t -> key:string -> Skiplist.entry option
+(** Binary search. *)
+
+val entries : t -> (string * Skiplist.entry) array
+(** The backing array (do not mutate). *)
+
+module Cursor : sig
+  type cursor
+
+  val start : t -> cursor
+  val peek : cursor -> (string * Skiplist.entry) option
+  val advance : ?meter:Cost_meter.t -> cursor -> unit
+end

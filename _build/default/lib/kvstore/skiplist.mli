@@ -1,0 +1,35 @@
+(** A real skip list: the LevelDB memtable.
+
+    Keys are strings in ascending order; values carry tombstones so deletes
+    are writes (as in LevelDB). Every traversal step and comparison is
+    charged to an optional {!Cost_meter}, which is how memtable work
+    becomes simulated service time. Level choices draw from an explicit
+    RNG, so a store built from a seed is fully deterministic. *)
+
+type entry = Value of string | Tombstone
+
+type t
+
+val create : rng:Repro_engine.Rng.t -> unit -> t
+val length : t -> int
+(** Number of nodes (live values and tombstones). *)
+
+val insert : ?meter:Cost_meter.t -> t -> key:string -> entry -> unit
+(** Insert or overwrite. *)
+
+val find : ?meter:Cost_meter.t -> t -> key:string -> entry option
+(** [Some Tombstone] means "deleted here" (shadowing older tables). *)
+
+val min_key : t -> string option
+
+val fold : t -> init:'a -> f:('a -> string -> entry -> 'a) -> 'a
+(** In key order, unmetered (used by flushes and tests). *)
+
+(** Metered forward iteration, used by the scan merge. *)
+module Cursor : sig
+  type cursor
+
+  val start : t -> cursor
+  val peek : cursor -> (string * entry) option
+  val advance : ?meter:Cost_meter.t -> cursor -> unit
+end

@@ -1,0 +1,260 @@
+module Rng = Repro_engine.Rng
+
+type t = {
+  meter : Cost_meter.t;
+  rng : Rng.t;
+  mutable memtable : Skiplist.t;
+  mutable tables : Plain_table.t list; (* newest first *)
+  live_keys : (string, unit) Hashtbl.t; (* shadow index for bookkeeping only *)
+  wal : Wal.t; (* covers the current memtable; truncated on flush *)
+  flush_threshold : int;
+}
+
+type outcome = {
+  found : string option;
+  scanned : int;
+  service_ns : int;
+  lock_windows : (int * int) array;
+}
+
+let create ?(flush_threshold = 4096) ~seed () =
+  let rng = Rng.create ~seed in
+  {
+    meter = Cost_meter.create ();
+    rng;
+    memtable = Skiplist.create ~rng ();
+    tables = [];
+    live_keys = Hashtbl.create 4096;
+    wal = Wal.create ();
+    flush_threshold;
+  }
+
+let population t = Hashtbl.length t.live_keys
+
+let total_entries t =
+  Skiplist.length t.memtable
+  + List.fold_left (fun acc table -> acc + Plain_table.length table) 0 t.tables
+
+(* Merge every source into one fresh table, newest source winning per key
+   and tombstones dropped (a full compaction has nothing underneath to
+   shadow). Unmetered: LevelDB compacts on a background thread. *)
+let compact t =
+  let merged = Hashtbl.create (max 16 (total_entries t)) in
+  (* Oldest tables first so newer writes overwrite. *)
+  List.iter
+    (fun table ->
+      Array.iter (fun (k, e) -> Hashtbl.replace merged k e) (Plain_table.entries table))
+    (List.rev t.tables);
+  ignore
+    (Skiplist.fold t.memtable ~init:() ~f:(fun () k e -> Hashtbl.replace merged k e));
+  let live =
+    Hashtbl.fold
+      (fun k e acc -> match e with Skiplist.Value _ -> (k, e) :: acc | Skiplist.Tombstone -> acc)
+      merged []
+  in
+  let arr = Array.of_list live in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) arr;
+  t.tables <- (if Array.length arr = 0 then [] else [ Plain_table.of_sorted arr ]);
+  t.memtable <- Skiplist.create ~rng:t.rng ();
+  (* The memtable is durable in the tables now; its log can go. *)
+  Wal.truncate t.wal
+
+(* Minor flush: freeze the memtable into a new L0 table (newest-first in
+   [tables]), keeping tombstones so they continue to shadow older tables.
+   Unmetered: background work in LevelDB. *)
+let flush t =
+  let entries =
+    Array.of_list (List.rev (Skiplist.fold t.memtable ~init:[] ~f:(fun acc k e -> (k, e) :: acc)))
+  in
+  if Array.length entries > 0 then t.tables <- Plain_table.of_sorted entries :: t.tables;
+  t.memtable <- Skiplist.create ~rng:t.rng ();
+  Wal.truncate t.wal
+
+(* How many tables may accumulate before a full compaction folds them into
+   one (LevelDB's leveled compaction, collapsed to two tiers). *)
+let max_tables = 4
+
+let maybe_flush t =
+  if Skiplist.length t.memtable >= t.flush_threshold then begin
+    flush t;
+    if List.length t.tables > max_tables then compact t
+  end
+
+let load t pairs =
+  List.iter
+    (fun (key, value) ->
+      Skiplist.insert t.memtable ~key (Skiplist.Value value);
+      Hashtbl.replace t.live_keys key ())
+    pairs;
+  compact t
+
+let finish t ~found ~scanned =
+  {
+    found;
+    scanned;
+    service_ns = Cost_meter.elapsed_ns t.meter;
+    lock_windows = Cost_meter.lock_windows t.meter;
+  }
+
+let get t ~key =
+  let m = t.meter in
+  Cost_meter.reset m;
+  (* LevelDB's Get: take the mutex, grab memtable/table refs, drop it. *)
+  Cost_meter.lock m;
+  Cost_meter.snapshot m;
+  Cost_meter.unlock m;
+  let entry =
+    match Skiplist.find ~meter:m t.memtable ~key with
+    | Some e -> Some e
+    | None ->
+      let rec search = function
+        | [] -> None
+        | table :: rest -> (
+          match Plain_table.get ~meter:m table ~key with Some e -> Some e | None -> search rest)
+      in
+      search t.tables
+  in
+  let found =
+    match entry with
+    | Some (Skiplist.Value v) ->
+      Cost_meter.copy_bytes m (String.length v);
+      Some v
+    | Some Skiplist.Tombstone | None -> None
+  in
+  finish t ~found ~scanned:0
+
+let write t ~key entry =
+  let m = t.meter in
+  Cost_meter.reset m;
+  let payload =
+    String.length key + (match entry with Skiplist.Value v -> String.length v | Skiplist.Tombstone -> 0)
+  in
+  (* LevelDB's Write: mutex held across the WAL append and memtable insert. *)
+  Cost_meter.lock m;
+  Cost_meter.wal_append m payload;
+  Wal.append t.wal ~key ~entry;
+  Skiplist.insert ~meter:m t.memtable ~key entry;
+  Cost_meter.unlock m;
+  (match entry with
+  | Skiplist.Value _ -> Hashtbl.replace t.live_keys key ()
+  | Skiplist.Tombstone -> Hashtbl.remove t.live_keys key);
+  let outcome = finish t ~found:None ~scanned:0 in
+  maybe_flush t;
+  outcome
+
+let put t ~key ~value = write t ~key (Skiplist.Value value)
+let delete t ~key = write t ~key Skiplist.Tombstone
+
+(* One source of the scan merge. *)
+type cursor = Mem of Skiplist.Cursor.cursor | Tab of Plain_table.Cursor.cursor
+
+let cursor_peek = function
+  | Mem c -> Skiplist.Cursor.peek c
+  | Tab c -> Plain_table.Cursor.peek c
+
+let cursor_advance ~meter = function
+  | Mem c -> Skiplist.Cursor.advance ~meter c
+  | Tab c -> Plain_table.Cursor.advance ~meter c
+
+let scan t =
+  let m = t.meter in
+  Cost_meter.reset m;
+  Cost_meter.lock m;
+  Cost_meter.snapshot m;
+  Cost_meter.unlock m;
+  (* Sources newest-first: memtable shadows tables; earlier tables shadow
+     later ones. *)
+  let sources =
+    Mem (Skiplist.Cursor.start t.memtable)
+    :: List.map (fun table -> Tab (Plain_table.Cursor.start table)) t.tables
+  in
+  let scanned = ref 0 in
+  let rec step () =
+    (* Find the smallest key among the sources; the first (newest) source
+       holding it provides the entry. *)
+    let smallest =
+      List.fold_left
+        (fun acc src ->
+          match (cursor_peek src, acc) with
+          | None, acc -> acc
+          | Some (k, _), None -> Some k
+          | Some (k, _), Some best ->
+            Cost_meter.key_compare m;
+            if String.compare k best < 0 then Some k else Some best)
+        None sources
+    in
+    match smallest with
+    | None -> ()
+    | Some key ->
+      let entry =
+        List.fold_left
+          (fun acc src ->
+            match (acc, cursor_peek src) with
+            | Some e, _ -> Some e
+            | None, Some (k, e) when String.equal k key -> Some e
+            | None, (Some _ | None) -> None)
+          None sources
+      in
+      (* Advance every source positioned at this key. *)
+      List.iter
+        (fun src ->
+          match cursor_peek src with
+          | Some (k, _) when String.equal k key -> cursor_advance ~meter:m src
+          | Some _ | None -> ())
+        sources;
+      (match entry with
+      | Some (Skiplist.Value v) ->
+        incr scanned;
+        Cost_meter.copy_bytes m (min 8 (String.length v))
+      | Some Skiplist.Tombstone | None -> ());
+      step ()
+  in
+  step ();
+  finish t ~found:None ~scanned:!scanned
+
+let scan_estimate_ns t =
+  let cal = Cost_meter.calibration t.meter in
+  (* Only non-empty sources take part in the merge's smallest-key fold, and
+     each output charges one comparison per extra active source. *)
+  let active_sources =
+    (if Skiplist.length t.memtable > 0 then 1 else 0)
+    + List.length (List.filter (fun tb -> Plain_table.length tb > 0) t.tables)
+  in
+  let entries = float_of_int (total_entries t) in
+  let per_entry =
+    cal.Cost_meter.Calibration.iter_step_ns
+    +. (float_of_int (max 0 (active_sources - 1)) *. cal.Cost_meter.Calibration.key_compare_ns)
+    +. (8.0 *. cal.Cost_meter.Calibration.byte_copy_ns)
+  in
+  int_of_float
+    ((2.0 *. cal.Cost_meter.Calibration.lock_ns)
+    +. cal.Cost_meter.Calibration.snapshot_ns
+    +. (entries *. per_entry))
+
+
+let wal t = t.wal
+
+(* Simulate a crash: the volatile memtable is lost and rebuilt by replaying
+   the write-ahead log over the durable tables, exactly LevelDB's recovery
+   path. Unmetered: recovery happens before the server takes load. *)
+let crash_recover t =
+  t.memtable <- Skiplist.create ~rng:t.rng ();
+  List.iter
+    (fun (key, entry) -> Skiplist.insert t.memtable ~key entry)
+    (Wal.replay t.wal);
+  (* Rebuild the bookkeeping index from durable + replayed state. *)
+  Hashtbl.reset t.live_keys;
+  List.iter
+    (fun table ->
+      Array.iter
+        (fun (k, e) ->
+          match e with
+          | Skiplist.Value _ -> Hashtbl.replace t.live_keys k ()
+          | Skiplist.Tombstone -> Hashtbl.remove t.live_keys k)
+        (Plain_table.entries table))
+    (List.rev t.tables);
+  ignore
+    (Skiplist.fold t.memtable ~init:() ~f:(fun () k e ->
+         match e with
+         | Skiplist.Value _ -> Hashtbl.replace t.live_keys k ()
+         | Skiplist.Tombstone -> Hashtbl.remove t.live_keys k))

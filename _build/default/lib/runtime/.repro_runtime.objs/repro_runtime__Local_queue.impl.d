@@ -1,0 +1,1 @@
+lib/runtime/local_queue.ml: Array Request

@@ -1,0 +1,1 @@
+lib/runtime/local_queue.mli: Request

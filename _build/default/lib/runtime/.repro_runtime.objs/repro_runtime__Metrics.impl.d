@@ -1,0 +1,1 @@
+lib/runtime/metrics.ml: Array Printf Repro_engine Request

@@ -1,0 +1,1 @@
+lib/runtime/policy.ml: Option Repro_engine Request

@@ -1,0 +1,1 @@
+lib/runtime/policy.mli: Request

@@ -1,0 +1,1 @@
+lib/runtime/replication.ml: Config List Metrics Repro_engine Repro_workload Server

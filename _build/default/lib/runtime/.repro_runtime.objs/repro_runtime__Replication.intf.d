@@ -1,0 +1,1 @@
+lib/runtime/replication.mli: Config Metrics Repro_workload

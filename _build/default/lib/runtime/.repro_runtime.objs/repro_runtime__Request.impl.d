@@ -1,0 +1,1 @@
+lib/runtime/request.ml: Array Repro_workload

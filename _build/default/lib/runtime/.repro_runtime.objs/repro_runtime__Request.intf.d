@@ -1,0 +1,1 @@
+lib/runtime/request.mli: Repro_workload

@@ -1,0 +1,1 @@
+lib/runtime/server.ml: Array Config Hashtbl List Local_queue Metrics Policy Queue Repro_engine Repro_hw Repro_workload Request Tracing

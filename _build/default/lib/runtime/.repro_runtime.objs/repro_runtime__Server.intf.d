@@ -1,0 +1,1 @@
+lib/runtime/server.mli: Config Metrics Repro_engine Repro_workload Tracing

@@ -1,0 +1,1 @@
+lib/runtime/sls_server.ml: Array Hashtbl Metrics Queue Repro_engine Repro_hw Repro_workload Request Tracing

@@ -1,0 +1,1 @@
+lib/runtime/sls_server.mli: Metrics Repro_hw Repro_workload Tracing

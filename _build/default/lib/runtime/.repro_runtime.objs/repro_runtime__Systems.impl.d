@@ -1,0 +1,1 @@
+lib/runtime/systems.ml: Config List Policy Printf Repro_hw

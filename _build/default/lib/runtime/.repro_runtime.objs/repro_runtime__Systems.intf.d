@@ -1,0 +1,1 @@
+lib/runtime/systems.mli: Config Repro_hw

@@ -1,0 +1,63 @@
+(** Per-run measurement: what the paper's load generator records.
+
+    Samples are only kept for requests whose arrival index is past the
+    warm-up cutoff ("we discard the first 10% of samples", §5.1). Requests
+    still incomplete when the run is cut off are recorded as *censored*
+    with their lower-bound slowdown, so overload shows up as an exploding
+    tail rather than silently vanishing. *)
+
+module Stats = Repro_engine.Stats
+
+type t
+
+val create : warmup_before:int -> n_classes:int -> t
+(** Samples from requests with [id < warmup_before] are dropped. *)
+
+val record_completion : t -> Request.t -> unit
+val record_censored : t -> Request.t -> now_ns:int -> unit
+val record_idle_gap : t -> int -> unit
+(** Worker idle time between finishing one request and starting the next
+    while runnable work existed (the cnext measurement of Fig. 3). *)
+
+val add_preemption : t -> unit
+val add_steal_slice : t -> unit
+val add_dispatcher_busy : t -> int -> unit
+val add_dispatcher_app : t -> int -> unit
+val add_worker_busy : t -> int -> unit
+
+(** Aggregated results of one run. *)
+type summary = {
+  offered_rps : float;
+  completed : int;  (** all completions, including warm-up *)
+  measured : int;  (** post-warm-up samples *)
+  censored : int;
+  goodput_rps : float;  (** post-warm-up completions per second of span *)
+  mean_slowdown : float;
+  p50_slowdown : float;
+  p99_slowdown : float;
+  p999_slowdown : float;
+  mean_sojourn_ns : float;
+  p999_sojourn_ns : float;
+  preemptions : int;
+  steal_slices : int;
+  dispatcher_busy_frac : float;  (** dispatching work / wall time *)
+  dispatcher_app_frac : float;  (** stolen application work / wall time *)
+  worker_busy_frac : float;  (** mean across workers *)
+  median_idle_gap_ns : float;  (** 0 when no gaps were recorded *)
+  per_class : (string * int * float) array;  (** name, samples, p99.9 slowdown *)
+}
+
+val summarize :
+  t ->
+  offered_rps:float ->
+  span_ns:int ->
+  n_workers:int ->
+  class_names:string array ->
+  summary
+
+val slowdown_samples : t -> Stats.t
+(** Raw post-warm-up slowdown samples (shared, do not mutate). *)
+
+val summary_header : string
+val summary_row : summary -> string
+(** Fixed-width table row matching {!summary_header}. *)

@@ -1,0 +1,140 @@
+module Heap = Repro_engine.Heap
+
+type kind = Fcfs | Srpt | Locality_fcfs
+
+let kind_name = function
+  | Fcfs -> "fcfs"
+  | Srpt -> "srpt"
+  | Locality_fcfs -> "locality-fcfs"
+
+(* Doubly-linked queue with O(1) push/pop and in-place removal, used by the
+   list-ordered policies. *)
+module Dlq = struct
+  type node = { req : Request.t; mutable prev : node option; mutable next : node option }
+  type t = { mutable head : node option; mutable tail : node option; mutable size : int }
+
+  let create () = { head = None; tail = None; size = 0 }
+
+  let push_tail t req =
+    let node = { req; prev = t.tail; next = None } in
+    (match t.tail with None -> t.head <- Some node | Some tl -> tl.next <- Some node);
+    t.tail <- Some node;
+    t.size <- t.size + 1
+
+  let remove t node =
+    (match node.prev with None -> t.head <- node.next | Some p -> p.next <- node.next);
+    (match node.next with None -> t.tail <- node.prev | Some n -> n.prev <- node.prev);
+    node.prev <- None;
+    node.next <- None;
+    t.size <- t.size - 1
+
+  let pop_head t =
+    match t.head with
+    | None -> None
+    | Some node ->
+      remove t node;
+      Some node.req
+
+  let find t ~limit ~pred =
+    let rec scan node i =
+      match node with
+      | None -> None
+      | Some n ->
+        if i >= limit then None
+        else if pred n.req then Some n
+        else scan n.next (i + 1)
+    in
+    scan t.head 0
+
+  let iter t ~f =
+    let rec go = function
+      | None -> ()
+      | Some n ->
+        f n.req;
+        go n.next
+    in
+    go t.head
+end
+
+(* How many queue entries the locality policy may inspect; bounded so the
+   dispatcher's pick stays O(1) like the real system's. *)
+let locality_scan_limit = 8
+
+type t =
+  | List_queue of { kind : kind; q : Dlq.t }
+  | Srpt_queue of {
+      fresh : Request.t Heap.t; (* never executed; keyed by service time *)
+      started : Request.t Heap.t; (* preempted; keyed by remaining work *)
+    }
+
+let create = function
+  | Fcfs -> List_queue { kind = Fcfs; q = Dlq.create () }
+  | Locality_fcfs -> List_queue { kind = Locality_fcfs; q = Dlq.create () }
+  | Srpt -> Srpt_queue { fresh = Heap.create (); started = Heap.create () }
+
+let kind = function
+  | List_queue { kind; _ } -> kind
+  | Srpt_queue _ -> Srpt
+
+let length = function
+  | List_queue { q; _ } -> q.Dlq.size
+  | Srpt_queue { fresh; started } -> Heap.length fresh + Heap.length started
+
+let is_empty t = length t = 0
+
+let push_new t req =
+  match t with
+  | List_queue { q; _ } -> Dlq.push_tail q req
+  | Srpt_queue { fresh; _ } -> Heap.add fresh ~key:req.Request.service_ns req
+
+let push_preempted t req =
+  match t with
+  | List_queue { q; _ } -> Dlq.push_tail q req
+  | Srpt_queue { started; _ } -> Heap.add started ~key:(Request.remaining_ns req) req
+
+let pop t ~worker =
+  match t with
+  | List_queue { kind = Locality_fcfs; q } -> begin
+    let local =
+      Dlq.find q ~limit:locality_scan_limit ~pred:(fun r -> r.Request.last_worker = worker)
+    in
+    match local with
+    | Some node ->
+      Dlq.remove q node;
+      Some node.Dlq.req
+    | None -> Dlq.pop_head q
+  end
+  | List_queue { q; _ } -> Dlq.pop_head q
+  | Srpt_queue { fresh; started } -> begin
+    match (Heap.min_key fresh, Heap.min_key started) with
+    | None, None -> None
+    | Some _, None -> Option.map snd (Heap.pop fresh)
+    | None, Some _ -> Option.map snd (Heap.pop started)
+    | Some kf, Some ks ->
+      if kf <= ks then Option.map snd (Heap.pop fresh) else Option.map snd (Heap.pop started)
+  end
+
+let pop_not_started t =
+  match t with
+  | List_queue { q; _ } -> begin
+    let node = Dlq.find q ~limit:max_int ~pred:(fun r -> not r.Request.started) in
+    match node with
+    | Some node ->
+      Dlq.remove q node;
+      Some node.Dlq.req
+    | None -> None
+  end
+  | Srpt_queue { fresh; _ } -> Option.map snd (Heap.pop fresh)
+
+let has_not_started t =
+  match t with
+  | List_queue { q; _ } ->
+    Dlq.find q ~limit:max_int ~pred:(fun r -> not r.Request.started) <> None
+  | Srpt_queue { fresh; _ } -> not (Heap.is_empty fresh)
+
+let iter t ~f =
+  match t with
+  | List_queue { q; _ } -> Dlq.iter q ~f
+  | Srpt_queue { fresh; started } ->
+    Heap.iter fresh ~f:(fun ~key:_ r -> f r);
+    Heap.iter started ~f:(fun ~key:_ r -> f r)

@@ -1,0 +1,45 @@
+(** Central-queue scheduling policies.
+
+    The dispatcher's global visibility is what lets Concord support
+    policies beyond FCFS (§3.1); this module is that extension point. All
+    policies are *blind* — they never look at a request's service time
+    before it has run — except SRPT, which uses remaining work revealed by
+    preemptions (closest to the Shortest Remaining Processing Time policy
+    the paper cites as an easy extension). *)
+
+type kind =
+  | Fcfs
+      (** arrival order; preempted requests re-enter at the tail, which
+          approximates processor sharing (Shinjuku's policy) *)
+  | Srpt  (** least remaining work first; fresh requests use full service *)
+  | Locality_fcfs
+      (** FCFS, but a worker prefers (within a small scan window) a request
+          it already executed, to keep its cache warm *)
+
+val kind_name : kind -> string
+
+type t
+(** A central queue ordered by one of the policies. *)
+
+val create : kind -> t
+val kind : t -> kind
+val length : t -> int
+val is_empty : t -> bool
+
+val push_new : t -> Request.t -> unit
+(** Admit a request that has never executed. *)
+
+val push_preempted : t -> Request.t -> unit
+(** Re-admit a preempted request. *)
+
+val pop : t -> worker:int -> Request.t option
+(** Next request to hand to [worker] under the policy. *)
+
+val pop_not_started : t -> Request.t option
+(** First request that has never executed — the only kind the
+    work-conserving dispatcher may steal (§3.3). *)
+
+val has_not_started : t -> bool
+
+val iter : t -> f:(Request.t -> unit) -> unit
+(** Visit queued requests in policy order (approximate for SRPT). *)

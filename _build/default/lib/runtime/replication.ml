@@ -1,0 +1,40 @@
+module Stats = Repro_engine.Stats
+module Arrival = Repro_workload.Arrival
+
+type summary = {
+  instances : int;
+  offered_rps : float;
+  goodput_rps : float;
+  p50_slowdown : float;
+  p99_slowdown : float;
+  p999_slowdown : float;
+  total_workers : int;
+  per_instance : Metrics.summary list;
+}
+
+let run ~instances ~config ~mix ~rate_rps ~n_requests ?(seed = 42) () =
+  if instances < 1 then invalid_arg "Replication.run: need at least one instance";
+  let per_rate = rate_rps /. float_of_int instances in
+  let per_n = max 1 (n_requests / instances) in
+  let runs =
+    List.init instances (fun i ->
+        Server.run_detailed ~config ~mix
+          ~arrival:(Arrival.Poisson { rate_rps = per_rate })
+          ~n_requests:per_n ~seed:(seed + (1_000_003 * i)) ())
+  in
+  let merged =
+    List.fold_left
+      (fun acc (_, samples) -> Stats.merge acc samples)
+      (Stats.create ()) runs
+  in
+  let pct p = if Stats.is_empty merged then 0.0 else Stats.percentile merged p in
+  {
+    instances;
+    offered_rps = rate_rps;
+    goodput_rps = List.fold_left (fun a (s, _) -> a +. s.Metrics.goodput_rps) 0.0 runs;
+    p50_slowdown = pct 50.0;
+    p99_slowdown = pct 99.0;
+    p999_slowdown = pct 99.9;
+    total_workers = instances * config.Config.n_workers;
+    per_instance = List.map fst runs;
+  }

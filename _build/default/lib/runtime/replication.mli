@@ -1,0 +1,31 @@
+(** Multi-dispatcher replication (§6).
+
+    The paper's answer to the single-dispatcher bottleneck: "creating
+    multiple single-dispatcher instances that feed disjoint sets of cores".
+    A Poisson arrival stream split round-robin-randomly across [instances]
+    replicas is again Poisson at rate/instances per replica, so replication
+    is simulated exactly by running each replica independently (distinct
+    seeds) and merging the sample sets. *)
+
+type summary = {
+  instances : int;
+  offered_rps : float;  (** total across replicas *)
+  goodput_rps : float;  (** summed *)
+  p50_slowdown : float;  (** over the merged samples *)
+  p99_slowdown : float;
+  p999_slowdown : float;
+  total_workers : int;
+  per_instance : Metrics.summary list;
+}
+
+val run :
+  instances:int ->
+  config:Config.t ->
+  mix:Repro_workload.Mix.t ->
+  rate_rps:float ->
+  n_requests:int ->
+  ?seed:int ->
+  unit ->
+  summary
+(** [config] describes ONE replica (its worker count is per-replica);
+    [rate_rps] and [n_requests] are totals across the deployment. *)

@@ -1,0 +1,50 @@
+type t = {
+  id : int;
+  class_id : int;
+  arrival_ns : int;
+  service_ns : int;
+  lock_windows : (int * int) array;
+  probe_spacing_ns : float;
+  mutable done_ns : int;
+  mutable started : bool;
+  mutable dispatcher_owned : bool;
+  mutable last_worker : int;
+  mutable preemptions : int;
+  mutable completion_ns : int;
+}
+
+let create ~id ~arrival_ns ~(profile : Repro_workload.Mix.profile) =
+  {
+    id;
+    class_id = profile.class_id;
+    arrival_ns;
+    service_ns = profile.service_ns;
+    lock_windows = profile.lock_windows;
+    probe_spacing_ns = profile.probe_spacing_ns;
+    done_ns = 0;
+    started = false;
+    dispatcher_owned = false;
+    last_worker = -1;
+    preemptions = 0;
+    completion_ns = -1;
+  }
+
+let remaining_ns t = t.service_ns - t.done_ns
+let is_complete t = t.completion_ns >= 0
+
+let defer_past_locks t p =
+  let n = Array.length t.lock_windows in
+  let rec scan i =
+    if i >= n then p
+    else begin
+      let start, stop = t.lock_windows.(i) in
+      if p < start then p else if p < stop then min stop t.service_ns else scan (i + 1)
+    end
+  in
+  scan 0
+
+let sojourn_ns t =
+  if not (is_complete t) then invalid_arg "Request.sojourn_ns: not complete";
+  t.completion_ns - t.arrival_ns
+
+let slowdown t = float_of_int (sojourn_ns t) /. float_of_int (max 1 t.service_ns)

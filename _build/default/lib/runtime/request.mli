@@ -1,0 +1,44 @@
+(** One in-flight request and its execution progress.
+
+    Progress is measured in nanoseconds of *un-instrumented* service time
+    (the paper's slowdown denominator); the server converts progress to
+    wall time through the instrumentation multiplier of whatever thread is
+    executing the request. *)
+
+type t = {
+  id : int;  (** arrival order, 0-based *)
+  class_id : int;  (** index into the workload mix *)
+  arrival_ns : int;  (** arrival at the server *)
+  service_ns : int;  (** total un-instrumented work *)
+  lock_windows : (int * int) array;
+      (** sorted, disjoint [start, stop) windows of progress during which
+          safety-first preemption is deferred (§3.1) *)
+  probe_spacing_ns : float;  (** 0 = cost-model default *)
+  mutable done_ns : int;  (** completed progress *)
+  mutable started : bool;
+  mutable dispatcher_owned : bool;
+      (** once the work-conserving dispatcher starts a request it can never
+          migrate to a worker (§3.3: different instrumentation) *)
+  mutable last_worker : int;  (** worker that last ran it, or -1 *)
+  mutable preemptions : int;
+  mutable completion_ns : int;  (** -1 until completed *)
+}
+
+val create :
+  id:int -> arrival_ns:int -> profile:Repro_workload.Mix.profile -> t
+
+val remaining_ns : t -> int
+val is_complete : t -> bool
+
+val defer_past_locks : t -> int -> int
+(** [defer_past_locks t p] is the earliest progress >= [p] at which the
+    request may be preempted: [p] itself when outside every lock window,
+    otherwise the end of the window containing [p] (clamped to
+    [service_ns]). *)
+
+val sojourn_ns : t -> int
+(** Completion minus arrival. Raises if not complete. *)
+
+val slowdown : t -> float
+(** Sojourn divided by un-instrumented service time (>= 1 in any sane
+    schedule). Raises if not complete. *)

@@ -1,0 +1,646 @@
+module Sim = Repro_engine.Sim
+module Rng = Repro_engine.Rng
+module Costs = Repro_hw.Costs
+module Mechanism = Repro_hw.Mechanism
+module Mix = Repro_workload.Mix
+module Arrival = Repro_workload.Arrival
+
+(* ------------------------------------------------------------------ *)
+(* Events and dispatcher micro-operations                              *)
+(* ------------------------------------------------------------------ *)
+
+type disp_op =
+  | Op_ingress of Request.t
+  | Op_ingress_batch of Request.t list
+      (* coalesced ingress: the dispatcher admits several queued arrivals in
+         one pass, amortizing the per-request cost (Config.ingress_batch) *)
+  | Op_completion of int (* worker id *)
+  | Op_requeue of { req : Request.t; from_worker : int }
+  | Op_preempt_signal of { worker : int; epoch : int }
+  | Op_send of { worker : int; req : Request.t } (* SQ hand-off *)
+  | Op_push of { worker : int; req : Request.t } (* JBSQ push *)
+
+type event =
+  | Ev_arrival
+  | Ev_disp_op_done
+  | Ev_disp_slice_end of { depoch : int }
+  | Ev_worker_begin of { w : int; epoch : int }
+  | Ev_worker_complete of { w : int; epoch : int }
+  | Ev_quantum of { w : int; epoch : int }
+  | Ev_preempt_stop of { w : int; epoch : int }
+  | Ev_yield_done of { w : int; epoch : int }
+  | Ev_end_of_run
+
+(* ------------------------------------------------------------------ *)
+(* Mutable state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  wid : int;
+  mutable epoch : int; (* bumped to invalidate in-flight events *)
+  mutable cur : Request.t option;
+  mutable seg_start_ns : int; (* wall time the current segment began *)
+  mutable seg_start_progress : int; (* progress when the segment began *)
+  mutable completion_at : int; (* scheduled completion of the segment *)
+  mutable stop_progress : int; (* progress at the resolved preemption point *)
+  local : Local_queue.t; (* JBSQ waiting slots (depth - 1) *)
+  mutable sq_waiting : bool; (* SQ: dispatcher knows this worker is free *)
+  mutable outstanding_view : int; (* JBSQ: dispatcher's slot accounting *)
+  mutable gap_open_ns : int; (* completion time with backlog present, or -1 *)
+  mutable busy_from : int; (* segment busy-accounting anchor *)
+}
+
+type slice = { sreq : Request.t; sstart : int; send : int; sstop_progress : int }
+
+type dispatcher = {
+  ops : disp_op Queue.t;
+  mutable busy : bool;
+  mutable depoch : int;
+  mutable op_started_ns : int;
+  mutable cur_op : disp_op option;
+  mutable slice : slice option;
+  mutable saved : Request.t option; (* §3.3 dedicated context buffer *)
+}
+
+type t = {
+  sim : event Sim.t;
+  config : Config.t;
+  mix : Mix.t;
+  arrival : Arrival.t;
+  n_requests : int;
+  drain_cap_ns : int;
+  arrival_rng : Rng.t;
+  service_rng : Rng.t;
+  mech_rng : Rng.t;
+  central : Policy.t;
+  workers : worker array;
+  disp : dispatcher;
+  metrics : Metrics.t;
+  live : (int, Request.t) Hashtbl.t; (* in-flight requests, for censoring *)
+  tracer : Tracing.t option;
+  mutable arrived : int;
+  mutable finished : int; (* completions, all owners *)
+  mutable last_arrival_ns : int;
+  (* cached cost-model conversions (ns) *)
+  quantum_ns : int;
+  cswitch_ns : int;
+  receive_ns : int;
+  local_pop_ns : int;
+  notif_ns : int;
+  worker_mult : float; (* 1 + cproc of the worker mechanism *)
+  disp_mult : float; (* 1 + cproc of rdtsc instrumentation (stolen work) *)
+  default_spacing_ns : float;
+}
+
+let ns t cycles = Costs.ns_of t.config.costs cycles
+
+let trace t ~request kind =
+  match t.tracer with
+  | None -> ()
+  | Some tracer -> Tracing.record tracer ~time_ns:(Sim.now t.sim) ~request kind
+
+(* ------------------------------------------------------------------ *)
+(* Progress arithmetic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Progress (un-instrumented ns) a segment has accumulated by wall time
+   [at], given its start anchors and instrumentation multiplier. *)
+let progress_at ~seg_start_ns ~seg_start_progress ~mult ~service at =
+  let wall = max 0 (at - seg_start_ns) in
+  min service (seg_start_progress + int_of_float (float_of_int wall /. mult))
+
+(* Wall time at which a segment reaches progress [p]. *)
+let time_of_progress ~seg_start_ns ~seg_start_progress ~mult p =
+  seg_start_ns + int_of_float (ceil (float_of_int (p - seg_start_progress) *. mult))
+
+(* Resolve where a preemption wished for at wall time [candidate] actually
+   stops the request: never inside a lock window (safety-first, §3.1), and
+   under the Whole_request lock model never before the request completes
+   (the Shinjuku prototype's whole-API-call approach). Returns [None] when
+   the request will complete first, or [Some (stop_time, stop_progress)]. *)
+let resolve_stop t (req : Request.t) ~seg_start_ns ~seg_start_progress ~mult ~completion_at
+    ~candidate =
+  match t.config.lock_model with
+  | Config.Whole_request -> None
+  | Config.Fine_grained ->
+    let p =
+      progress_at ~seg_start_ns ~seg_start_progress ~mult ~service:req.Request.service_ns
+        candidate
+    in
+    let p' = Request.defer_past_locks req p in
+    if p' >= req.Request.service_ns then None
+    else begin
+      let stop_time =
+        if p' = p then max candidate (time_of_progress ~seg_start_ns ~seg_start_progress ~mult p)
+        else time_of_progress ~seg_start_ns ~seg_start_progress ~mult p'
+      in
+      if stop_time >= completion_at then None else Some (stop_time, p')
+    end
+
+let probe_spacing t (req : Request.t) =
+  if req.Request.probe_spacing_ns > 0.0 then req.Request.probe_spacing_ns
+  else t.default_spacing_ns
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let op_cost_ns t = function
+  | Op_ingress _ -> ns t t.config.costs.disp_ingress_cycles
+  | Op_ingress_batch reqs ->
+    (* First request pays full price; the rest ride the same NIC-queue scan
+       and cache lines at ~40% marginal cost. *)
+    let marginal = t.config.costs.disp_ingress_cycles * 2 / 5 in
+    ns t (t.config.costs.disp_ingress_cycles + (max 0 (List.length reqs - 1) * marginal))
+  | Op_completion _ ->
+    ns t (t.config.costs.disp_completion_cycles + t.config.costs.flag_propagation_cycles)
+  | Op_requeue _ -> ns t t.config.costs.disp_requeue_cycles
+  | Op_preempt_signal _ ->
+    if Mechanism.is_precise t.config.mechanism then ns t t.config.costs.disp_ipi_send_cycles
+    else ns t t.config.costs.disp_flag_write_cycles
+  | Op_send _ -> ns t t.config.costs.disp_send_cycles
+  | Op_push _ -> ns t (t.config.costs.disp_send_cycles + t.config.costs.disp_jbsq_pick_cycles)
+
+let is_jbsq t = match t.config.queue_model with Config.Jbsq _ -> true | Config.Single_queue -> false
+let depth t = Config.jbsq_depth t.config
+
+(* Pick the drain action the dispatcher would perform next, if any:
+   hand a queued request to a free worker (SQ) or push to the shortest
+   per-worker queue with a free slot (JBSQ). *)
+let make_drain_op t =
+  if Policy.is_empty t.central then None
+  else if is_jbsq t then begin
+    let best = ref (-1) in
+    let best_view = ref max_int in
+    Array.iter
+      (fun w ->
+        if w.outstanding_view < depth t && w.outstanding_view < !best_view then begin
+          best := w.wid;
+          best_view := w.outstanding_view
+        end)
+      t.workers;
+    if !best < 0 then None
+    else begin
+      match Policy.pop t.central ~worker:!best with
+      | None -> None
+      | Some req ->
+        t.workers.(!best).outstanding_view <- t.workers.(!best).outstanding_view + 1;
+        Some (Op_push { worker = !best; req })
+    end
+  end
+  else begin
+    let waiting = Array.fold_left (fun acc w -> if acc >= 0 then acc else if w.sq_waiting then w.wid else acc) (-1) t.workers in
+    if waiting < 0 then None
+    else begin
+      match Policy.pop t.central ~worker:waiting with
+      | None -> None
+      | Some req ->
+        t.workers.(waiting).sq_waiting <- false;
+        Some (Op_send { worker = waiting; req })
+    end
+  end
+
+let all_workers_busy_view t =
+  if is_jbsq t then Array.for_all (fun w -> w.outstanding_view >= 1) t.workers
+  else Array.for_all (fun w -> not w.sq_waiting) t.workers
+
+let rec disp_kick t =
+  let d = t.disp in
+  if not d.busy then begin
+    let op =
+      if Queue.is_empty d.ops then make_drain_op t
+      else begin
+        match Queue.pop d.ops with
+        | Op_ingress first when t.config.ingress_batch > 1 ->
+          (* Coalesce consecutive pending arrivals into one admission op. *)
+          let rec collect acc n =
+            if n >= t.config.ingress_batch then acc
+            else begin
+              match Queue.peek_opt d.ops with
+              | Some (Op_ingress _) -> begin
+                match Queue.pop d.ops with
+                | Op_ingress r -> collect (r :: acc) (n + 1)
+                | Op_ingress_batch _ | Op_completion _ | Op_requeue _ | Op_preempt_signal _
+                | Op_send _ | Op_push _ ->
+                  acc (* unreachable: peek said ingress *)
+              end
+              | Some _ | None -> acc
+            end
+          in
+          Some (Op_ingress_batch (List.rev (collect [ first ] 1)))
+        | op -> Some op
+      end
+    in
+    match op with
+    | Some op ->
+      d.busy <- true;
+      d.cur_op <- Some op;
+      d.op_started_ns <- Sim.now t.sim;
+      Sim.schedule_after t.sim ~delay:(op_cost_ns t op) Ev_disp_op_done
+    | None -> if t.config.dispatcher_steals then try_steal t
+  end
+
+(* §3.3: when idle, the dispatcher resumes its saved context, or steals the
+   first non-started request once every worker is busy. It runs the request
+   under rdtsc instrumentation and self-preempts at the first probe past
+   the quantum. *)
+and try_steal t =
+  let d = t.disp in
+  let candidate =
+    match d.saved with
+    | Some req ->
+      d.saved <- None;
+      Some req
+    | None ->
+      if all_workers_busy_view t && Policy.has_not_started t.central then
+        Policy.pop_not_started t.central
+      else None
+  in
+  match candidate with
+  | None -> ()
+  | Some req ->
+    let now = Sim.now t.sim in
+    if not req.Request.dispatcher_owned then trace t ~request:req.Request.id Tracing.Stolen;
+    trace t ~request:req.Request.id (Tracing.Started { worker = -1 });
+    req.Request.started <- true;
+    req.Request.dispatcher_owned <- true;
+    let mult = t.disp_mult in
+    let remaining_wall =
+      int_of_float (ceil (float_of_int (Request.remaining_ns req) *. mult))
+    in
+    let lateness =
+      Mechanism.yield_lateness_ns Mechanism.Rdtsc_probe ~costs:t.config.costs ~rng:t.mech_rng
+        ~probe_spacing_ns:(probe_spacing t req)
+    in
+    let seg_start_progress = req.Request.done_ns in
+    let stop =
+      resolve_stop t req ~seg_start_ns:now ~seg_start_progress ~mult
+        ~completion_at:(now + remaining_wall)
+        ~candidate:(now + t.quantum_ns + lateness)
+    in
+    let send, sstop_progress =
+      match stop with
+      | None -> (now + remaining_wall, req.Request.service_ns)
+      | Some (stop_time, p) -> (stop_time, p)
+    in
+    d.busy <- true;
+    d.depoch <- d.depoch + 1;
+    d.slice <- Some { sreq = req; sstart = now; send; sstop_progress };
+    Metrics.add_steal_slice t.metrics;
+    Sim.schedule_at t.sim ~time:send (Ev_disp_slice_end { depoch = d.depoch })
+
+let complete_request t (req : Request.t) ~worker =
+  trace t ~request:req.Request.id (Tracing.Completed { worker });
+  req.Request.completion_ns <- Sim.now t.sim;
+  req.Request.done_ns <- req.Request.service_ns;
+  Hashtbl.remove t.live req.Request.id;
+  Metrics.record_completion t.metrics req;
+  t.finished <- t.finished + 1;
+  if t.finished >= t.n_requests then Sim.stop t.sim
+
+let on_slice_end t ~depoch =
+  let d = t.disp in
+  if depoch = d.depoch then begin
+    match d.slice with
+    | None -> ()
+    | Some { sreq; sstart; send; sstop_progress } ->
+      let now = Sim.now t.sim in
+      ignore send;
+      Metrics.add_dispatcher_app t.metrics (now - sstart);
+      if sstop_progress >= sreq.Request.service_ns then complete_request t sreq ~worker:(-1)
+      else begin
+        sreq.Request.done_ns <- sstop_progress;
+        sreq.Request.preemptions <- sreq.Request.preemptions + 1;
+        d.saved <- Some sreq
+      end;
+      d.slice <- None;
+      d.busy <- false;
+      disp_kick t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand [req] to worker [w], which is idle; [delay] models the receive path
+   (coherence miss on the request line, context switch, local pop...). *)
+let deliver t (w : worker) (req : Request.t) ~delay =
+  w.cur <- Some req;
+  w.epoch <- w.epoch + 1;
+  Sim.schedule_after t.sim ~delay (Ev_worker_begin { w = w.wid; epoch = w.epoch })
+
+let begin_exec t (w : worker) =
+  match w.cur with
+  | None -> ()
+  | Some req ->
+    let now = Sim.now t.sim in
+    trace t ~request:req.Request.id (Tracing.Started { worker = w.wid });
+    req.Request.started <- true;
+    req.Request.last_worker <- w.wid;
+    w.seg_start_ns <- now;
+    w.seg_start_progress <- req.Request.done_ns;
+    w.busy_from <- now;
+    let remaining = Request.remaining_ns req in
+    w.completion_at <- now + int_of_float (ceil (float_of_int remaining *. t.worker_mult));
+    Sim.schedule_at t.sim ~time:w.completion_at
+      (Ev_worker_complete { w = w.wid; epoch = w.epoch });
+    if Mechanism.preemptive t.config.mechanism then
+      Sim.schedule_after t.sim ~delay:t.quantum_ns (Ev_quantum { w = w.wid; epoch = w.epoch });
+    if w.gap_open_ns >= 0 then begin
+      (* cnext measurement: idle time excluding the context switch itself *)
+      Metrics.record_idle_gap t.metrics (now - w.gap_open_ns - t.cswitch_ns);
+      w.gap_open_ns <- -1
+    end
+
+(* After finishing or yielding, fetch the next request: pop the core-local
+   queue (JBSQ) or wait for the dispatcher (SQ). [switch_paid] tells whether
+   the yield path already charged the context switch. *)
+let fetch_next t (w : worker) ~switch_paid ~open_gap =
+  match Local_queue.pop w.local with
+  | Some req ->
+    (* Work was waiting core-locally: the cnext gap is just the local pop. *)
+    if open_gap then w.gap_open_ns <- Sim.now t.sim - if switch_paid then t.cswitch_ns else 0;
+    let delay = t.local_pop_ns + if switch_paid then 0 else t.cswitch_ns in
+    deliver t w req ~delay
+  | None ->
+    w.cur <- None;
+    w.epoch <- w.epoch + 1;
+    (* The cnext gap only opens when work was genuinely waiting for this
+       worker: in SQ mode any queued request is (the head of) its work; in
+       JBSQ mode requests in flight to other workers' queues are not. *)
+    if open_gap && (not (is_jbsq t)) && not (Policy.is_empty t.central) then
+      w.gap_open_ns <- Sim.now t.sim
+    else w.gap_open_ns <- -1
+
+let on_worker_complete t (w : worker) ~epoch =
+  if epoch = w.epoch then begin
+    match w.cur with
+    | None -> ()
+    | Some req ->
+      let now = Sim.now t.sim in
+      Metrics.add_worker_busy t.metrics (now - w.busy_from);
+      complete_request t req ~worker:w.wid;
+      Queue.push (Op_completion w.wid) t.disp.ops;
+      fetch_next t w ~switch_paid:false ~open_gap:true;
+      disp_kick t
+  end
+
+let on_quantum t (w : worker) ~epoch =
+  if epoch = w.epoch then begin
+    match w.cur with
+    | None -> ()
+    | Some req ->
+      let now = Sim.now t.sim in
+      if w.completion_at > now then begin
+        match t.config.mechanism with
+        | Mechanism.No_preempt -> ()
+        | Mechanism.Rdtsc_probe ->
+          (* Self-preemption: the worker notices the elapsed quantum at its
+             next rdtsc probe; no dispatcher involvement. *)
+          let lateness =
+            Mechanism.yield_lateness_ns Mechanism.Rdtsc_probe ~costs:t.config.costs
+              ~rng:t.mech_rng ~probe_spacing_ns:(probe_spacing t req)
+          in
+          let stop =
+            resolve_stop t req ~seg_start_ns:w.seg_start_ns
+              ~seg_start_progress:w.seg_start_progress ~mult:t.worker_mult
+              ~completion_at:w.completion_at ~candidate:(now + lateness)
+          in
+          (match stop with
+          | None -> ()
+          | Some (stop_time, p) ->
+            w.epoch <- w.epoch + 1;
+            w.stop_progress <- p;
+            Sim.schedule_at t.sim ~time:stop_time
+              (Ev_preempt_stop { w = w.wid; epoch = w.epoch }))
+        | Mechanism.Ipi | Mechanism.Linux_ipi | Mechanism.Uipi | Mechanism.Cache_line
+        | Mechanism.Model_lateness _ ->
+          (* The dispatcher must notice the elapsed quantum and signal; its
+             busyness delays the signal (§3.3). *)
+          Queue.push (Op_preempt_signal { worker = w.wid; epoch }) t.disp.ops;
+          disp_kick t
+      end
+  end
+
+(* Dispatcher has written the preemption flag / sent the interrupt at the
+   current instant; decide when the worker actually stops. *)
+let handle_preempt_signal t ~worker ~epoch =
+  let w = t.workers.(worker) in
+  if epoch = w.epoch then begin
+    match w.cur with
+    | None -> ()
+    | Some req ->
+      let now = Sim.now t.sim in
+      let lateness =
+        Mechanism.yield_lateness_ns t.config.mechanism ~costs:t.config.costs ~rng:t.mech_rng
+          ~probe_spacing_ns:(probe_spacing t req)
+      in
+      let stop =
+        resolve_stop t req ~seg_start_ns:w.seg_start_ns
+          ~seg_start_progress:w.seg_start_progress ~mult:t.worker_mult
+          ~completion_at:w.completion_at ~candidate:(now + lateness)
+      in
+      match stop with
+      | None -> ()
+      | Some (stop_time, p) ->
+        w.epoch <- w.epoch + 1;
+        w.stop_progress <- p;
+        Sim.schedule_at t.sim ~time:stop_time (Ev_preempt_stop { w = w.wid; epoch = w.epoch })
+  end
+
+let on_preempt_stop t (w : worker) ~epoch =
+  if epoch = w.epoch then begin
+    match w.cur with
+    | None -> ()
+    | Some req ->
+      let now = Sim.now t.sim in
+      trace t ~request:req.Request.id
+        (Tracing.Preempted { worker = w.wid; progress_ns = w.stop_progress });
+      req.Request.done_ns <- w.stop_progress;
+      req.Request.preemptions <- req.Request.preemptions + 1;
+      Metrics.add_preemption t.metrics;
+      Metrics.add_worker_busy t.metrics (now - w.busy_from);
+      w.busy_from <- now;
+      (* Receive the notification, save the context, switch out. *)
+      Sim.schedule_after t.sim ~delay:(t.notif_ns + t.cswitch_ns)
+        (Ev_yield_done { w = w.wid; epoch })
+  end
+
+let on_yield_done t (w : worker) ~epoch =
+  if epoch = w.epoch then begin
+    match w.cur with
+    | None -> ()
+    | Some req ->
+      Metrics.add_worker_busy t.metrics (Sim.now t.sim - w.busy_from);
+      Queue.push (Op_requeue { req; from_worker = w.wid }) t.disp.ops;
+      fetch_next t w ~switch_paid:true ~open_gap:false;
+      disp_kick t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher op completion                                            *)
+(* ------------------------------------------------------------------ *)
+
+let on_disp_op_done t =
+  let d = t.disp in
+  let now = Sim.now t.sim in
+  Metrics.add_dispatcher_busy t.metrics (now - d.op_started_ns);
+  let op = d.cur_op in
+  d.cur_op <- None;
+  d.busy <- false;
+  (match op with
+  | None -> ()
+  | Some (Op_ingress req) ->
+    trace t ~request:req.Request.id Tracing.Admitted;
+    Policy.push_new t.central req
+  | Some (Op_ingress_batch reqs) ->
+    List.iter
+      (fun (r : Request.t) ->
+        trace t ~request:r.Request.id Tracing.Admitted;
+        Policy.push_new t.central r)
+      reqs
+  | Some (Op_completion wid) ->
+    let w = t.workers.(wid) in
+    if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
+    else w.sq_waiting <- true
+  | Some (Op_requeue { req; from_worker }) ->
+    trace t ~request:req.Request.id Tracing.Requeued;
+    Policy.push_preempted t.central req;
+    if from_worker >= 0 then begin
+      let w = t.workers.(from_worker) in
+      if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
+      else w.sq_waiting <- true
+    end
+  | Some (Op_preempt_signal { worker; epoch }) -> handle_preempt_signal t ~worker ~epoch
+  | Some (Op_send { worker; req }) ->
+    trace t ~request:req.Request.id (Tracing.Dispatched { worker });
+    let w = t.workers.(worker) in
+    deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
+  | Some (Op_push { worker; req }) ->
+    trace t ~request:req.Request.id (Tracing.Dispatched { worker });
+    let w = t.workers.(worker) in
+    if w.cur = None then deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
+    else Local_queue.push w.local req);
+  disp_kick t
+
+(* ------------------------------------------------------------------ *)
+(* Arrivals and run loop                                               *)
+(* ------------------------------------------------------------------ *)
+
+let on_arrival t =
+  let now = Sim.now t.sim in
+  let profile = Mix.sample t.mix t.service_rng in
+  let req = Request.create ~id:t.arrived ~arrival_ns:now ~profile in
+  Hashtbl.replace t.live req.Request.id req;
+  trace t ~request:req.Request.id Tracing.Arrived;
+  t.arrived <- t.arrived + 1;
+  t.last_arrival_ns <- now;
+  Queue.push (Op_ingress req) t.disp.ops;
+  if t.arrived < t.n_requests then begin
+    let gap = Arrival.next_gap_ns t.arrival t.arrival_rng ~index:(t.arrived - 1) in
+    Sim.schedule_after t.sim ~delay:gap Ev_arrival
+  end
+  else Sim.schedule_after t.sim ~delay:t.drain_cap_ns Ev_end_of_run;
+  disp_kick t
+
+let on_end_of_run t =
+  let now = Sim.now t.sim in
+  Hashtbl.iter (fun _ req -> Metrics.record_censored t.metrics req ~now_ns:now) t.live;
+  Sim.stop t.sim
+
+let handler t (_ : event Sim.t) = function
+  | Ev_arrival -> on_arrival t
+  | Ev_disp_op_done -> on_disp_op_done t
+  | Ev_disp_slice_end { depoch } -> on_slice_end t ~depoch
+  | Ev_worker_begin { w; epoch } ->
+    let wk = t.workers.(w) in
+    if epoch = wk.epoch then begin_exec t wk
+  | Ev_worker_complete { w; epoch } -> on_worker_complete t t.workers.(w) ~epoch
+  | Ev_quantum { w; epoch } -> on_quantum t t.workers.(w) ~epoch
+  | Ev_preempt_stop { w; epoch } -> on_preempt_stop t t.workers.(w) ~epoch
+  | Ev_yield_done { w; epoch } -> on_yield_done t t.workers.(w) ~epoch
+  | Ev_end_of_run -> on_end_of_run t
+
+let run_detailed ~config ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
+    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer () =
+  Config.validate config;
+  if n_requests < 1 then invalid_arg "Server.run: need at least one request";
+  let master = Rng.create ~seed in
+  let arrival_rng = Rng.split master in
+  let service_rng = Rng.split master in
+  let mech_rng = Rng.split master in
+  let costs = config.Config.costs in
+  let ns cycles = Costs.ns_of costs cycles in
+  let t =
+    {
+      sim = Sim.create ();
+      config;
+      mix;
+      arrival;
+      n_requests;
+      drain_cap_ns;
+      arrival_rng;
+      service_rng;
+      mech_rng;
+      central = Policy.create config.Config.policy;
+      workers =
+        Array.init config.Config.n_workers (fun wid ->
+            {
+              wid;
+              epoch = 0;
+              cur = None;
+              seg_start_ns = 0;
+              seg_start_progress = 0;
+              completion_at = 0;
+              stop_progress = 0;
+              local = Local_queue.create ~capacity:(Config.jbsq_depth config - 1);
+              sq_waiting = true;
+              outstanding_view = 0;
+              gap_open_ns = -1;
+              busy_from = 0;
+            })
+        ;
+      disp =
+        {
+          ops = Queue.create ();
+          busy = false;
+          depoch = 0;
+          op_started_ns = 0;
+          cur_op = None;
+          slice = None;
+          saved = None;
+        };
+      metrics =
+        Metrics.create
+          ~warmup_before:(int_of_float (warmup_frac *. float_of_int n_requests))
+          ~n_classes:(Array.length mix.Mix.classes);
+      live = Hashtbl.create 1024;
+      tracer;
+      arrived = 0;
+      finished = 0;
+      last_arrival_ns = 0;
+      quantum_ns = config.Config.quantum_ns;
+      cswitch_ns = ns costs.Costs.context_switch_cycles;
+      receive_ns = ns costs.Costs.worker_receive_cycles;
+      local_pop_ns = ns costs.Costs.local_pop_cycles;
+      notif_ns = ns (Mechanism.notif_cost_cycles costs config.Config.mechanism);
+      worker_mult = 1.0 +. Mechanism.proc_overhead costs config.Config.mechanism;
+      disp_mult = 1.0 +. costs.Costs.rdtsc_proc_overhead;
+      default_spacing_ns = costs.Costs.probe_spacing_ns;
+    }
+  in
+  Sim.schedule_at t.sim ~time:0 Ev_arrival;
+  Sim.run t.sim ~handler:(handler t) ();
+  let span_ns = max 1 (Sim.now t.sim) in
+  let summary =
+    Metrics.summarize t.metrics
+      ~offered_rps:(Arrival.rate_rps arrival)
+      ~span_ns ~n_workers:config.Config.n_workers
+      ~class_names:(Array.map (fun (c : Mix.class_def) -> c.name) mix.Mix.classes)
+  in
+  (summary, Metrics.slowdown_samples t.metrics)
+
+let run ~config ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer () =
+  fst
+    (run_detailed ~config ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer
+       ())

@@ -1,0 +1,53 @@
+(** The simulated microsecond-scale server.
+
+    One dispatcher thread plus [n] worker threads, pinned to cores (§2.1).
+    The dispatcher is a serial processor of micro-operations — network
+    ingress, completion flags, re-enqueues, preemption signals, sends and
+    JBSQ pushes — each costing cycles from the configured cost model. This
+    is what produces the paper's emergent effects: workers stall on the
+    synchronous single-queue hand-off (cnext, §2.2.2), preemption signals
+    arrive late when the dispatcher is loaded (§3.3), and the dispatcher
+    itself saturates for very short requests (Fig. 8a).
+
+    Workers execute requests under the configured preemption mechanism.
+    Progress, probe lateness, lock deferral and instrumentation slowdown
+    follow the task model described in DESIGN.md §3. *)
+
+val run :
+  config:Config.t ->
+  mix:Repro_workload.Mix.t ->
+  arrival:Repro_workload.Arrival.t ->
+  n_requests:int ->
+  ?warmup_frac:float ->
+  ?drain_cap_ns:int ->
+  ?seed:int ->
+  ?tracer:Tracing.t ->
+  unit ->
+  Metrics.summary
+(** Simulate [n_requests] open-loop arrivals and return the run summary.
+
+    - [warmup_frac] (default 0.1): leading fraction of arrivals excluded
+      from measurement, as in §5.1.
+    - [drain_cap_ns] (default 400 ms): how long past the last arrival the
+      server may keep draining before incomplete requests are recorded as
+      censored (their lower-bound slowdown enters the tail, so overload
+      shows as an exploding p99.9 rather than missing data).
+    - [seed] (default 42): master seed; every random stream in the run
+      derives from it, so runs are exactly reproducible.
+    - [tracer]: when given, request-lifecycle events are recorded into it
+      (see {!Tracing}); tracing does not perturb the simulation. *)
+
+val run_detailed :
+  config:Config.t ->
+  mix:Repro_workload.Mix.t ->
+  arrival:Repro_workload.Arrival.t ->
+  n_requests:int ->
+  ?warmup_frac:float ->
+  ?drain_cap_ns:int ->
+  ?seed:int ->
+  ?tracer:Tracing.t ->
+  unit ->
+  Metrics.summary * Repro_engine.Stats.t
+(** Like {!run}, but also returns the raw post-warm-up slowdown samples so
+    callers (e.g. {!Replication}) can merge several runs and recompute
+    joint percentiles. The returned samples are owned by the caller. *)

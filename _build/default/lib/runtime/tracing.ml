@@ -1,0 +1,53 @@
+type kind =
+  | Arrived
+  | Admitted
+  | Dispatched of { worker : int }
+  | Started of { worker : int }
+  | Preempted of { worker : int; progress_ns : int }
+  | Requeued
+  | Stolen
+  | Completed of { worker : int }
+
+type entry = { time_ns : int; request : int; kind : entry_kind }
+and entry_kind = kind
+
+type t = {
+  ring : entry option array;
+  mutable next : int; (* total entries ever recorded *)
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity < 1 then invalid_arg "Tracing.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0 }
+
+let record t ~time_ns ~request kind =
+  t.ring.(t.next mod Array.length t.ring) <- Some { time_ns; request; kind };
+  t.next <- t.next + 1
+
+let length t = min t.next (Array.length t.ring)
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let entries t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = t.next - n in
+  List.filter_map (fun i -> t.ring.((first + i) mod cap)) (List.init n (fun i -> i))
+
+let of_request t ~request = List.filter (fun e -> e.request = request) (entries t)
+
+let kind_to_string = function
+  | Arrived -> "arrived"
+  | Admitted -> "admitted to central queue"
+  | Dispatched { worker } -> Printf.sprintf "dispatched to worker %d" worker
+  | Started { worker } ->
+    if worker < 0 then "started on the dispatcher" else Printf.sprintf "started on worker %d" worker
+  | Preempted { worker; progress_ns } ->
+    Printf.sprintf "preempted on worker %d at %dns progress" worker progress_ns
+  | Requeued -> "requeued"
+  | Stolen -> "stolen by the dispatcher"
+  | Completed { worker } ->
+    if worker < 0 then "completed on the dispatcher"
+    else Printf.sprintf "completed on worker %d" worker
+
+let entry_to_string e =
+  Printf.sprintf "[%10dns] req %-6d %s" e.time_ns e.request (kind_to_string e.kind)

@@ -1,0 +1,40 @@
+(** Request-lifecycle tracing.
+
+    A bounded ring of scheduling events (arrival, dispatch, execution
+    start, preemption, re-queue, dispatcher steal, completion) recorded by
+    the server when a tracer is attached. Used to debug scheduling
+    behaviour and to let users *see* the mechanisms — e.g. a 500 µs SCAN
+    bouncing between workers every quantum while GETs slip past it. *)
+
+type kind =
+  | Arrived
+  | Admitted  (** dispatcher moved it from the NIC queue to the central queue *)
+  | Dispatched of { worker : int }  (** sent/pushed towards a worker *)
+  | Started of { worker : int }  (** began executing (worker = -1: dispatcher) *)
+  | Preempted of { worker : int; progress_ns : int }
+  | Requeued
+  | Stolen  (** picked up by the work-conserving dispatcher *)
+  | Completed of { worker : int }  (** worker = -1: completed on the dispatcher *)
+
+type entry = { time_ns : int; request : int; kind : entry_kind }
+and entry_kind = kind
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 65 536 entries; older entries are dropped. *)
+
+val record : t -> time_ns:int -> request:int -> kind -> unit
+val length : t -> int
+val dropped : t -> int
+(** Entries evicted by the ring since creation. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val of_request : t -> request:int -> entry list
+(** The retained lifecycle of one request, oldest first. *)
+
+val kind_to_string : kind -> string
+val entry_to_string : entry -> string
+(** ["[   12345ns] req 42 preempted on worker 3 at 8000ns progress"]. *)

@@ -1,0 +1,1 @@
+lib/workload/arrival.mli: Repro_engine

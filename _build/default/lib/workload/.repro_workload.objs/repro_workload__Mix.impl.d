@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Array Repro_engine Service_dist

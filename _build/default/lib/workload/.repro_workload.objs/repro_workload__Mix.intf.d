@@ -1,0 +1,1 @@
+lib/workload/mix.mli: Repro_engine Service_dist

@@ -1,0 +1,1 @@
+lib/workload/presets.ml: List Mix Service_dist

@@ -1,0 +1,1 @@
+lib/workload/service_dist.ml: Array Printf Repro_engine

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array In_channel List Out_channel Printf Service_dist String

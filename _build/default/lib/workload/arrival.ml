@@ -1,0 +1,36 @@
+module Rng = Repro_engine.Rng
+
+type t =
+  | Poisson of { rate_rps : float }
+  | Uniform of { rate_rps : float }
+  | Burst_poisson of { rate_rps : float; burst : int }
+
+let rate_rps = function
+  | Poisson { rate_rps } | Uniform { rate_rps } | Burst_poisson { rate_rps; _ } -> rate_rps
+
+let mean_gap_ns rate =
+  if rate <= 0.0 then invalid_arg "Arrival: rate must be positive";
+  1e9 /. rate
+
+let next_gap_ns t rng ~index =
+  match t with
+  | Poisson { rate_rps } -> int_of_float (Rng.exponential rng ~mean:(mean_gap_ns rate_rps))
+  | Uniform { rate_rps } -> int_of_float (mean_gap_ns rate_rps)
+  | Burst_poisson { rate_rps; burst } ->
+    if burst < 1 then invalid_arg "Arrival: burst must be >= 1";
+    if (index + 1) mod burst <> 0 then 0
+    else
+      int_of_float
+        (Rng.exponential rng ~mean:(mean_gap_ns rate_rps *. float_of_int burst))
+
+let name = function
+  | Poisson { rate_rps } -> Printf.sprintf "Poisson(%.0f rps)" rate_rps
+  | Uniform { rate_rps } -> Printf.sprintf "Uniform(%.0f rps)" rate_rps
+  | Burst_poisson { rate_rps; burst } ->
+    Printf.sprintf "BurstPoisson(%.0f rps, burst=%d)" rate_rps burst
+
+let with_rate t rate =
+  match t with
+  | Poisson _ -> Poisson { rate_rps = rate }
+  | Uniform _ -> Uniform { rate_rps = rate }
+  | Burst_poisson { burst; _ } -> Burst_poisson { rate_rps = rate; burst }

@@ -1,0 +1,26 @@
+(** Open-loop arrival processes.
+
+    The paper's client "sends requests according to a Poisson process …
+    to mimic the bursty behavior of production traffic" (§5.1). The uniform
+    process is provided for controlled experiments (Figs. 2, 12, 15 feed a
+    fixed stream of back-to-back requests). *)
+
+type t =
+  | Poisson of { rate_rps : float }  (** exponential inter-arrival gaps *)
+  | Uniform of { rate_rps : float }  (** deterministic, evenly spaced *)
+  | Burst_poisson of { rate_rps : float; burst : int }
+      (** Poisson batch arrivals: [burst] requests land together at each
+          epoch; epochs arrive at [rate_rps / burst]. Models coalesced NIC
+          batches and stresses tail behaviour. *)
+
+val rate_rps : t -> float
+(** Long-run offered load in requests per second. *)
+
+val next_gap_ns : t -> Repro_engine.Rng.t -> index:int -> int
+(** Nanoseconds between arrival number [index] and arrival [index + 1]
+    (both 0-based). Burst processes return 0 inside a batch. *)
+
+val name : t -> string
+
+val with_rate : t -> float -> t
+(** Same process shape at a different offered load. *)

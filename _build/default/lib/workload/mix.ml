@@ -1,0 +1,50 @@
+module Rng = Repro_engine.Rng
+
+type profile = {
+  class_id : int;
+  service_ns : int;
+  lock_windows : (int * int) array;
+  probe_spacing_ns : float;
+}
+
+type class_def = {
+  name : string;
+  weight : float;
+  mean_ns : float;
+  generate : Rng.t -> profile;
+}
+
+type t = { name : string; classes : class_def array }
+
+let sample t rng =
+  let idx =
+    if Array.length t.classes = 1 then 0
+    else Rng.categorical rng ~weights:(Array.map (fun c -> c.weight) t.classes)
+  in
+  let profile = t.classes.(idx).generate rng in
+  { profile with class_id = idx }
+
+let mean_service_ns t =
+  let total = Array.fold_left (fun acc c -> acc +. c.weight) 0.0 t.classes in
+  Array.fold_left (fun acc c -> acc +. (c.weight /. total *. c.mean_ns)) 0.0 t.classes
+
+let class_name t i =
+  if i < 0 || i >= Array.length t.classes then invalid_arg "Mix.class_name: bad index";
+  t.classes.(i).name
+
+let simple_class ~name ~weight ~dist =
+  let generate rng =
+    let service_ns = max 1 (int_of_float (Service_dist.sample dist rng)) in
+    { class_id = 0; service_ns; lock_windows = [||]; probe_spacing_ns = 0.0 }
+  in
+  { name; weight; mean_ns = Service_dist.mean_ns dist; generate }
+
+let of_classes ~name classes =
+  if Array.length classes = 0 then invalid_arg "Mix.of_classes: no classes";
+  Array.iter
+    (fun c -> if c.weight <= 0.0 then invalid_arg "Mix.of_classes: non-positive weight")
+    classes;
+  { name; classes }
+
+let of_dist ~name dist =
+  of_classes ~name [| simple_class ~name:(Service_dist.name dist) ~weight:1.0 ~dist |]

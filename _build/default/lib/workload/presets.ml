@@ -1,0 +1,50 @@
+let us ns = ns *. 1_000.0
+
+let ycsb_a =
+  Mix.of_dist ~name:"Bimodal(50:1, 50:100)"
+    (Service_dist.Bimodal { p_short = 0.5; short_ns = us 1.0; long_ns = us 100.0 })
+
+let usr =
+  Mix.of_dist ~name:"Bimodal(99.5:0.5, 0.5:500)"
+    (Service_dist.Bimodal { p_short = 0.995; short_ns = us 0.5; long_ns = us 500.0 })
+
+let fixed_1us = Mix.of_dist ~name:"Fixed(1)" (Service_dist.Fixed (us 1.0))
+
+let tpcc =
+  let cls name weight service_us =
+    Mix.simple_class ~name ~weight ~dist:(Service_dist.Fixed (us service_us))
+  in
+  Mix.of_classes ~name:"TPCC"
+    [|
+      cls "Payment" 0.44 5.7;
+      cls "OrderStatus" 0.04 6.0;
+      cls "NewOrder" 0.44 20.0;
+      cls "Delivery" 0.04 88.0;
+      cls "StockLevel" 0.04 100.0;
+    |]
+
+let leveldb_get_scan =
+  let cls name weight service_us =
+    Mix.simple_class ~name ~weight ~dist:(Service_dist.Fixed (us service_us))
+  in
+  Mix.of_classes ~name:"LevelDB 50% GET / 50% SCAN (synthetic)"
+    [| cls "GET" 0.5 0.6; cls "SCAN" 0.5 500.0 |]
+
+let zippydb =
+  let cls name weight service_us =
+    Mix.simple_class ~name ~weight ~dist:(Service_dist.Fixed (us service_us))
+  in
+  Mix.of_classes ~name:"ZippyDB (synthetic)"
+    [| cls "GET" 0.78 0.6; cls "PUT" 0.13 2.3; cls "DELETE" 0.06 2.3; cls "SCAN" 0.03 500.0 |]
+
+let all =
+  [
+    ("ycsb-a", ycsb_a);
+    ("usr", usr);
+    ("fixed-1", fixed_1us);
+    ("tpcc", tpcc);
+    ("leveldb-get-scan", leveldb_get_scan);
+    ("zippydb", zippydb);
+  ]
+
+let by_name name = List.assoc_opt name all

@@ -1,0 +1,36 @@
+(** The paper's named workloads (§5.1–§5.3).
+
+    These are the *synthetic* (spin-server) versions: requests carry a
+    service time and no lock windows. The LevelDB-backed versions, whose
+    profiles come from executing a real key-value store, live in the
+    [repro_kvstore] library ({!Repro_kvstore.Workload}). *)
+
+val ycsb_a : Mix.t
+(** Bimodal(50:1, 50:100) — half 1 µs, half 100 µs; after YCSB workload A. *)
+
+val usr : Mix.t
+(** Bimodal(99.5:0.5, 0.5:500) — after Meta's USR workload. *)
+
+val fixed_1us : Mix.t
+(** Fixed(1): every request spins for 1 µs. *)
+
+val tpcc : Mix.t
+(** TPC-C on an in-memory database (§5.2): Payment (5.7 µs, 44 %),
+    OrderStatus (6 µs, 4 %), NewOrder (20 µs, 44 %), Delivery (88 µs, 4 %),
+    StockLevel (100 µs, 4 %). *)
+
+val leveldb_get_scan : Mix.t
+(** Service-time-only stand-in for the LevelDB 50 % GET / 50 % SCAN
+    workload: GET 600 ns, SCAN 500 µs. *)
+
+val zippydb : Mix.t
+(** Service-time-only stand-in for Meta's ZippyDB trace mix:
+    78 % GET (600 ns), 13 % PUT (2.3 µs), 6 % DELETE (2.3 µs),
+    3 % SCAN (500 µs). *)
+
+val by_name : string -> Mix.t option
+(** Look up a preset by its CLI name (["ycsb-a"], ["usr"], ["fixed-1"],
+    ["tpcc"], ["leveldb-get-scan"], ["zippydb"]). *)
+
+val all : (string * Mix.t) list
+(** Every preset with its CLI name. *)

@@ -1,0 +1,91 @@
+module Rng = Repro_engine.Rng
+
+type t =
+  | Fixed of float
+  | Bimodal of { p_short : float; short_ns : float; long_ns : float }
+  | Exponential of { mean_ns : float }
+  | Lognormal of { mu : float; sigma : float }
+  | Pareto of { scale_ns : float; shape : float }
+  | Discrete of (float * float) array
+  | Trace of float array
+
+let sample t rng =
+  match t with
+  | Fixed s -> s
+  | Bimodal { p_short; short_ns; long_ns } ->
+    if Rng.float rng < p_short then short_ns else long_ns
+  | Exponential { mean_ns } -> Rng.exponential rng ~mean:mean_ns
+  | Lognormal { mu; sigma } -> Rng.lognormal rng ~mu ~sigma
+  | Pareto { scale_ns; shape } -> Rng.pareto rng ~scale:scale_ns ~shape
+  | Discrete entries ->
+    let weights = Array.map fst entries in
+    snd entries.(Rng.categorical rng ~weights)
+  | Trace samples ->
+    if Array.length samples = 0 then invalid_arg "Service_dist.sample: empty trace";
+    samples.(Rng.int rng ~bound:(Array.length samples))
+
+let mean_ns = function
+  | Fixed s -> s
+  | Bimodal { p_short; short_ns; long_ns } ->
+    (p_short *. short_ns) +. ((1.0 -. p_short) *. long_ns)
+  | Exponential { mean_ns } -> mean_ns
+  | Lognormal { mu; sigma } -> exp (mu +. (sigma *. sigma /. 2.0))
+  | Pareto { scale_ns; shape } ->
+    if shape <= 1.0 then invalid_arg "Service_dist.mean_ns: Pareto with shape <= 1"
+    else shape *. scale_ns /. (shape -. 1.0)
+  | Discrete entries ->
+    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 entries in
+    Array.fold_left (fun acc (w, s) -> acc +. (w /. total *. s)) 0.0 entries
+  | Trace samples ->
+    if Array.length samples = 0 then invalid_arg "Service_dist.mean_ns: empty trace";
+    Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+
+let second_moment = function
+  | Fixed s -> Some (s *. s)
+  | Bimodal { p_short; short_ns; long_ns } ->
+    Some ((p_short *. short_ns *. short_ns) +. ((1.0 -. p_short) *. long_ns *. long_ns))
+  | Exponential { mean_ns } -> Some (2.0 *. mean_ns *. mean_ns)
+  | Lognormal { mu; sigma } -> Some (exp ((2.0 *. mu) +. (2.0 *. sigma *. sigma)))
+  | Pareto { scale_ns; shape } ->
+    if shape <= 2.0 then None
+    else Some (shape *. scale_ns *. scale_ns /. (shape -. 2.0))
+  | Discrete entries ->
+    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 entries in
+    Some (Array.fold_left (fun acc (w, s) -> acc +. (w /. total *. s *. s)) 0.0 entries)
+  | Trace samples ->
+    if Array.length samples = 0 then None
+    else
+      Some
+        (Array.fold_left (fun acc s -> acc +. (s *. s)) 0.0 samples
+        /. float_of_int (Array.length samples))
+
+let squared_cv t =
+  match second_moment t with
+  | None -> None
+  | Some m2 ->
+    let m = mean_ns t in
+    if m = 0.0 then None else Some ((m2 -. (m *. m)) /. (m *. m))
+
+let name = function
+  | Fixed s -> Printf.sprintf "Fixed(%.3gus)" (s /. 1e3)
+  | Bimodal { p_short; short_ns; long_ns } ->
+    Printf.sprintf "Bimodal(%g:%.3g, %g:%.3g)" (100.0 *. p_short) (short_ns /. 1e3)
+      (100.0 *. (1.0 -. p_short))
+      (long_ns /. 1e3)
+  | Exponential { mean_ns } -> Printf.sprintf "Exp(%.3gus)" (mean_ns /. 1e3)
+  | Lognormal { mu; sigma } -> Printf.sprintf "Lognormal(mu=%g, sigma=%g)" mu sigma
+  | Pareto { scale_ns; shape } ->
+    Printf.sprintf "Pareto(scale=%.3gus, shape=%g)" (scale_ns /. 1e3) shape
+  | Discrete entries -> Printf.sprintf "Discrete(%d classes)" (Array.length entries)
+  | Trace samples -> Printf.sprintf "Trace(%d samples)" (Array.length samples)
+
+let scale t f =
+  if f <= 0.0 then invalid_arg "Service_dist.scale: factor must be positive";
+  match t with
+  | Fixed s -> Fixed (s *. f)
+  | Bimodal b -> Bimodal { b with short_ns = b.short_ns *. f; long_ns = b.long_ns *. f }
+  | Exponential { mean_ns } -> Exponential { mean_ns = mean_ns *. f }
+  | Lognormal { mu; sigma } -> Lognormal { mu = mu +. log f; sigma }
+  | Pareto p -> Pareto { p with scale_ns = p.scale_ns *. f }
+  | Discrete entries -> Discrete (Array.map (fun (w, s) -> (w, s *. f)) entries)
+  | Trace samples -> Trace (Array.map (fun s -> s *. f) samples)

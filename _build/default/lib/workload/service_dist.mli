@@ -1,0 +1,32 @@
+(** Service-time distributions.
+
+    All times are nanoseconds of *un-instrumented* service time — the
+    denominator of the paper's slowdown metric. *)
+
+type t =
+  | Fixed of float  (** every request takes exactly this long *)
+  | Bimodal of { p_short : float; short_ns : float; long_ns : float }
+      (** fraction [p_short] of requests take [short_ns], the rest [long_ns] *)
+  | Exponential of { mean_ns : float }
+  | Lognormal of { mu : float; sigma : float }  (** parameters of the underlying normal *)
+  | Pareto of { scale_ns : float; shape : float }
+  | Discrete of (float * float) array
+      (** [(weight, service_ns)] pairs; weights need not sum to 1 *)
+  | Trace of float array  (** empirical: sampled uniformly with replacement *)
+
+val sample : t -> Repro_engine.Rng.t -> float
+(** Draw one service time (ns, > 0). *)
+
+val mean_ns : t -> float
+(** Analytic mean ([Pareto] with shape <= 1 has none and raises). *)
+
+val squared_cv : t -> float option
+(** Squared coefficient of variation (variance / mean²), when finite.
+    The paper's "dispersion": ≈0 for Fixed, ≈1 for Exponential, large for
+    the bimodal tails. *)
+
+val name : t -> string
+(** Short human-readable description for reports. *)
+
+val scale : t -> float -> t
+(** [scale t f] multiplies every service time by [f]. *)

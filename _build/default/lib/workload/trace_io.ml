@@ -1,0 +1,29 @@
+let parse_line line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] = '#' then `Skip
+  else begin
+    match float_of_string_opt line with
+    | Some v when v > 0.0 -> `Sample v
+    | Some _ -> `Error "non-positive sample"
+    | None -> `Error "not a number"
+  end
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e -> Error e
+  | lines ->
+    let rec collect acc lineno = function
+      | [] ->
+        if acc = [] then Error (Printf.sprintf "%s: empty trace" path)
+        else Ok (Service_dist.Trace (Array.of_list (List.rev acc)))
+      | line :: rest -> (
+        match parse_line line with
+        | `Sample v -> collect (v :: acc) (lineno + 1) rest
+        | `Skip -> collect acc (lineno + 1) rest
+        | `Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+    in
+    collect [] 1 lines
+
+let save ~path ~samples =
+  Out_channel.with_open_text path (fun oc ->
+      Array.iter (fun s -> Printf.fprintf oc "%.3f\n" s) samples)

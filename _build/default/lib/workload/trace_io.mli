@@ -1,0 +1,19 @@
+(** Loading and saving service-time traces.
+
+    Production service-time distributions often arrive as raw traces (one
+    observation per line); this module turns such files into
+    {!Service_dist.Trace} distributions and writes simulator output back
+    out for external plotting.
+
+    Format: UTF-8 text, one sample per line, in nanoseconds (integer or
+    decimal). Blank lines and lines starting with '#' are ignored. *)
+
+val load : path:string -> (Service_dist.t, string) result
+(** Read a trace file into a [Service_dist.Trace]. Errors mention the
+    offending line. Empty traces are an error. *)
+
+val save : path:string -> samples:float array -> unit
+(** Write samples one per line (ns). Raises [Sys_error] on I/O failure. *)
+
+val parse_line : string -> [ `Sample of float | `Skip | `Error of string ]
+(** Parsing of a single line, exposed for tests. *)

@@ -1,0 +1,1 @@
+test/test_core_api.ml: Alcotest Astring_contains Concord Float List Repro_runtime

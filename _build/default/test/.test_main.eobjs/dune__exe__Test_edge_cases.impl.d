@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Repro_engine Repro_hw Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float List Repro_engine Repro_hw Repro_kvstore Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest List QCheck QCheck_alcotest Repro_engine

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Float Gen List QCheck QCheck_alcotest Repro_engine

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Float Gen List QCheck QCheck_alcotest Repro_engine Repro_hw

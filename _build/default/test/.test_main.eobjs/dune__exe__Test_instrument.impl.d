@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Astring_contains Concord Float List Option QCheck QCheck_alcotest Repro_engine Repro_hw Repro_instrument

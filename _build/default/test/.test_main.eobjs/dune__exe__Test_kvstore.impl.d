@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Array Float Gen Hashtbl List Printf QCheck QCheck_alcotest Repro_engine Repro_kvstore Repro_workload String

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Float Gen QCheck QCheck_alcotest Repro_engine Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Float List Repro_engine Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+test/test_runtime_units.ml: Alcotest Gen List QCheck QCheck_alcotest Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_hw Repro_runtime Repro_workload

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Array Astring_contains Filename Float Fun Out_channel Repro_workload Sys

@@ -1,0 +1,1 @@
+test/test_tracing.ml: Alcotest Astring_contains Concord Hashtbl List Option Repro_runtime Repro_workload String

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Gen List QCheck QCheck_alcotest Repro_kvstore String

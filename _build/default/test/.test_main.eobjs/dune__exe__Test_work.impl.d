@@ -1,0 +1,1 @@
+test/test_work.ml: Alcotest Array Concord Gen List QCheck QCheck_alcotest Repro_runtime Repro_workload

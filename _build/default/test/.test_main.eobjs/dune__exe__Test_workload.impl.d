@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List QCheck QCheck_alcotest Repro_engine Repro_workload

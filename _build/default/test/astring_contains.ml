@@ -1,0 +1,9 @@
+(* Tiny substring search helper for tests (no external string library). *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec at i = if i + nl > hl then false else String.sub haystack i nl = needle || at (i + 1) in
+    at 0
+  end

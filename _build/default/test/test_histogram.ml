@@ -1,0 +1,86 @@
+(* Tests for the HDR-style log-bucketed histogram. *)
+
+module Histogram = Repro_engine.Histogram
+
+let test_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check int) "max_recorded" 0 (Histogram.max_recorded h);
+  Alcotest.check_raises "percentile of empty"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Histogram.percentile h 50.0))
+
+let test_small_values_exact () =
+  let h = Histogram.create ~significant_bits:7 () in
+  List.iter (Histogram.record h) [ 3; 3; 5; 100 ];
+  (* Values below 2^7 land in exact buckets. *)
+  Alcotest.(check int) "p50 exact" 3 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p100 exact" 100 (Histogram.percentile h 100.0)
+
+let test_relative_error () =
+  let h = Histogram.create ~significant_bits:7 () in
+  let values = List.init 1000 (fun i -> 1_000 + (i * 9_999)) in
+  List.iter (Histogram.record h) values;
+  List.iter
+    (fun p ->
+      let est = Histogram.percentile h p in
+      let sorted = List.sort compare values in
+      let rank = int_of_float (ceil (p /. 100.0 *. 1000.0)) in
+      let exact = List.nth sorted (max 0 (rank - 1)) in
+      let err = Float.abs (float_of_int (est - exact)) /. float_of_int exact in
+      if err > 0.02 then Alcotest.failf "p%.1f: est %d vs exact %d (err %.3f)" p est exact err)
+    [ 50.0; 90.0; 99.0; 99.9 ]
+
+let test_negative_rejected () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Histogram.record: negative value") (fun () -> Histogram.record h (-1))
+
+let test_clamping () =
+  let h = Histogram.create ~max_value:1_000 () in
+  Histogram.record h 1_000_000;
+  Alcotest.(check int) "count" 1 (Histogram.count h);
+  Alcotest.(check bool) "clamped below 2x max" true (Histogram.max_recorded h <= 2_048)
+
+let test_mean_approx () =
+  let h = Histogram.create () in
+  for _ = 1 to 100 do
+    Histogram.record h 10_000
+  done;
+  let err = Float.abs (Histogram.mean h -. 10_000.0) /. 10_000.0 in
+  Alcotest.(check bool) "mean within 2%" true (err < 0.02)
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 100;
+  Histogram.record b 10_000;
+  Histogram.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "merged count" 2 (Histogram.count a);
+  Alcotest.(check bool) "p100 from src" true (Histogram.percentile a 100.0 >= 10_000)
+
+let prop_percentile_upper_bound =
+  QCheck.Test.make ~count:200 ~name:"histogram percentile bounds the exact value from above"
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 1 1_000_000))
+    (fun values ->
+      let h = Repro_engine.Histogram.create () in
+      List.iter (Repro_engine.Histogram.record h) values;
+      let sorted = List.sort compare values in
+      let n = List.length values in
+      List.for_all
+        (fun p ->
+          let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+          let exact = List.nth sorted (max 0 (min (n - 1) (rank - 1))) in
+          Repro_engine.Histogram.percentile h p >= exact)
+        [ 50.0; 90.0; 99.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "empty histogram" `Quick test_empty;
+    Alcotest.test_case "small values are exact" `Quick test_small_values_exact;
+    Alcotest.test_case "bounded relative error" `Quick test_relative_error;
+    Alcotest.test_case "negative values rejected" `Quick test_negative_rejected;
+    Alcotest.test_case "values clamp at max" `Quick test_clamping;
+    Alcotest.test_case "approximate mean" `Quick test_mean_approx;
+    Alcotest.test_case "merge" `Quick test_merge;
+    QCheck_alcotest.to_alcotest prop_percentile_upper_bound;
+  ]

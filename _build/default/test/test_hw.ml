@@ -1,0 +1,171 @@
+(* Tests for the hardware cost model: cycle conversions, cost presets, the
+   coherence protocol model, and preemption-mechanism semantics. *)
+
+module Cycles = Repro_hw.Cycles
+module Costs = Repro_hw.Costs
+module Coherence = Repro_hw.Coherence
+module Mechanism = Repro_hw.Mechanism
+module Rng = Repro_engine.Rng
+
+(* --- cycles ---------------------------------------------------------- *)
+
+let test_cycle_conversions () =
+  (* At 2 GHz, 1200 cycles = 600 ns: the paper's own arithmetic (2.2.1). *)
+  Alcotest.(check int) "1200cy @2GHz" 600 (Cycles.ns_of_cycles Cycles.default 1200);
+  Alcotest.(check int) "400cy @2GHz" 200 (Cycles.ns_of_cycles Cycles.default 400);
+  Alcotest.(check int) "roundtrip" 1200 (Cycles.cycles_of_ns Cycles.default 600);
+  Alcotest.(check int) "2.6GHz rounds" 462 (Cycles.ns_of_cycles Cycles.c6420 1200)
+
+(* --- cost presets ----------------------------------------------------- *)
+
+let test_paper_constants () =
+  let c = Costs.default in
+  Alcotest.(check int) "IPI receive 1200cy (2.2.1)" 1200 c.Costs.ipi_notif_cycles;
+  Alcotest.(check int) "Linux IPI 2x (2.2.1)" 2400 c.Costs.linux_ipi_notif_cycles;
+  Alcotest.(check int) "cache-line notif 150cy = 1/8 IPI (3.1)" 150 c.Costs.cacheline_notif_cycles;
+  Alcotest.(check int) "rdtsc 30cy (2.2.1)" 30 c.Costs.rdtsc_cycles;
+  Alcotest.(check int) "probe check 2cy (3.1)" 2 c.Costs.probe_check_cycles;
+  Alcotest.(check bool) "rdtsc cproc ~21% (2.2.1)" true
+    (Float.abs (c.Costs.rdtsc_proc_overhead -. 0.21) < 0.001);
+  Alcotest.(check bool) "coop cproc ~1% (3.1)" true (c.Costs.coop_proc_overhead <= 0.015)
+
+let test_sapphire_scaling () =
+  let d = Costs.default and s = Costs.sapphire_rapids in
+  Alcotest.(check bool) "coherence 1.5x on 192 cores (5.6)" true
+    (s.Costs.coherence_miss_cycles > d.Costs.coherence_miss_cycles);
+  Alcotest.(check bool) "cache-line notif scaled" true
+    (s.Costs.cacheline_notif_cycles > d.Costs.cacheline_notif_cycles)
+
+let test_zero_overhead_is_zero () =
+  let z = Costs.zero_overhead in
+  Alcotest.(check int) "no ipi cost" 0 z.Costs.ipi_notif_cycles;
+  Alcotest.(check int) "no send cost" 0 z.Costs.disp_send_cycles;
+  Alcotest.(check (float 0.0)) "no cproc" 0.0 z.Costs.coop_proc_overhead
+
+(* --- coherence --------------------------------------------------------- *)
+
+let test_probe_economics () =
+  (* 3.1: the worker's repeated probe is an L1 hit (2cy); the first read
+     after the dispatcher's write is a coherence miss. *)
+  let sys = Coherence.create ~ncores:2 ~costs:Costs.default in
+  let flag = Coherence.line sys in
+  let dispatcher = 0 and worker = 1 in
+  ignore (Coherence.read sys ~core:worker flag);
+  let hit = Coherence.read sys ~core:worker flag in
+  Alcotest.(check bool) "steady-state probe hits" true hit.Coherence.hit;
+  Alcotest.(check int) "probe cost 2cy" 2 hit.Coherence.cycles;
+  let write = Coherence.write sys ~core:dispatcher flag in
+  Alcotest.(check bool) "dispatcher write invalidates" false write.Coherence.hit;
+  let miss = Coherence.read sys ~core:worker flag in
+  Alcotest.(check bool) "first probe after write misses" false miss.Coherence.hit;
+  Alcotest.(check int) "RaW transfer cost" Costs.default.Costs.coherence_miss_cycles
+    miss.Coherence.cycles
+
+let test_sq_handoff_is_two_misses () =
+  (* 2.2.2: the synchronous hand-off is >= 2 cache-to-cache misses. *)
+  let sys = Coherence.create ~ncores:2 ~costs:Costs.default in
+  let flag = Coherence.line sys and slot = Coherence.line sys in
+  let dispatcher = 0 and worker = 1 in
+  (* Warm both lines into steady state: worker owns its flag, reads slot. *)
+  ignore (Coherence.write sys ~core:worker flag);
+  ignore (Coherence.write sys ~core:dispatcher slot);
+  ignore (Coherence.read sys ~core:worker slot);
+  (* Hand-off: worker sets flag; dispatcher reads it (miss 1: RaW); the
+     dispatcher writes the next request into the slot the worker last read
+     (miss 2: WaR); worker reads it. *)
+  ignore (Coherence.write sys ~core:worker flag);
+  let m1 = Coherence.read sys ~core:dispatcher flag in
+  let m2 = Coherence.write sys ~core:dispatcher slot in
+  let total = m1.Coherence.cycles + m2.Coherence.cycles in
+  Alcotest.(check bool) "both are misses" true
+    ((not m1.Coherence.hit) && not m2.Coherence.hit);
+  Alcotest.(check int) "~400 cycles total" 400 total
+
+let test_holder_and_sharers () =
+  let sys = Coherence.create ~ncores:4 ~costs:Costs.default in
+  let l = Coherence.line sys in
+  ignore (Coherence.write sys ~core:2 l);
+  Alcotest.(check (option int)) "modified holder" (Some 2) (Coherence.holder sys l);
+  ignore (Coherence.read sys ~core:0 l);
+  ignore (Coherence.read sys ~core:3 l);
+  Alcotest.(check (option int)) "demoted to shared" None (Coherence.holder sys l);
+  Alcotest.(check (list int)) "sharers" [ 0; 2; 3 ] (Coherence.sharers sys l)
+
+let prop_single_writer =
+  QCheck.Test.make ~count:300 ~name:"coherence: at most one modified holder"
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair bool (int_range 0 3)))
+    (fun ops ->
+      let sys = Coherence.create ~ncores:4 ~costs:Costs.default in
+      let l = Coherence.line sys in
+      List.iter
+        (fun (is_write, core) ->
+          if is_write then ignore (Coherence.write sys ~core l)
+          else ignore (Coherence.read sys ~core l))
+        ops;
+      match Coherence.holder sys l with
+      | Some holder -> Coherence.sharers sys l = [ holder ]
+      | None -> true)
+
+(* --- mechanisms ---------------------------------------------------------- *)
+
+let test_notif_costs () =
+  let c = Costs.default in
+  Alcotest.(check int) "ipi" 1200 (Mechanism.notif_cost_cycles c Mechanism.Ipi);
+  Alcotest.(check int) "linux" 2400 (Mechanism.notif_cost_cycles c Mechanism.Linux_ipi);
+  Alcotest.(check int) "cache line" 150 (Mechanism.notif_cost_cycles c Mechanism.Cache_line);
+  Alcotest.(check int) "rdtsc self-preempt has no notif" 0
+    (Mechanism.notif_cost_cycles c Mechanism.Rdtsc_probe);
+  Alcotest.(check int) "no-preempt" 0 (Mechanism.notif_cost_cycles c Mechanism.No_preempt)
+
+let test_mechanism_flags () =
+  Alcotest.(check bool) "ipi precise" true (Mechanism.is_precise Mechanism.Ipi);
+  Alcotest.(check bool) "cache line imprecise" false (Mechanism.is_precise Mechanism.Cache_line);
+  Alcotest.(check bool) "rdtsc self-preempting" false
+    (Mechanism.needs_dispatcher_signal Mechanism.Rdtsc_probe);
+  Alcotest.(check bool) "cache line needs dispatcher" true
+    (Mechanism.needs_dispatcher_signal Mechanism.Cache_line);
+  Alcotest.(check bool) "no-preempt not preemptive" false
+    (Mechanism.preemptive Mechanism.No_preempt)
+
+let test_proc_overheads () =
+  let c = Costs.default in
+  Alcotest.(check (float 1e-9)) "baselines run un-instrumented (5.1)" 0.0
+    (Mechanism.proc_overhead c Mechanism.Ipi);
+  Alcotest.(check bool) "cache-line cproc small" true
+    (Mechanism.proc_overhead c Mechanism.Cache_line < 0.02);
+  Alcotest.(check bool) "rdtsc cproc large" true
+    (Mechanism.proc_overhead c Mechanism.Rdtsc_probe > 0.15)
+
+let test_lateness_semantics () =
+  let rng = Rng.create ~seed:1 in
+  let c = Costs.default in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "precise mechanisms stop instantly" 0
+      (Mechanism.yield_lateness_ns Mechanism.Ipi ~costs:c ~rng ~probe_spacing_ns:100.0);
+    let late =
+      Mechanism.yield_lateness_ns Mechanism.Cache_line ~costs:c ~rng ~probe_spacing_ns:100.0
+    in
+    if late < 0 || late > 100 then Alcotest.failf "probe lateness out of range: %d" late;
+    let model =
+      Mechanism.yield_lateness_ns
+        (Mechanism.Model_lateness { sigma_ns = 500.0 })
+        ~costs:c ~rng ~probe_spacing_ns:100.0
+    in
+    if model < 0 then Alcotest.failf "model lateness negative: %d" model
+  done
+
+let suite =
+  [
+    Alcotest.test_case "cycle conversions" `Quick test_cycle_conversions;
+    Alcotest.test_case "paper cost constants" `Quick test_paper_constants;
+    Alcotest.test_case "sapphire rapids scaling" `Quick test_sapphire_scaling;
+    Alcotest.test_case "zero-overhead preset" `Quick test_zero_overhead_is_zero;
+    Alcotest.test_case "probe economics (L1 hit vs RaW miss)" `Quick test_probe_economics;
+    Alcotest.test_case "SQ hand-off costs two misses (~400cy)" `Quick test_sq_handoff_is_two_misses;
+    Alcotest.test_case "holder/sharers bookkeeping" `Quick test_holder_and_sharers;
+    QCheck_alcotest.to_alcotest prop_single_writer;
+    Alcotest.test_case "notification costs" `Quick test_notif_costs;
+    Alcotest.test_case "mechanism flags" `Quick test_mechanism_flags;
+    Alcotest.test_case "instrumentation overheads" `Quick test_proc_overheads;
+    Alcotest.test_case "lateness semantics" `Quick test_lateness_semantics;
+  ]

@@ -1,0 +1,256 @@
+(* Unit tests for the runtime's building blocks: requests, policies,
+   bounded local queues, configuration, metrics. *)
+
+module Request = Repro_runtime.Request
+module Policy = Repro_runtime.Policy
+module Local_queue = Repro_runtime.Local_queue
+module Config = Repro_runtime.Config
+module Metrics = Repro_runtime.Metrics
+module Systems = Repro_runtime.Systems
+module Mix = Repro_workload.Mix
+
+let profile ?(class_id = 0) ?(service_ns = 1_000) ?(locks = [||]) () =
+  { Mix.class_id; service_ns; lock_windows = locks; probe_spacing_ns = 0.0 }
+
+let request ?(id = 0) ?(arrival_ns = 0) ?class_id ?service_ns ?locks () =
+  Request.create ~id ~arrival_ns ~profile:(profile ?class_id ?service_ns ?locks ())
+
+(* --- request ----------------------------------------------------------- *)
+
+let test_request_lifecycle () =
+  let r = request ~service_ns:2_000 () in
+  Alcotest.(check int) "remaining" 2_000 (Request.remaining_ns r);
+  Alcotest.(check bool) "not complete" false (Request.is_complete r);
+  r.Request.done_ns <- 500;
+  Alcotest.(check int) "remaining after progress" 1_500 (Request.remaining_ns r);
+  r.Request.completion_ns <- 10_000;
+  Alcotest.(check int) "sojourn" 10_000 (Request.sojourn_ns r);
+  Alcotest.(check (float 1e-9)) "slowdown" 5.0 (Request.slowdown r)
+
+let test_defer_outside_window () =
+  let r = request ~service_ns:1_000 ~locks:[| (200, 400) |] () in
+  Alcotest.(check int) "before window" 100 (Request.defer_past_locks r 100);
+  Alcotest.(check int) "after window" 500 (Request.defer_past_locks r 500)
+
+let test_defer_inside_window () =
+  let r = request ~service_ns:1_000 ~locks:[| (200, 400); (600, 700) |] () in
+  Alcotest.(check int) "deferred to window end" 400 (Request.defer_past_locks r 250);
+  Alcotest.(check int) "second window" 700 (Request.defer_past_locks r 600);
+  Alcotest.(check int) "window start is inside" 400 (Request.defer_past_locks r 200)
+
+let test_defer_clamps_to_service () =
+  let r = request ~service_ns:1_000 ~locks:[| (900, 5_000) |] () in
+  Alcotest.(check int) "clamped" 1_000 (Request.defer_past_locks r 950)
+
+let test_sojourn_requires_completion () =
+  let r = request () in
+  Alcotest.check_raises "incomplete sojourn"
+    (Invalid_argument "Request.sojourn_ns: not complete") (fun () ->
+      ignore (Request.sojourn_ns r))
+
+(* --- policy ------------------------------------------------------------- *)
+
+let ids q ~worker =
+  let rec go acc =
+    match Policy.pop q ~worker with
+    | None -> List.rev acc
+    | Some r -> go (r.Request.id :: acc)
+  in
+  go []
+
+let test_fcfs_order () =
+  let q = Policy.create Policy.Fcfs in
+  List.iter (fun id -> Policy.push_new q (request ~id ())) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "fcfs order" [ 1; 2; 3 ] (ids q ~worker:0)
+
+let test_fcfs_preempted_to_tail () =
+  let q = Policy.create Policy.Fcfs in
+  Policy.push_new q (request ~id:1 ());
+  let preempted = request ~id:9 () in
+  preempted.Request.started <- true;
+  Policy.push_preempted q preempted;
+  Policy.push_new q (request ~id:2 ());
+  Alcotest.(check (list int)) "preempted behind head" [ 1; 9; 2 ] (ids q ~worker:0)
+
+let test_srpt_order () =
+  let q = Policy.create Policy.Srpt in
+  Policy.push_new q (request ~id:1 ~service_ns:5_000 ());
+  Policy.push_new q (request ~id:2 ~service_ns:1_000 ());
+  let started = request ~id:3 ~service_ns:9_000 () in
+  started.Request.started <- true;
+  started.Request.done_ns <- 8_900;
+  (* 100ns remaining *)
+  Policy.push_preempted q started;
+  Alcotest.(check (list int)) "least remaining first" [ 3; 2; 1 ] (ids q ~worker:0)
+
+let test_locality_prefers_last_worker () =
+  let q = Policy.create Policy.Locality_fcfs in
+  let a = request ~id:1 () and b = request ~id:2 () in
+  b.Request.last_worker <- 4;
+  Policy.push_new q a;
+  Policy.push_preempted q b;
+  (match Policy.pop q ~worker:4 with
+  | Some r -> Alcotest.(check int) "worker 4 gets its request" 2 r.Request.id
+  | None -> Alcotest.fail "empty");
+  match Policy.pop q ~worker:4 with
+  | Some r -> Alcotest.(check int) "then the head" 1 r.Request.id
+  | None -> Alcotest.fail "empty"
+
+let test_pop_not_started () =
+  let q = Policy.create Policy.Fcfs in
+  let started = request ~id:1 () in
+  started.Request.started <- true;
+  Policy.push_preempted q started;
+  Policy.push_new q (request ~id:2 ());
+  Alcotest.(check bool) "has fresh" true (Policy.has_not_started q);
+  (match Policy.pop_not_started q with
+  | Some r -> Alcotest.(check int) "skips started head" 2 r.Request.id
+  | None -> Alcotest.fail "found none");
+  Alcotest.(check bool) "only started left" false (Policy.has_not_started q);
+  Alcotest.(check int) "started request still queued" 1 (Policy.length q)
+
+let prop_policy_conserves =
+  QCheck.Test.make ~count:200 ~name:"every policy pops each pushed request exactly once"
+    QCheck.(pair (int_range 0 2) (list_of_size (Gen.int_range 0 30) (int_range 1 10_000)))
+    (fun (kind_idx, services) ->
+      let kind = List.nth [ Policy.Fcfs; Policy.Srpt; Policy.Locality_fcfs ] kind_idx in
+      let q = Policy.create kind in
+      List.iteri (fun id s -> Policy.push_new q (request ~id ~service_ns:s ())) services;
+      let popped = ids q ~worker:0 in
+      List.sort compare popped = List.init (List.length services) (fun i -> i))
+
+(* --- local queue --------------------------------------------------------- *)
+
+let test_local_queue_fifo () =
+  let q = Local_queue.create ~capacity:3 in
+  List.iter (fun id -> Local_queue.push q (request ~id ())) [ 1; 2; 3 ];
+  Alcotest.(check bool) "full" true (Local_queue.is_full q);
+  let order =
+    List.init 3 (fun _ ->
+        match Local_queue.pop q with Some r -> r.Request.id | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] order;
+  Alcotest.(check bool) "empty" true (Local_queue.is_empty q)
+
+let test_local_queue_bounds () =
+  let q = Local_queue.create ~capacity:1 in
+  Local_queue.push q (request ());
+  Alcotest.check_raises "overflow" (Invalid_argument "Local_queue.push: queue full")
+    (fun () -> Local_queue.push q (request ()))
+
+let test_local_queue_zero_capacity () =
+  let q = Local_queue.create ~capacity:0 in
+  Alcotest.(check bool) "always full" true (Local_queue.is_full q);
+  Alcotest.(check bool) "pop empty" true (Local_queue.pop q = None)
+
+let test_local_queue_wraparound () =
+  let q = Local_queue.create ~capacity:2 in
+  for round = 0 to 9 do
+    Local_queue.push q (request ~id:round ());
+    match Local_queue.pop q with
+    | Some r -> Alcotest.(check int) "wrap fifo" round r.Request.id
+    | None -> Alcotest.fail "pop"
+  done
+
+(* --- config ---------------------------------------------------------------- *)
+
+let test_config_validation () =
+  let ok = Systems.concord () in
+  Config.validate ok;
+  Alcotest.check_raises "no workers" (Invalid_argument "Config: need at least one worker")
+    (fun () -> Config.validate { ok with Config.n_workers = 0 });
+  Alcotest.check_raises "bad quantum" (Invalid_argument "Config: quantum must be positive")
+    (fun () -> Config.validate { ok with Config.quantum_ns = 0 });
+  Alcotest.check_raises "bad depth" (Invalid_argument "Config: JBSQ depth must be >= 1")
+    (fun () -> Config.validate { ok with Config.queue_model = Config.Jbsq 0 })
+
+let test_jbsq_depth () =
+  Alcotest.(check int) "SQ depth 1" 1 (Config.jbsq_depth (Systems.shinjuku ()));
+  Alcotest.(check int) "concord depth 2" 2 (Config.jbsq_depth (Systems.concord ()))
+
+let test_system_presets () =
+  List.iter
+    (fun name ->
+      match Systems.by_name name with
+      | Some make -> Config.validate (make ())
+      | None -> Alcotest.failf "missing system %s" name)
+    Systems.all_names;
+  let shinjuku = Systems.shinjuku () in
+  Alcotest.(check bool) "shinjuku is SQ" true
+    (shinjuku.Config.queue_model = Config.Single_queue);
+  Alcotest.(check bool) "shinjuku no steal" false shinjuku.Config.dispatcher_steals;
+  let concord = Systems.concord () in
+  Alcotest.(check bool) "concord steals" true concord.Config.dispatcher_steals;
+  Alcotest.(check bool) "concord JBSQ(2)" true (concord.Config.queue_model = Config.Jbsq 2)
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let completed_request ?class_id ~id ~arrival_ns ~service_ns ~completion_ns () =
+  let r = request ~id ~arrival_ns ?class_id ~service_ns () in
+  r.Request.completion_ns <- completion_ns;
+  r
+
+let test_metrics_warmup_cutoff () =
+  let m = Metrics.create ~warmup_before:5 ~n_classes:1 in
+  for id = 0 to 9 do
+    Metrics.record_completion m
+      (completed_request ~id ~arrival_ns:0 ~service_ns:100 ~completion_ns:200 ())
+  done;
+  let s =
+    Metrics.summarize m ~offered_rps:1.0 ~span_ns:1_000 ~n_workers:1 ~class_names:[| "c" |]
+  in
+  Alcotest.(check int) "all completions counted" 10 s.Metrics.completed;
+  Alcotest.(check int) "warmup excluded from samples" 5 s.Metrics.measured
+
+let test_metrics_censoring () =
+  let m = Metrics.create ~warmup_before:0 ~n_classes:1 in
+  Metrics.record_censored m (request ~id:0 ~arrival_ns:0 ~service_ns:100 ()) ~now_ns:10_000;
+  let s =
+    Metrics.summarize m ~offered_rps:1.0 ~span_ns:10_000 ~n_workers:1 ~class_names:[| "c" |]
+  in
+  Alcotest.(check int) "censored counted" 1 s.Metrics.censored;
+  Alcotest.(check (float 1e-6)) "lower-bound slowdown recorded" 100.0 s.Metrics.p999_slowdown
+
+let test_metrics_percentiles () =
+  let m = Metrics.create ~warmup_before:0 ~n_classes:2 in
+  (* 9 fast requests in class 0, one slow one in class 1 *)
+  for id = 0 to 8 do
+    Metrics.record_completion m
+      (completed_request ~id ~arrival_ns:0 ~service_ns:100 ~completion_ns:100 ())
+  done;
+  (* class_id out of range exercises the per-class guard *)
+  let slow =
+    completed_request ~class_id:7 ~id:9 ~arrival_ns:0 ~service_ns:100 ~completion_ns:1_000 ()
+  in
+  Metrics.record_completion m slow;
+  let s =
+    Metrics.summarize m ~offered_rps:1.0 ~span_ns:1_000 ~n_workers:1
+      ~class_names:[| "fast"; "slow" |]
+  in
+  Alcotest.(check (float 1e-6)) "p50" 1.0 s.Metrics.p50_slowdown;
+  Alcotest.(check (float 1e-6)) "p99.9 is the max" 10.0 s.Metrics.p999_slowdown
+
+let suite =
+  [
+    Alcotest.test_case "request lifecycle" `Quick test_request_lifecycle;
+    Alcotest.test_case "lock deferral: outside windows" `Quick test_defer_outside_window;
+    Alcotest.test_case "lock deferral: inside windows" `Quick test_defer_inside_window;
+    Alcotest.test_case "lock deferral clamps to service" `Quick test_defer_clamps_to_service;
+    Alcotest.test_case "sojourn requires completion" `Quick test_sojourn_requires_completion;
+    Alcotest.test_case "FCFS order" `Quick test_fcfs_order;
+    Alcotest.test_case "FCFS re-enqueues preempted at tail" `Quick test_fcfs_preempted_to_tail;
+    Alcotest.test_case "SRPT least-remaining order" `Quick test_srpt_order;
+    Alcotest.test_case "locality prefers last worker" `Quick test_locality_prefers_last_worker;
+    Alcotest.test_case "dispatcher steals only fresh requests" `Quick test_pop_not_started;
+    QCheck_alcotest.to_alcotest prop_policy_conserves;
+    Alcotest.test_case "local queue FIFO" `Quick test_local_queue_fifo;
+    Alcotest.test_case "local queue bounds" `Quick test_local_queue_bounds;
+    Alcotest.test_case "local queue zero capacity" `Quick test_local_queue_zero_capacity;
+    Alcotest.test_case "local queue wraparound" `Quick test_local_queue_wraparound;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "jbsq depth" `Quick test_jbsq_depth;
+    Alcotest.test_case "system presets" `Quick test_system_presets;
+    Alcotest.test_case "metrics warmup cutoff" `Quick test_metrics_warmup_cutoff;
+    Alcotest.test_case "metrics censoring" `Quick test_metrics_censoring;
+    Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
+  ]

@@ -1,0 +1,105 @@
+(* Tests for sample statistics and percentile computation. *)
+
+module Stats = Repro_engine.Stats
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let of_list xs =
+  let t = Stats.create () in
+  List.iter (Stats.add t) xs;
+  t
+
+let test_empty () =
+  let t = Stats.create () in
+  Alcotest.(check bool) "is_empty" true (Stats.is_empty t);
+  Alcotest.(check (float 1e-9)) "mean of empty" 0.0 (Stats.mean t);
+  Alcotest.check_raises "percentile of empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile t 50.0))
+
+let test_mean_stddev () =
+  let t = of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean t);
+  Alcotest.(check (float 1e-9)) "population stddev" 2.0 (Stats.stddev t)
+
+let test_min_max () =
+  let t = of_list [ 3.0; -1.0; 7.5 ] in
+  Alcotest.(check (float 1e-9)) "min" (-1.0) (Stats.min_value t);
+  Alcotest.(check (float 1e-9)) "max" 7.5 (Stats.max_value t)
+
+let test_percentile_nearest_rank () =
+  let t = of_list (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 1e-9)) "p50 of 1..100" 50.0 (Stats.percentile t 50.0);
+  Alcotest.(check (float 1e-9)) "p99 of 1..100" 99.0 (Stats.percentile t 99.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile t 100.0);
+  Alcotest.(check (float 1e-9)) "p0 clamps to first" 1.0 (Stats.percentile t 0.0)
+
+let test_percentile_after_growth () =
+  let t = Stats.create ~capacity:1 () in
+  for i = 1 to 1000 do
+    Stats.add t (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p99.9 of 1..1000" 999.0 (Stats.percentile t 99.9)
+
+let test_interleaved_add_query () =
+  (* Percentile queries sort in place; later adds must still be seen. *)
+  let t = of_list [ 5.0; 1.0; 3.0 ] in
+  ignore (Stats.median t);
+  Stats.add t 100.0;
+  Alcotest.(check (float 1e-9)) "new max visible" 100.0 (Stats.max_value t);
+  Alcotest.(check int) "count" 4 (Stats.count t)
+
+let test_merge () =
+  let a = of_list [ 1.0; 2.0 ] and b = of_list [ 3.0 ] in
+  let m = Stats.merge a b in
+  Alcotest.(check int) "merged count" 3 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Stats.mean m)
+
+let test_values_insertion_order () =
+  let t = of_list [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check bool) "values keep insertion order before sorting" true
+    (Stats.values t = [| 3.0; 1.0; 2.0 |])
+
+let test_online_matches_direct () =
+  let xs = List.init 1000 (fun i -> Float.sin (float_of_int i) *. 10.0) in
+  let direct = of_list xs in
+  let acc = Stats.Online.create () in
+  List.iter (Stats.Online.add acc) xs;
+  Alcotest.(check bool) "online mean" true (feq ~eps:1e-6 (Stats.Online.mean acc) (Stats.mean direct));
+  Alcotest.(check bool) "online stddev" true
+    (feq ~eps:1e-6 (Stats.Online.stddev acc) (Stats.stddev direct))
+
+let prop_percentile_matches_oracle =
+  QCheck.Test.make ~count:300 ~name:"percentile equals nearest-rank oracle"
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_inclusive 100.0)) (int_range 0 100))
+    (fun (xs, p) ->
+      let t = of_list xs in
+      let sorted = List.sort compare xs in
+      let n = List.length xs in
+      let rank =
+        int_of_float (ceil ((float_of_int p *. float_of_int n /. 100.0) -. 1e-9))
+      in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      feq (Stats.percentile t (float_of_int p)) (List.nth sorted idx))
+
+let prop_mean_bounded =
+  QCheck.Test.make ~count:300 ~name:"mean lies between min and max"
+    QCheck.(list_of_size (Gen.int_range 1 60) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let t = of_list xs in
+      let m = Stats.mean t in
+      m >= Stats.min_value t -. 1e-9 && m <= Stats.max_value t +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty stats" `Quick test_empty;
+    Alcotest.test_case "mean and stddev" `Quick test_mean_stddev;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "nearest-rank percentiles" `Quick test_percentile_nearest_rank;
+    Alcotest.test_case "percentile after array growth" `Quick test_percentile_after_growth;
+    Alcotest.test_case "interleaved add and query" `Quick test_interleaved_add_query;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "values keep insertion order" `Quick test_values_insertion_order;
+    Alcotest.test_case "online accumulator matches direct" `Quick test_online_matches_direct;
+    QCheck_alcotest.to_alcotest prop_percentile_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_mean_bounded;
+  ]

@@ -1,0 +1,77 @@
+(* Tests for trace file loading/saving. *)
+
+module Trace_io = Repro_workload.Trace_io
+module Service_dist = Repro_workload.Service_dist
+
+let with_temp_file content f =
+  let path = Filename.temp_file "concord_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc content);
+      f path)
+
+let test_parse_line () =
+  Alcotest.(check bool) "sample" true (Trace_io.parse_line " 1250.5 " = `Sample 1250.5);
+  Alcotest.(check bool) "comment" true (Trace_io.parse_line "# header" = `Skip);
+  Alcotest.(check bool) "blank" true (Trace_io.parse_line "   " = `Skip);
+  (match Trace_io.parse_line "abc" with `Error _ -> () | _ -> Alcotest.fail "bad line accepted");
+  match Trace_io.parse_line "-5" with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "negative accepted"
+
+let test_load_trace () =
+  with_temp_file "# service times\n1000\n2000.5\n\n3000\n" (fun path ->
+      match Trace_io.load ~path with
+      | Ok (Service_dist.Trace samples) ->
+        Alcotest.(check int) "three samples" 3 (Array.length samples);
+        Alcotest.(check (float 1e-3)) "mean" ((1000.0 +. 2000.5 +. 3000.0) /. 3.0)
+          (Service_dist.mean_ns (Service_dist.Trace samples));
+        Alcotest.(check bool) "values" true (samples = [| 1000.0; 2000.5; 3000.0 |])
+      | Ok _ -> Alcotest.fail "expected a trace"
+      | Error e -> Alcotest.fail e)
+
+let test_load_reports_line () =
+  with_temp_file "1000\noops\n" (fun path ->
+      match Trace_io.load ~path with
+      | Error msg ->
+        Alcotest.(check bool) "mentions line 2" true (Astring_contains.contains msg ":2:")
+      | Ok _ -> Alcotest.fail "bad trace accepted")
+
+let test_load_empty_rejected () =
+  with_temp_file "# nothing\n" (fun path ->
+      match Trace_io.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty trace accepted")
+
+let test_load_missing_file () =
+  match Trace_io.load ~path:"/nonexistent/concord/trace.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+let test_roundtrip () =
+  let samples = [| 500.0; 1234.567; 99_000.25 |] in
+  let path = Filename.temp_file "concord_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Trace_io.save ~path ~samples;
+      match Trace_io.load ~path with
+      | Ok (Service_dist.Trace loaded) ->
+        Array.iteri
+          (fun i v ->
+            if Float.abs (v -. samples.(i)) > 0.01 then
+              Alcotest.failf "sample %d: %f vs %f" i v samples.(i))
+          loaded
+      | Ok _ -> Alcotest.fail "expected trace"
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  [
+    Alcotest.test_case "parse_line" `Quick test_parse_line;
+    Alcotest.test_case "load trace" `Quick test_load_trace;
+    Alcotest.test_case "errors carry line numbers" `Quick test_load_reports_line;
+    Alcotest.test_case "empty trace rejected" `Quick test_load_empty_rejected;
+    Alcotest.test_case "missing file" `Quick test_load_missing_file;
+    Alcotest.test_case "save/load roundtrip" `Quick test_roundtrip;
+  ]

@@ -1,0 +1,197 @@
+(* Tests for request-lifecycle tracing and CSV export. *)
+
+module Tracing = Repro_runtime.Tracing
+module Systems = Repro_runtime.Systems
+module Mix = Repro_workload.Mix
+module Service_dist = Repro_workload.Service_dist
+module Arrival = Repro_workload.Arrival
+
+let test_ring_basic () =
+  let t = Tracing.create ~capacity:4 () in
+  Alcotest.(check int) "empty" 0 (Tracing.length t);
+  Tracing.record t ~time_ns:10 ~request:1 Tracing.Arrived;
+  Tracing.record t ~time_ns:20 ~request:1 (Tracing.Started { worker = 0 });
+  Alcotest.(check int) "two entries" 2 (Tracing.length t);
+  Alcotest.(check int) "nothing dropped" 0 (Tracing.dropped t);
+  match Tracing.entries t with
+  | [ a; b ] ->
+    Alcotest.(check int) "order" 10 a.Tracing.time_ns;
+    Alcotest.(check int) "order" 20 b.Tracing.time_ns
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_ring_eviction () =
+  let t = Tracing.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Tracing.record t ~time_ns:i ~request:i Tracing.Arrived
+  done;
+  Alcotest.(check int) "capacity respected" 3 (Tracing.length t);
+  Alcotest.(check int) "dropped" 2 (Tracing.dropped t);
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 3; 4; 5 ]
+    (List.map (fun e -> e.Tracing.time_ns) (Tracing.entries t))
+
+let test_of_request () =
+  let t = Tracing.create () in
+  Tracing.record t ~time_ns:1 ~request:7 Tracing.Arrived;
+  Tracing.record t ~time_ns:2 ~request:9 Tracing.Arrived;
+  Tracing.record t ~time_ns:3 ~request:7 (Tracing.Completed { worker = 2 });
+  Alcotest.(check int) "request 7 lifecycle" 2
+    (List.length (Tracing.of_request t ~request:7))
+
+let test_entry_to_string () =
+  let s =
+    Tracing.entry_to_string
+      { Tracing.time_ns = 42; request = 3; kind = Tracing.Preempted { worker = 1; progress_ns = 500 } }
+  in
+  Alcotest.(check bool) "mentions preemption" true
+    (Astring_contains.contains s "preempted on worker 1");
+  Alcotest.(check bool) "dispatcher completion" true
+    (Astring_contains.contains
+       (Tracing.kind_to_string (Tracing.Completed { worker = -1 }))
+       "dispatcher")
+
+(* End-to-end: trace a run, check lifecycle invariants. *)
+let test_server_lifecycle_invariants () =
+  let tracer = Tracing.create () in
+  let mix = Mix.of_dist ~name:"f" (Service_dist.Fixed 20_000.0) in
+  let (_ : Repro_runtime.Metrics.summary) =
+    Repro_runtime.Server.run
+      ~config:(Systems.concord ~n_workers:2 ~quantum_ns:5_000 ())
+      ~mix
+      ~arrival:(Arrival.Poisson { rate_rps = 60_000.0 })
+      ~n_requests:300 ~tracer ()
+  in
+  Alcotest.(check int) "no ring overflow in a small run" 0 (Tracing.dropped tracer);
+  for id = 0 to 299 do
+    let life = Tracing.of_request tracer ~request:id in
+    (* Every request: first event Arrived, last event Completed; at least
+       one Started; preemption count = requeue count. *)
+    (match life with
+    | { Tracing.kind = Tracing.Arrived; _ } :: _ -> ()
+    | _ -> Alcotest.failf "request %d does not start with Arrived" id);
+    (match List.rev life with
+    | { Tracing.kind = Tracing.Completed _; _ } :: _ -> ()
+    | _ -> Alcotest.failf "request %d does not end with Completed" id);
+    let count f = List.length (List.filter f life) in
+    let started = count (fun e -> match e.Tracing.kind with Tracing.Started _ -> true | _ -> false) in
+    let preempted =
+      count (fun e -> match e.Tracing.kind with Tracing.Preempted _ -> true | _ -> false)
+    in
+    let requeued = count (fun e -> e.Tracing.kind = Tracing.Requeued) in
+    if started < 1 then Alcotest.failf "request %d never started" id;
+    if preempted <> requeued then
+      Alcotest.failf "request %d: %d preemptions but %d requeues" id preempted requeued;
+    (* Timestamps must be nondecreasing. *)
+    let rec monotone = function
+      | a :: (b :: _ as rest) ->
+        a.Tracing.time_ns <= b.Tracing.time_ns && monotone rest
+      | [ _ ] | [] -> true
+    in
+    if not (monotone life) then Alcotest.failf "request %d: trace not time-ordered" id
+  done
+
+let test_tracing_does_not_perturb () =
+  let mix = Repro_workload.Presets.ycsb_a in
+  let run tracer =
+    Repro_runtime.Server.run ~config:(Systems.concord ()) ~mix
+      ~arrival:(Arrival.Poisson { rate_rps = 150_000.0 })
+      ~n_requests:5_000 ?tracer ()
+  in
+  let plain = run None in
+  let traced = run (Some (Tracing.create ())) in
+  Alcotest.(check (float 0.0)) "identical results with tracing"
+    plain.Repro_runtime.Metrics.p999_slowdown traced.Repro_runtime.Metrics.p999_slowdown
+
+let test_dispatch_matches_execution () =
+  (* A request pushed towards worker w must execute on w (local queues are
+     core-local); only dispatcher-stolen work escapes this rule. *)
+  let tracer = Tracing.create () in
+  let (_ : Repro_runtime.Metrics.summary) =
+    Repro_runtime.Server.run
+      ~config:(Systems.concord ~n_workers:4 ~quantum_ns:5_000 ())
+      ~mix:Repro_workload.Presets.ycsb_a
+      ~arrival:(Arrival.Poisson { rate_rps = 60_000.0 })
+      ~n_requests:1_000 ~tracer ()
+  in
+  let last_dispatch = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e.Tracing.kind with
+      | Tracing.Dispatched { worker } -> Hashtbl.replace last_dispatch e.Tracing.request worker
+      | Tracing.Started { worker } when worker >= 0 -> begin
+        match Hashtbl.find_opt last_dispatch e.Tracing.request with
+        | Some w when w <> worker ->
+          Alcotest.failf "request %d dispatched to %d but started on %d" e.Tracing.request w
+            worker
+        | Some _ -> ()
+        | None -> Alcotest.failf "request %d started without a dispatch" e.Tracing.request
+      end
+      | _ -> ())
+    (Tracing.entries tracer)
+
+let test_admission_precedes_dispatch () =
+  let tracer = Tracing.create () in
+  let (_ : Repro_runtime.Metrics.summary) =
+    Repro_runtime.Server.run
+      ~config:(Systems.shinjuku ~n_workers:2 ())
+      ~mix:(Mix.of_dist ~name:"f" (Service_dist.Fixed 3_000.0))
+      ~arrival:(Arrival.Poisson { rate_rps = 300_000.0 })
+      ~n_requests:500 ~tracer ()
+  in
+  let phase = Hashtbl.create 64 in
+  (* 0 = arrived, 1 = admitted, 2 = dispatched *)
+  List.iter
+    (fun e ->
+      let expect_at_least p =
+        let cur = Option.value (Hashtbl.find_opt phase e.Tracing.request) ~default:(-1) in
+        if cur < p - 1 then
+          Alcotest.failf "request %d skipped a lifecycle phase (at %d, saw phase %d)"
+            e.Tracing.request cur p
+      in
+      match e.Tracing.kind with
+      | Tracing.Arrived -> Hashtbl.replace phase e.Tracing.request 0
+      | Tracing.Admitted ->
+        expect_at_least 1;
+        Hashtbl.replace phase e.Tracing.request 1
+      | Tracing.Dispatched _ ->
+        expect_at_least 2;
+        Hashtbl.replace phase e.Tracing.request 2
+      | _ -> ())
+    (Tracing.entries tracer)
+
+(* --- CSV export ---------------------------------------------------------- *)
+
+let test_csv_export () =
+  let fig =
+    {
+      Concord.Figure.id = "t";
+      title = "t";
+      xlabel = "x";
+      ylabel = "y";
+      series =
+        [
+          { Concord.Figure.label = "a,b"; points = [ (1.0, 2.5); (2.0, 3.5) ] };
+          { Concord.Figure.label = "c"; points = [ (1.0, 9.0) ] };
+        ];
+      notes = [];
+    }
+  in
+  let csv = Concord.Figure.to_csv fig in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check (list string)) "csv content"
+    [ "x,\"a,b\",c"; "1,2.5,9"; "2,3.5," ] lines
+
+let suite =
+  [
+    Alcotest.test_case "ring basics" `Quick test_ring_basic;
+    Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "per-request filter" `Quick test_of_request;
+    Alcotest.test_case "formatting" `Quick test_entry_to_string;
+    Alcotest.test_case "lifecycle invariants in a traced run" `Quick
+      test_server_lifecycle_invariants;
+    Alcotest.test_case "tracing does not perturb the simulation" `Quick
+      test_tracing_does_not_perturb;
+    Alcotest.test_case "dispatch target matches execution core" `Quick
+      test_dispatch_matches_execution;
+    Alcotest.test_case "admission precedes dispatch" `Quick test_admission_precedes_dispatch;
+    Alcotest.test_case "figure CSV export" `Quick test_csv_export;
+  ]

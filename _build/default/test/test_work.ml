@@ -1,0 +1,98 @@
+(* Tests for the Work handler-description DSL (the 4.1 API surface). *)
+
+module Work = Concord.Work
+module Mix = Repro_workload.Mix
+
+let test_spin_profile () =
+  let p = Work.to_profile (Work.spin 1_500.0) in
+  Alcotest.(check int) "service" 1_500 p.Mix.service_ns;
+  Alcotest.(check int) "no locks" 0 (Array.length p.Mix.lock_windows);
+  Alcotest.(check (float 0.0)) "default probes" 0.0 p.Mix.probe_spacing_ns
+
+let test_seq_and_total () =
+  let w = Work.seq [ Work.spin 100.0; Work.spin 200.0; Work.spin 300.0 ] in
+  Alcotest.(check (float 1e-9)) "total" 600.0 (Work.total_ns w);
+  Alcotest.(check int) "profile total" 600 (Work.to_profile w).Mix.service_ns
+
+let test_repeat () =
+  let w = Work.repeat 5 (Work.spin 50.0) in
+  Alcotest.(check (float 1e-9)) "repeat total" 250.0 (Work.total_ns w);
+  Alcotest.check_raises "negative repeat" (Invalid_argument "Work.repeat: negative count")
+    (fun () -> ignore (Work.repeat (-1) (Work.spin 1.0)))
+
+let test_lock_window_placement () =
+  let w =
+    Work.seq [ Work.spin 100.0; Work.locked (Work.spin 200.0); Work.spin 300.0 ]
+  in
+  let p = Work.to_profile w in
+  Alcotest.(check bool) "window is [100,300)" true (p.Mix.lock_windows = [| (100, 300) |])
+
+let test_nested_locks_merge () =
+  let w =
+    Work.locked (Work.seq [ Work.spin 50.0; Work.locked (Work.spin 50.0); Work.spin 50.0 ])
+  in
+  let p = Work.to_profile w in
+  Alcotest.(check bool) "one outer window" true (p.Mix.lock_windows = [| (0, 150) |])
+
+let test_adjacent_windows_merge () =
+  let w = Work.seq [ Work.locked (Work.spin 100.0); Work.locked (Work.spin 100.0) ] in
+  let p = Work.to_profile w in
+  Alcotest.(check bool) "merged" true (p.Mix.lock_windows = [| (0, 200) |])
+
+let test_probe_spacing_coarsest_wins () =
+  let w =
+    Work.seq
+      [ Work.probe_every 100.0 (Work.spin 500.0); Work.probe_every 900.0 (Work.spin 500.0) ]
+  in
+  Alcotest.(check (float 1e-9)) "coarsest" 900.0 (Work.to_profile w).Mix.probe_spacing_ns
+
+let test_validation () =
+  Alcotest.check_raises "zero spin" (Invalid_argument "Work.spin: duration must be positive")
+    (fun () -> ignore (Work.spin 0.0));
+  Alcotest.check_raises "empty handler"
+    (Invalid_argument "Work.to_profile: handler performs no work") (fun () ->
+      ignore (Work.to_profile (Work.seq [])))
+
+let test_handler_mix_end_to_end () =
+  (* A custom application: short parses plus occasional locked rebuilds. *)
+  let mix =
+    Work.handler_mix ~name:"custom-app"
+      [
+        ("parse", 0.95, Work.spin 800.0);
+        ( "rebuild",
+          0.05,
+          Work.seq [ Work.spin 5_000.0; Work.locked (Work.spin 20_000.0); Work.spin 5_000.0 ] );
+      ]
+  in
+  let config = Repro_runtime.Systems.concord ~n_workers:4 ~quantum_ns:5_000 () in
+  let s =
+    Repro_runtime.Server.run ~config ~mix
+      ~arrival:(Repro_workload.Arrival.Poisson { rate_rps = 500_000.0 })
+      ~n_requests:10_000 ()
+  in
+  Alcotest.(check int) "conservation" 10_000
+    (s.Repro_runtime.Metrics.completed + s.Repro_runtime.Metrics.censored);
+  Alcotest.(check bool) "rebuilds get preempted outside their lock" true
+    (s.Repro_runtime.Metrics.preemptions > 0)
+
+let prop_total_matches_profile =
+  QCheck.Test.make ~count:200 ~name:"Work.total_ns agrees with the compiled profile"
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 1.0 10_000.0))
+    (fun durations ->
+      let w = Work.seq (List.map Work.spin durations) in
+      let p = Work.to_profile w in
+      abs (p.Mix.service_ns - int_of_float (Work.total_ns w)) <= List.length durations)
+
+let suite =
+  [
+    Alcotest.test_case "spin profile" `Quick test_spin_profile;
+    Alcotest.test_case "seq and total" `Quick test_seq_and_total;
+    Alcotest.test_case "repeat" `Quick test_repeat;
+    Alcotest.test_case "lock window placement" `Quick test_lock_window_placement;
+    Alcotest.test_case "nested locks merge" `Quick test_nested_locks_merge;
+    Alcotest.test_case "adjacent windows merge" `Quick test_adjacent_windows_merge;
+    Alcotest.test_case "coarsest probe spacing wins" `Quick test_probe_spacing_coarsest_wins;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "custom handler end to end" `Quick test_handler_mix_end_to_end;
+    QCheck_alcotest.to_alcotest prop_total_matches_profile;
+  ]

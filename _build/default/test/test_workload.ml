@@ -1,0 +1,203 @@
+(* Tests for service-time distributions, arrival processes, mixes, and the
+   paper's workload presets. *)
+
+module Rng = Repro_engine.Rng
+module Service_dist = Repro_workload.Service_dist
+module Arrival = Repro_workload.Arrival
+module Mix = Repro_workload.Mix
+module Presets = Repro_workload.Presets
+
+let sample_mean dist n =
+  let rng = Rng.create ~seed:17 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Service_dist.sample dist rng
+  done;
+  !total /. float_of_int n
+
+(* --- distributions ----------------------------------------------------- *)
+
+let test_fixed () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10 do
+    Alcotest.(check (float 0.0)) "fixed" 1000.0 (Service_dist.sample (Service_dist.Fixed 1000.0) rng)
+  done
+
+let test_bimodal_values_and_mean () =
+  let d = Service_dist.Bimodal { p_short = 0.9; short_ns = 100.0; long_ns = 10_000.0 } in
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let s = Service_dist.sample d rng in
+    if s <> 100.0 && s <> 10_000.0 then Alcotest.failf "unexpected bimodal value %f" s
+  done;
+  Alcotest.(check (float 1e-9)) "analytic mean" 1090.0 (Service_dist.mean_ns d);
+  let m = sample_mean d 200_000 in
+  Alcotest.(check bool) "MC mean within 2%" true (Float.abs (m -. 1090.0) /. 1090.0 < 0.02)
+
+let test_discrete_mean () =
+  let d = Service_dist.Discrete [| (1.0, 10.0); (3.0, 20.0) |] in
+  Alcotest.(check (float 1e-9)) "weighted mean" 17.5 (Service_dist.mean_ns d)
+
+let test_exponential_mc_mean () =
+  let d = Service_dist.Exponential { mean_ns = 5_000.0 } in
+  let m = sample_mean d 200_000 in
+  Alcotest.(check bool) "within 2%" true (Float.abs (m -. 5_000.0) /. 5_000.0 < 0.02)
+
+let test_lognormal_mean () =
+  let d = Service_dist.Lognormal { mu = 7.0; sigma = 0.5 } in
+  let analytic = Service_dist.mean_ns d in
+  let m = sample_mean d 300_000 in
+  Alcotest.(check bool) "MC matches analytic within 2%" true
+    (Float.abs (m -. analytic) /. analytic < 0.02)
+
+let test_squared_cv () =
+  (match Service_dist.squared_cv (Service_dist.Fixed 5.0) with
+  | Some cv -> Alcotest.(check (float 1e-9)) "fixed scv" 0.0 cv
+  | None -> Alcotest.fail "fixed has scv");
+  (match Service_dist.squared_cv (Service_dist.Exponential { mean_ns = 10.0 }) with
+  | Some cv -> Alcotest.(check (float 1e-6)) "exponential scv = 1" 1.0 cv
+  | None -> Alcotest.fail "exp has scv");
+  match Service_dist.squared_cv (Service_dist.Pareto { scale_ns = 1.0; shape = 1.5 }) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "heavy pareto has no finite scv"
+
+let test_scale () =
+  let d = Service_dist.Bimodal { p_short = 0.5; short_ns = 10.0; long_ns = 100.0 } in
+  let scaled = Service_dist.scale d 2.0 in
+  Alcotest.(check (float 1e-9)) "mean doubles" (2.0 *. Service_dist.mean_ns d)
+    (Service_dist.mean_ns scaled)
+
+let test_trace () =
+  let d = Service_dist.Trace [| 5.0; 15.0 |] in
+  Alcotest.(check (float 1e-9)) "trace mean" 10.0 (Service_dist.mean_ns d);
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    let s = Service_dist.sample d rng in
+    if s <> 5.0 && s <> 15.0 then Alcotest.failf "trace sample %f" s
+  done
+
+let prop_samples_positive =
+  QCheck.Test.make ~count:200 ~name:"all distribution samples are positive"
+    QCheck.(pair (float_range 1.0 1e6) (float_range 1.0 1e6))
+    (fun (a, b) ->
+      let rng = Rng.create ~seed:4 in
+      List.for_all
+        (fun d -> Service_dist.sample d rng > 0.0)
+        [
+          Service_dist.Fixed a;
+          Service_dist.Bimodal { p_short = 0.5; short_ns = a; long_ns = b };
+          Service_dist.Exponential { mean_ns = a };
+          Service_dist.Pareto { scale_ns = a; shape = 1.5 };
+        ])
+
+(* --- arrivals ----------------------------------------------------------- *)
+
+let test_poisson_rate () =
+  let a = Arrival.Poisson { rate_rps = 1.0e6 } in
+  let rng = Rng.create ~seed:5 in
+  let n = 200_000 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + Arrival.next_gap_ns a rng ~index:i
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean gap ~1000ns" true (Float.abs (mean -. 1000.0) < 20.0)
+
+let test_uniform_gaps () =
+  let a = Arrival.Uniform { rate_rps = 2.0e6 } in
+  let rng = Rng.create ~seed:6 in
+  Alcotest.(check int) "deterministic gap" 500 (Arrival.next_gap_ns a rng ~index:0)
+
+let test_burst_pattern () =
+  let a = Arrival.Burst_poisson { rate_rps = 1.0e6; burst = 4 } in
+  let rng = Rng.create ~seed:7 in
+  (* Indices 0,1,2 are inside the batch (gap 0); index 3 ends it. *)
+  Alcotest.(check int) "intra-burst" 0 (Arrival.next_gap_ns a rng ~index:0);
+  Alcotest.(check int) "intra-burst" 0 (Arrival.next_gap_ns a rng ~index:1);
+  Alcotest.(check int) "intra-burst" 0 (Arrival.next_gap_ns a rng ~index:2);
+  Alcotest.(check bool) "batch gap positive" true (Arrival.next_gap_ns a rng ~index:3 > 0)
+
+let test_with_rate () =
+  let a = Arrival.with_rate (Arrival.Poisson { rate_rps = 1.0 }) 5.0 in
+  Alcotest.(check (float 1e-9)) "rate updated" 5.0 (Arrival.rate_rps a)
+
+(* --- mixes ----------------------------------------------------------- *)
+
+let test_mix_class_proportions () =
+  let mix =
+    Mix.of_classes ~name:"two"
+      [|
+        Mix.simple_class ~name:"a" ~weight:0.25 ~dist:(Service_dist.Fixed 1.0);
+        Mix.simple_class ~name:"b" ~weight:0.75 ~dist:(Service_dist.Fixed 2.0);
+      |]
+  in
+  let rng = Rng.create ~seed:8 in
+  let counts = Array.make 2 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let p = Mix.sample mix rng in
+    counts.(p.Mix.class_id) <- counts.(p.Mix.class_id) + 1
+  done;
+  let frac = float_of_int counts.(0) /. float_of_int n in
+  Alcotest.(check bool) "class weights respected" true (Float.abs (frac -. 0.25) < 0.01)
+
+let test_mix_mean () =
+  let mix =
+    Mix.of_classes ~name:"two"
+      [|
+        Mix.simple_class ~name:"a" ~weight:1.0 ~dist:(Service_dist.Fixed 100.0);
+        Mix.simple_class ~name:"b" ~weight:3.0 ~dist:(Service_dist.Fixed 200.0);
+      |]
+  in
+  Alcotest.(check (float 1e-9)) "weighted mean" 175.0 (Mix.mean_service_ns mix)
+
+let test_mix_validation () =
+  Alcotest.check_raises "no classes" (Invalid_argument "Mix.of_classes: no classes")
+    (fun () -> ignore (Mix.of_classes ~name:"x" [||]));
+  Alcotest.check_raises "bad weight" (Invalid_argument "Mix.of_classes: non-positive weight")
+    (fun () ->
+      ignore
+        (Mix.of_classes ~name:"x"
+           [| Mix.simple_class ~name:"a" ~weight:0.0 ~dist:(Service_dist.Fixed 1.0) |]))
+
+(* --- paper presets -------------------------------------------------------- *)
+
+let test_preset_parameters () =
+  (* 5.2's workloads, in nanoseconds. *)
+  Alcotest.(check (float 1.0)) "YCSB-A mean 50.5us" 50_500.0 (Mix.mean_service_ns Presets.ycsb_a);
+  Alcotest.(check (float 1.0)) "USR mean ~3us" 2_997.5 (Mix.mean_service_ns Presets.usr);
+  Alcotest.(check (float 1.0)) "Fixed(1)" 1_000.0 (Mix.mean_service_ns Presets.fixed_1us);
+  Alcotest.(check (float 5.0)) "TPCC mean ~19.1us" 19_064.0 (Mix.mean_service_ns Presets.tpcc);
+  Alcotest.(check int) "TPCC classes" 5 (Array.length Presets.tpcc.Mix.classes);
+  Alcotest.(check string) "TPCC class name" "NewOrder" (Mix.class_name Presets.tpcc 2)
+
+let test_preset_lookup () =
+  List.iter
+    (fun name ->
+      match Presets.by_name name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing preset %s" name)
+    [ "ycsb-a"; "usr"; "fixed-1"; "tpcc"; "leveldb-get-scan"; "zippydb" ];
+  Alcotest.(check bool) "unknown preset" true (Presets.by_name "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "fixed distribution" `Quick test_fixed;
+    Alcotest.test_case "bimodal values and mean" `Slow test_bimodal_values_and_mean;
+    Alcotest.test_case "discrete weighted mean" `Quick test_discrete_mean;
+    Alcotest.test_case "exponential MC mean" `Slow test_exponential_mc_mean;
+    Alcotest.test_case "lognormal analytic vs MC mean" `Slow test_lognormal_mean;
+    Alcotest.test_case "squared CV" `Quick test_squared_cv;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "trace distribution" `Quick test_trace;
+    QCheck_alcotest.to_alcotest prop_samples_positive;
+    Alcotest.test_case "poisson rate" `Slow test_poisson_rate;
+    Alcotest.test_case "uniform gaps" `Quick test_uniform_gaps;
+    Alcotest.test_case "burst pattern" `Quick test_burst_pattern;
+    Alcotest.test_case "with_rate" `Quick test_with_rate;
+    Alcotest.test_case "mix class proportions" `Slow test_mix_class_proportions;
+    Alcotest.test_case "mix weighted mean" `Quick test_mix_mean;
+    Alcotest.test_case "mix validation" `Quick test_mix_validation;
+    Alcotest.test_case "paper preset parameters" `Quick test_preset_parameters;
+    Alcotest.test_case "preset lookup" `Quick test_preset_lookup;
+  ]
