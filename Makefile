@@ -1,0 +1,20 @@
+# Tier-1 verification in one command.
+.PHONY: all check build test bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# What CI (and every PR) must keep green.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -6,7 +6,10 @@
      dune exec bench/main.exe                 # everything, quick scale
      dune exec bench/main.exe -- --full       # 4x request counts
      dune exec bench/main.exe -- fig6a fig9b  # a subset
-     dune exec bench/main.exe -- --no-micro   # skip Bechamel microbenches *)
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel microbenches
+     dune exec bench/main.exe -- --jobs 4     # fan sweep points across 4 domains
+                                              # (--jobs 1 = sequential; default
+                                              #  leaves one core for the OS) *)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -119,14 +122,43 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
   let no_micro = List.mem "--no-micro" args in
-  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  (* --jobs N / --jobs=N: total domains used per parallel fan-out. *)
+  let jobs_of s = Option.bind (int_of_string_opt s) (fun n -> if n >= 1 then Some n else None) in
+  let rec parse_jobs = function
+    | [] -> None
+    | "--jobs" :: v :: _ -> jobs_of v
+    | a :: rest ->
+      (match String.length a > 7 && String.sub a 0 7 = "--jobs=" with
+      | true -> jobs_of (String.sub a 7 (String.length a - 7))
+      | false -> parse_jobs rest)
+  in
+  Option.iter
+    (fun jobs ->
+      let cores = Domain.recommended_domain_count () in
+      if jobs > cores then
+        Printf.eprintf
+          "warning: --jobs %d exceeds this machine's %d recommended domain(s); results stay \
+           identical but oversubscription slows the run\n\
+           %!"
+          jobs cores;
+      Repro_engine.Pool.set_default_jobs jobs)
+    (parse_jobs args);
+  let rec drop_flags = function
+    | [] -> []
+    | "--jobs" :: _ :: rest -> drop_flags rest
+    | a :: rest when String.length a > 1 && a.[0] = '-' -> drop_flags rest
+    | a :: rest -> a :: drop_flags rest
+  in
+  let ids = drop_flags args in
   let scale = if full then Concord.Figures.Full else Concord.Figures.Quick in
   let t0 = Unix.gettimeofday () in
   Printf.printf
-    "Concord (SOSP 2023) reproduction benchmarks -- %s scale\n\
+    "Concord (SOSP 2023) reproduction benchmarks -- %s scale, %d job%s\n\
      ================================================================\n\n\
      %!"
-    (if full then "full" else "quick");
+    (if full then "full" else "quick")
+    (Repro_engine.Pool.default_jobs ())
+    (if Repro_engine.Pool.default_jobs () = 1 then "" else "s");
   if ids = [] || List.mem "table1" ids then run_table1 ();
   run_figures ~scale ~ids:(List.filter (fun i -> i <> "table1") ids);
   if not no_micro then microbenches ();

@@ -6,6 +6,7 @@ module Presets = Repro_workload.Presets
 module Systems = Repro_runtime.Systems
 module Config = Repro_runtime.Config
 module Metrics = Repro_runtime.Metrics
+module Pool = Repro_engine.Pool
 
 type scale = Quick | Full
 
@@ -18,8 +19,14 @@ let quanta_us = [ 1; 5; 10; 25; 50; 100 ]
 (* Shared sweep machinery                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Fan independent series across the domain pool; a mix whose generators
+   share mutable state (kvstore-backed) is also shared *between* configs,
+   so those figures run fully sequentially. *)
+let pmap_if_safe ~(mix : Mix.t) f xs =
+  if mix.Mix.parallel_safe then Pool.parallel_map f xs else List.map f xs
+
 let sweep_series ?(seed = 42) ?(burst = 1) ~configs ~mix ~rates ~n () =
-  List.map
+  pmap_if_safe ~mix
     (fun (label, config) ->
       let sweep = Sweep.run ~config ~mix ~rates ~n_requests:n ~seed ~burst () in
       {
@@ -148,7 +155,7 @@ let fig3 ?(scale = Quick) () =
     List.map
       (fun (label, config) ->
         let points =
-          List.map
+          Pool.parallel_map
             (fun s ->
               let service_ns = us (float_of_int s) in
               let mix = Mix.of_dist ~name:"fixed" (Service_dist.Fixed service_ns) in
@@ -364,7 +371,7 @@ let fig12 ?(scale = Quick) () =
          { c with Config.mechanism = Mechanism.No_preempt })
     in
     let points =
-      List.map
+      Pool.parallel_map
         (fun q ->
           let g = goodput (make_config ~quantum_ns:(q * 1_000)) in
           (float_of_int q, 100.0 *. Float.max 0.0 (1.0 -. (g /. baseline))))
@@ -522,7 +529,7 @@ let ablation_sls ?(scale = Quick) () =
   in
   let sls_series (label, config) =
     let points =
-      List.map
+      Pool.parallel_map
         (fun rate_rps ->
           let s =
             Repro_runtime.Sls_server.run ~config ~mix
@@ -564,7 +571,7 @@ let ablation_replication ?(scale = Quick) () =
       (fun (label, instances, workers) ->
         let config = Systems.concord ~n_workers:workers () in
         let points =
-          List.map
+          Pool.parallel_map
             (fun rate ->
               let s =
                 Repro_runtime.Replication.run ~instances ~config ~mix ~rate_rps:rate
@@ -601,7 +608,8 @@ let ablation_classes ?(scale = Quick) () =
     List.concat_map
       (fun (label, config) ->
         let points =
-          List.map
+          (* kv-backed mix: generators share the store, so stay sequential *)
+          pmap_if_safe ~mix
             (fun rate_rps ->
               let s =
                 Repro_runtime.Server.run ~config ~mix
@@ -659,7 +667,7 @@ let ablation_scaling ?(scale = Quick) () =
   in
   let capacity workers = float_of_int workers /. Mix.mean_service_ns mix *. 1e9 in
   let physical =
-    List.map
+    Pool.parallel_map
       (fun workers ->
         let config = Systems.concord ~n_workers:workers ~quantum_ns () in
         let run rate_rps =
@@ -671,7 +679,7 @@ let ablation_scaling ?(scale = Quick) () =
       worker_counts
   in
   let sls =
-    List.map
+    Pool.parallel_map
       (fun workers ->
         let config = Repro_runtime.Sls_server.concord_sls ~n_workers:workers ~quantum_ns () in
         let run rate_rps =

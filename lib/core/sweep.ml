@@ -9,7 +9,7 @@ type t = {
   points : point list;
 }
 
-let run ~config ~mix ~rates ?(n_requests = 60_000) ?(seed = 42) ?(burst = 1) () =
+let run ~config ~mix ~rates ?(n_requests = 60_000) ?(seed = 42) ?(burst = 1) ?domains () =
   let run_one rate_rps =
     let arrival =
       if burst > 1 then Arrival.Burst_poisson { rate_rps; burst } else Arrival.Poisson { rate_rps }
@@ -19,10 +19,18 @@ let run ~config ~mix ~rates ?(n_requests = 60_000) ?(seed = 42) ?(burst = 1) () 
     in
     { rate_rps; summary }
   in
+  (* Each point derives all randomness from the explicit seed and shares no
+     state with its siblings, so fanning points across domains is
+     bit-identical to the sequential map — unless the mix itself closes
+     over shared mutable state (kvstore-backed mixes), which forces the
+     sequential path. *)
+  let map_points =
+    if mix.Mix.parallel_safe then Repro_engine.Pool.parallel_map ?domains else List.map
+  in
   {
     system = config.Repro_runtime.Config.name;
     workload = mix.Mix.name;
-    points = List.map run_one (List.sort_uniq compare rates);
+    points = map_points run_one (List.sort_uniq compare rates);
   }
 
 let default_rates ~mix ~n_workers ?(points = 10) ?(max_util = 0.95) () =

@@ -20,11 +20,20 @@ val run :
   ?n_requests:int ->
   ?seed:int ->
   ?burst:int ->
+  ?domains:int ->
   unit ->
   t
 (** Simulate each offered load with a Poisson open-loop client ([burst] > 1
     switches to batched Poisson). [n_requests] (default 60 000) arrivals per
-    point; the warm-up tenth is discarded. *)
+    point; the warm-up tenth is discarded.
+
+    Points run fanned across [domains] domains (default
+    {!Repro_engine.Pool.default_jobs}); because every point is an
+    independent simulation seeded from [seed], the result is bit-identical
+    for any [domains], and [~domains:1] recovers strictly sequential
+    execution. Mixes whose generators share mutable state
+    ([Mix.parallel_safe = false], e.g. kvstore-backed ones) always run
+    sequentially. *)
 
 val default_rates :
   mix:Repro_workload.Mix.t -> n_workers:int -> ?points:int -> ?max_util:float -> unit -> float list

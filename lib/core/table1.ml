@@ -30,7 +30,9 @@ let row_of_program (p : Ir.program) =
     probe_spacing_ns = Analysis.probe_spacing_ns concord ~clock;
   }
 
-let rows () = List.map row_of_program Repro_instrument.Programs.all
+(* The 24 instrumentation benchmarks are independent, pure analyses of
+   static programs, so they fan across the domain pool. *)
+let rows () = Repro_engine.Pool.parallel_map row_of_program Repro_instrument.Programs.all
 
 let averages rows =
   let n = float_of_int (List.length rows) in

@@ -47,6 +47,22 @@ let bucket_upper t i =
     ((half + off + 1) lsl k) - 1
   end
 
+(* Midpoint of the value range covered by bucket [i]: the unbiased
+   representative for aggregate statistics. Exact buckets below
+   2^sub_bits are their own midpoint. *)
+let bucket_mid t i =
+  let sub_count = 1 lsl t.sub_bits in
+  if i < sub_count then float_of_int i
+  else begin
+    let half = sub_count / 2 in
+    let r = i - sub_count in
+    let k = (r / half) + 1 in
+    let off = r mod half in
+    let lower = (half + off) lsl k in
+    let upper = ((half + off + 1) lsl k) - 1 in
+    float_of_int (lower + upper) /. 2.0
+  end
+
 let record t v =
   if v < 0 then invalid_arg "Histogram.record: negative value";
   let v = min v t.max_value in
@@ -74,10 +90,10 @@ let mean t =
   else begin
     let sum = ref 0.0 in
     for i = 0 to Array.length t.counts - 1 do
-      if t.counts.(i) > 0 then begin
-        let upper = bucket_upper t i in
-        sum := !sum +. (float_of_int t.counts.(i) *. float_of_int upper)
-      end
+      if t.counts.(i) > 0 then
+        (* Weight by the bucket midpoint, not its upper bound: the upper
+           bound overestimates the mean by up to the bucket width. *)
+        sum := !sum +. (float_of_int t.counts.(i) *. bucket_mid t i)
     done;
     !sum /. float_of_int t.total
   end

@@ -74,14 +74,34 @@ let median t = percentile t 50.0
 let values t = Array.sub t.data 0 t.size
 
 let merge a b =
-  let t = create ~capacity:(a.size + b.size) () in
-  for i = 0 to a.size - 1 do
-    add t a.data.(i)
-  done;
-  for i = 0 to b.size - 1 do
-    add t b.data.(i)
-  done;
-  t
+  if a.sorted && b.sorted then begin
+    (* Linear merge of two sorted runs; the result is sorted, so the next
+       percentile query skips its O(n log n) sort. *)
+    let n = a.size + b.size in
+    let data = Array.make (max n 1) 0.0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to n - 1 do
+      if !i < a.size && (!j >= b.size || a.data.(!i) <= b.data.(!j)) then begin
+        data.(k) <- a.data.(!i);
+        incr i
+      end
+      else begin
+        data.(k) <- b.data.(!j);
+        incr j
+      end
+    done;
+    { data; size = n; sorted = true }
+  end
+  else begin
+    let t = create ~capacity:(a.size + b.size) () in
+    for i = 0 to a.size - 1 do
+      add t a.data.(i)
+    done;
+    for i = 0 to b.size - 1 do
+      add t b.data.(i)
+    done;
+    t
+  end
 
 module Online = struct
   type acc = { mutable n : int; mutable m : float; mutable m2 : float }

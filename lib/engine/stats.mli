@@ -16,7 +16,10 @@ val mean : t -> float
 (** Arithmetic mean. 0 for an empty collection. *)
 
 val stddev : t -> float
-(** Population standard deviation. 0 for fewer than two samples. *)
+(** Population standard deviation (divides by [n], not [n-1]). This is the
+    convention throughout the library: {!Online.stddev} computes the same
+    quantity, so the two are directly comparable on identical samples.
+    0 for fewer than two samples. *)
 
 val min_value : t -> float
 (** Smallest sample. Raises [Invalid_argument] when empty. *)
@@ -36,7 +39,11 @@ val values : t -> float array
 (** Copy of the samples in insertion order. *)
 
 val merge : t -> t -> t
-(** [merge a b] is a fresh collection with the samples of both. *)
+(** [merge a b] is a fresh collection with the samples of both. When both
+    inputs are already in sorted state (e.g. each has answered a percentile
+    query), the samples are combined with a linear two-way merge and the
+    result is born sorted — a subsequent percentile query pays no sort.
+    Otherwise samples are concatenated in insertion order. *)
 
 (** Online mean/variance accumulator (Welford) for streams where retaining
     samples is unnecessary. *)
@@ -47,5 +54,9 @@ module Online : sig
   val add : acc -> float -> unit
   val count : acc -> int
   val mean : acc -> float
+
   val stddev : acc -> float
+  (** Population standard deviation, same convention as the top-level
+      [stddev]: on identical samples the two agree (up to float
+      rounding). *)
 end

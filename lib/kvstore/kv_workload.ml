@@ -78,14 +78,17 @@ let scan_class store ~weight : Mix.class_def =
   in
   { Mix.name = "SCAN"; weight; mean_ns = float_of_int anchor.Store.service_ns; generate }
 
+(* Both mixes close over one shared Store.t (whose meter, memtable and rng
+   they touch on every generate call), so they are not parallel-safe:
+   sweeps must sample them from a single domain, in order. *)
 let get_scan_mix ?(zipf_alpha = 0.0) store ~seed:_ =
   let pick = key_picker ~keyspace_size:(keyspace store) ~zipf_alpha in
-  Mix.of_classes ~name:"LevelDB 50% GET / 50% SCAN"
+  Mix.of_classes ~parallel_safe:false ~name:"LevelDB 50% GET / 50% SCAN"
     [| get_class store ~pick ~weight:0.5; scan_class store ~weight:0.5 |]
 
 let zippydb_mix ?(zipf_alpha = 0.0) store ~seed:_ =
   let pick = key_picker ~keyspace_size:(keyspace store) ~zipf_alpha in
-  Mix.of_classes ~name:"LevelDB ZippyDB"
+  Mix.of_classes ~parallel_safe:false ~name:"LevelDB ZippyDB"
     [|
       get_class store ~pick ~weight:0.78;
       put_class store ~pick ~value_bytes:100 ~weight:0.13;

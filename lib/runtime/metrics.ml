@@ -8,6 +8,7 @@ type t = {
   per_class : Stats.t array;
   mutable completed : int;
   mutable censored : int;
+  mutable measured_censored : int;
   mutable first_measured_ns : int;
   mutable last_measured_ns : int;
   mutable measured_completions : int;
@@ -27,6 +28,7 @@ let create ~warmup_before ~n_classes =
     per_class = Array.init (max n_classes 1) (fun _ -> Stats.create ());
     completed = 0;
     censored = 0;
+    measured_censored = 0;
     first_measured_ns = max_int;
     last_measured_ns = 0;
     measured_completions = 0;
@@ -57,6 +59,7 @@ let record_completion t (r : Request.t) =
 let record_censored t (r : Request.t) ~now_ns =
   t.censored <- t.censored + 1;
   if measured t r then begin
+    t.measured_censored <- t.measured_censored + 1;
     let sojourn_ns = now_ns - r.arrival_ns in
     let slowdown = float_of_int sojourn_ns /. float_of_int (max 1 r.service_ns) in
     record_sample t r ~slowdown ~sojourn_ns
@@ -74,6 +77,7 @@ type summary = {
   completed : int;
   measured : int;
   censored : int;
+  measured_censored : int;
   goodput_rps : float;
   mean_slowdown : float;
   p50_slowdown : float;
@@ -100,8 +104,13 @@ let summarize t ~offered_rps ~span_ns ~n_workers ~class_names =
   {
     offered_rps;
     completed = t.completed;
-    measured = Stats.count t.slowdowns;
+    (* Completions only: censored requests also contribute slowdown samples
+       (so Stats.count t.slowdowns = measured + measured_censored), but must
+       not be reported as measured completions — that is what goodput is
+       computed from. *)
+    measured = t.measured_completions;
     censored = t.censored;
+    measured_censored = t.measured_censored;
     goodput_rps = float_of_int t.measured_completions /. (float_of_int measured_span /. 1e9);
     mean_slowdown = Stats.mean t.slowdowns;
     p50_slowdown = pct t.slowdowns 50.0;

@@ -29,8 +29,14 @@ val add_worker_busy : t -> int -> unit
 type summary = {
   offered_rps : float;
   completed : int;  (** all completions, including warm-up *)
-  measured : int;  (** post-warm-up samples *)
-  censored : int;
+  measured : int;
+      (** post-warm-up *completions* only — the population goodput is
+          computed over. Censored requests contribute slowdown samples but
+          are counted in [measured_censored], not here. *)
+  censored : int;  (** all censored requests, including warm-up *)
+  measured_censored : int;
+      (** post-warm-up censored requests; the slowdown percentiles are over
+          [measured + measured_censored] samples *)
   goodput_rps : float;  (** post-warm-up completions per second of span *)
   mean_slowdown : float;
   p50_slowdown : float;

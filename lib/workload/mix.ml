@@ -14,7 +14,7 @@ type class_def = {
   generate : Rng.t -> profile;
 }
 
-type t = { name : string; classes : class_def array }
+type t = { name : string; classes : class_def array; parallel_safe : bool }
 
 let sample t rng =
   let idx =
@@ -39,12 +39,12 @@ let simple_class ~name ~weight ~dist =
   in
   { name; weight; mean_ns = Service_dist.mean_ns dist; generate }
 
-let of_classes ~name classes =
+let of_classes ?(parallel_safe = true) ~name classes =
   if Array.length classes = 0 then invalid_arg "Mix.of_classes: no classes";
   Array.iter
     (fun c -> if c.weight <= 0.0 then invalid_arg "Mix.of_classes: non-positive weight")
     classes;
-  { name; classes }
+  { name; classes; parallel_safe }
 
 let of_dist ~name dist =
   of_classes ~name [| simple_class ~name:(Service_dist.name dist) ~weight:1.0 ~dist |]

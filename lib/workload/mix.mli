@@ -28,7 +28,16 @@ type class_def = {
           overwrites with the class index *)
 }
 
-type t = { name : string; classes : class_def array }
+type t = {
+  name : string;
+  classes : class_def array;
+  parallel_safe : bool;
+      (** whether [generate] closures are safe to call from several domains
+          concurrently (and independent of call order). True for pure
+          synthetic mixes; false when generators share mutable state, e.g.
+          the kvstore-backed mixes, in which case sweeps over this mix must
+          run their points sequentially. *)
+}
 
 val sample : t -> Repro_engine.Rng.t -> profile
 (** Pick a class by weight and generate a request profile. *)
@@ -42,8 +51,10 @@ val class_name : t -> int -> string
 val of_dist : name:string -> Service_dist.t -> t
 (** Single-class mix from a plain distribution: no locks, default probes. *)
 
-val of_classes : name:string -> class_def array -> t
-(** Validated multi-class mix (weights positive, at least one class). *)
+val of_classes : ?parallel_safe:bool -> name:string -> class_def array -> t
+(** Validated multi-class mix (weights positive, at least one class).
+    [parallel_safe] (default true) must be set to false when the class
+    generators share mutable state across calls. *)
 
 val simple_class :
   name:string -> weight:float -> dist:Service_dist.t -> class_def

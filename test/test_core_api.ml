@@ -9,6 +9,7 @@ let dummy_summary ~p999 =
     completed = 0;
     measured = 0;
     censored = 0;
+    measured_censored = 0;
     goodput_rps = 0.0;
     mean_slowdown = 1.0;
     p50_slowdown = 1.0;

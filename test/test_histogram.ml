@@ -50,6 +50,34 @@ let test_mean_approx () =
   let err = Float.abs (Histogram.mean h -. 10_000.0) /. 10_000.0 in
   Alcotest.(check bool) "mean within 2%" true (err < 0.02)
 
+let test_mean_exact_below_sub_bits () =
+  (* Buckets below 2^significant_bits hold one integer each, so the mean
+     over small values is exact. *)
+  let h = Histogram.create ~significant_bits:7 () in
+  List.iter (Histogram.record h) [ 3; 5; 10 ];
+  Alcotest.(check (float 1e-9)) "exact mean" 6.0 (Histogram.mean h)
+
+let test_mean_unbiased_within_bucket () =
+  (* Regression: mean used to weight each bucket by its inclusive upper
+     bound, overestimating by up to the bucket width. Fill one large bucket
+     uniformly: the midpoint-weighted mean tracks the true mean to <0.1%,
+     while upper-bound weighting was off by ~+0.8% (half a bucket). *)
+  let h = Histogram.create ~significant_bits:7 () in
+  (* With 7 sub_bits, v = 2^20 starts a bucket of width 2^14. *)
+  let lower = 1 lsl 20 and width = 1 lsl 14 in
+  let n = 256 in
+  let step = width / n in
+  let true_sum = ref 0 in
+  for j = 0 to n - 1 do
+    let v = lower + (j * step) in
+    Histogram.record h v;
+    true_sum := !true_sum + v
+  done;
+  let true_mean = float_of_int !true_sum /. float_of_int n in
+  let err = Float.abs (Histogram.mean h -. true_mean) /. true_mean in
+  if err > 0.001 then
+    Alcotest.failf "mean %.1f vs true %.1f (rel err %.4f)" (Histogram.mean h) true_mean err
+
 let test_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.record a 100;
@@ -81,6 +109,8 @@ let suite =
     Alcotest.test_case "negative values rejected" `Quick test_negative_rejected;
     Alcotest.test_case "values clamp at max" `Quick test_clamping;
     Alcotest.test_case "approximate mean" `Quick test_mean_approx;
+    Alcotest.test_case "mean exact on small values" `Quick test_mean_exact_below_sub_bits;
+    Alcotest.test_case "mean unbiased within a bucket" `Quick test_mean_unbiased_within_bucket;
     Alcotest.test_case "merge" `Quick test_merge;
     QCheck_alcotest.to_alcotest prop_percentile_upper_bound;
   ]

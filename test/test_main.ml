@@ -7,6 +7,7 @@ let () =
       ("engine.rng", Test_rng.suite);
       ("engine.stats", Test_stats.suite);
       ("engine.histogram", Test_histogram.suite);
+      ("engine.pool", Test_pool.suite);
       ("engine.sim", Test_sim.suite);
       ("engine.queueing", Test_queueing.suite);
       ("hw", Test_hw.suite);

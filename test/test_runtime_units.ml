@@ -209,6 +209,10 @@ let test_metrics_censoring () =
     Metrics.summarize m ~offered_rps:1.0 ~span_ns:10_000 ~n_workers:1 ~class_names:[| "c" |]
   in
   Alcotest.(check int) "censored counted" 1 s.Metrics.censored;
+  Alcotest.(check int) "censored measured separately" 1 s.Metrics.measured_censored;
+  (* Regression: censored requests used to leak into [measured] via the
+     shared slowdown sample pool; they are not completions. *)
+  Alcotest.(check int) "censored not measured as completion" 0 s.Metrics.measured;
   Alcotest.(check (float 1e-6)) "lower-bound slowdown recorded" 100.0 s.Metrics.p999_slowdown
 
 let test_metrics_percentiles () =

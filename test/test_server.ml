@@ -193,7 +193,9 @@ let test_dispatcher_busy_fraction_sane () =
 let test_per_class_metrics () =
   let s = run ~mix:Repro_workload.Presets.tpcc ~rate:400_000.0 ~n:10_000 () in
   let total = Array.fold_left (fun acc (_, n, _) -> acc + n) 0 s.Metrics.per_class in
-  Alcotest.(check int) "class samples = measured" s.Metrics.measured total;
+  Alcotest.(check int) "class samples = measured + censored"
+    (s.Metrics.measured + s.Metrics.measured_censored)
+    total;
   Alcotest.(check int) "five TPCC classes" 5 (Array.length s.Metrics.per_class)
 
 (* The headline behaviours, as cheap regression guards. *)

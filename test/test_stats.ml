@@ -54,6 +54,24 @@ let test_merge () =
   Alcotest.(check int) "merged count" 3 (Stats.count m);
   Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Stats.mean m)
 
+let test_merge_sorted_inputs () =
+  (* After a percentile query each input is in sorted state; the merge must
+     produce the correctly interleaved sorted result (regression: it used
+     to discard the invariant and re-sort on the next query). *)
+  let a = of_list [ 5.0; 1.0; 3.0 ] and b = of_list [ 4.0; 2.0; 6.0 ] in
+  ignore (Stats.median a);
+  ignore (Stats.median b);
+  let m = Stats.merge a b in
+  Alcotest.(check bool) "interleaved sorted values" true
+    (Stats.values m = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |]);
+  Alcotest.(check (float 1e-9)) "percentiles correct" 6.0 (Stats.percentile m 100.0);
+  Alcotest.(check (float 1e-9)) "median correct" 3.0 (Stats.median m);
+  (* Unsorted inputs still merge correctly (concatenation path). *)
+  let c = of_list [ 9.0; 7.0 ] in
+  let m2 = Stats.merge m c in
+  Alcotest.(check int) "count" 8 (Stats.count m2);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value m2)
+
 let test_values_insertion_order () =
   let t = of_list [ 3.0; 1.0; 2.0 ] in
   Alcotest.(check bool) "values keep insertion order before sorting" true
@@ -98,6 +116,7 @@ let suite =
     Alcotest.test_case "percentile after array growth" `Quick test_percentile_after_growth;
     Alcotest.test_case "interleaved add and query" `Quick test_interleaved_add_query;
     Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge keeps sorted invariant" `Quick test_merge_sorted_inputs;
     Alcotest.test_case "values keep insertion order" `Quick test_values_insertion_order;
     Alcotest.test_case "online accumulator matches direct" `Quick test_online_matches_direct;
     QCheck_alcotest.to_alcotest prop_percentile_matches_oracle;
