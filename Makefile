@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test bench clean
+.PHONY: all check build test bench trace-smoke clean
 
 all: build
 
@@ -9,9 +9,17 @@ build:
 test:
 	dune runtest
 
+# End-to-end smoke test of the observability pipeline: run a traced
+# simulation, export Chrome trace-event JSON, and have the binary verify
+# both the export's schema and the components-sum-to-sojourn invariant
+# (--check exits non-zero on any violation).
+trace-smoke:
+	dune exec bin/concord_sim.exe -- trace --system concord --workload ycsb-a \
+		-n 2000 --rate 150 --last 0 --trace _build/trace-smoke.json --check
+
 # What CI (and every PR) must keep green.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) trace-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -128,9 +128,26 @@ let run_cmd =
       & opt (some float) None
       & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Offered load in kRps.")
   in
-  let action system workload quantum workers rate n_requests seed =
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Export the request-lifecycle trace as Chrome trace-event JSON (Perfetto).")
+  in
+  let breakdown_flag =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ] ~doc:"Print the per-request latency-breakdown percentile table.")
+  in
+  let action system workload quantum workers rate n_requests seed trace_file breakdown =
     let config, mix = resolve ~system ~workload ~quantum ~workers in
-    let s = Concord.run ~config ~mix ~rate_rps:(rate *. 1e3) ~n_requests ~seed () in
+    let tracer =
+      if trace_file <> None || breakdown then
+        Some (Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ())
+      else None
+    in
+    let s = Concord.run ~config ~mix ~rate_rps:(rate *. 1e3) ~n_requests ~seed ?tracer () in
     Printf.printf "%s\n" (Concord.Config.describe config);
     Printf.printf "workload: %s, offered %.1f kRps\n" mix.Concord.Mix.name rate;
     print_endline Concord.Metrics.summary_header;
@@ -143,12 +160,30 @@ let run_cmd =
     Array.iter
       (fun (name, count, p999) ->
         if count > 0 then Printf.printf "  class %-10s n=%-8d p99.9 slowdown=%.2f\n" name count p999)
-      s.Concord.Metrics.per_class
+      s.Concord.Metrics.per_class;
+    Option.iter
+      (fun tracer ->
+        let cswitch =
+          Repro_hw.Costs.ns_of config.Concord.Config.costs
+            config.Concord.Config.costs.Repro_hw.Costs.context_switch_cycles
+        in
+        if breakdown then
+          print_string
+            (Repro_runtime.Breakdown.render
+               (Repro_runtime.Breakdown.of_trace ~cswitch_cost_ns:cswitch tracer));
+        Option.iter
+          (fun path ->
+            Repro_runtime.Trace_export.write_file ~path
+              (Repro_runtime.Trace_export.to_chrome_json
+                 (Repro_runtime.Tracing.entries tracer));
+            Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
+          trace_file)
+      tracer
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one load point and print a detailed summary.")
     Term.(
       const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ rate_arg
-      $ requests_arg $ seed_arg)
+      $ requests_arg $ seed_arg $ trace_file_arg $ breakdown_flag)
 
 (* ---- replicate (6) ----------------------------------------------------- *)
 
@@ -247,9 +282,38 @@ let trace_cmd =
   let last_arg =
     Arg.(value & opt int 60 & info [ "last" ] ~docv:"N" ~doc:"Show the last N events.")
   in
-  let action system workload quantum workers rate n_requests seed request last =
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Export the trace as Chrome trace-event JSON (open in ui.perfetto.dev).")
+  in
+  let csv_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the raw event stream as CSV.")
+  in
+  let breakdown_flag =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ] ~doc:"Print the per-request latency-breakdown percentile table.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the trace: breakdown components must sum to each sojourn, and any \
+             exported JSON must be schema-valid. Non-zero exit on failure.")
+  in
+  let action system workload quantum workers rate n_requests seed request last trace_file
+      csv_file breakdown check =
     let config, mix = resolve ~system ~workload ~quantum ~workers in
-    let tracer = Repro_runtime.Tracing.create () in
+    let tracer =
+      Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ()
+    in
     let (_ : Concord.Metrics.summary) =
       Repro_runtime.Server.run ~config ~mix
         ~arrival:(Concord.Arrival.Poisson { rate_rps = rate *. 1e3 })
@@ -265,14 +329,100 @@ let trace_cmd =
     in
     List.iter (fun e -> print_endline (Repro_runtime.Tracing.entry_to_string e)) entries;
     let dropped = Repro_runtime.Tracing.dropped tracer in
-    if dropped > 0 then Printf.printf "(%d earlier events dropped from the ring)\n" dropped
+    if dropped > 0 then Printf.printf "(%d earlier events dropped from the ring)\n" dropped;
+    let cswitch =
+      Repro_hw.Costs.ns_of config.Concord.Config.costs
+        config.Concord.Config.costs.Repro_hw.Costs.context_switch_cycles
+    in
+    let breakdowns =
+      lazy (Repro_runtime.Breakdown.of_trace ~cswitch_cost_ns:cswitch tracer)
+    in
+    if breakdown then print_string (Repro_runtime.Breakdown.render (Lazy.force breakdowns));
+    Option.iter
+      (fun path ->
+        Repro_runtime.Trace_export.write_file ~path
+          (Repro_runtime.Trace_export.to_chrome_json (Repro_runtime.Tracing.entries tracer));
+        Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
+      trace_file;
+    Option.iter
+      (fun path ->
+        Repro_runtime.Trace_export.write_file ~path
+          (Repro_runtime.Trace_export.events_to_csv (Repro_runtime.Tracing.entries tracer));
+        Printf.printf "events written to %s\n" path)
+      csv_file;
+    if check then begin
+      let failures = ref 0 in
+      let bs = Lazy.force breakdowns in
+      if bs = [] then begin
+        prerr_endline "check: no complete request lifecycles in the trace";
+        incr failures
+      end;
+      List.iter
+        (fun b ->
+          match Repro_runtime.Breakdown.check b with
+          | Ok () -> ()
+          | Error msg ->
+            Printf.eprintf "check: %s\n" msg;
+            incr failures)
+        bs;
+      Option.iter
+        (fun path ->
+          match Repro_runtime.Trace_export.validate_chrome_file path with
+          | Ok n -> Printf.printf "check: %s is valid Chrome trace JSON (%d events)\n" path n
+          | Error msg ->
+            Printf.eprintf "check: %s: %s\n" path msg;
+            incr failures)
+        trace_file;
+      if !failures > 0 then exit 1
+      else
+        Printf.printf "check: %d lifecycles, components sum to sojourn for all\n"
+          (List.length bs)
+    end
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run a small simulation and print request-lifecycle events.")
+    (Cmd.info "trace" ~doc:"Run a small simulation and print/export request-lifecycle events.")
     Term.(
       const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ rate_arg
       $ Arg.(value & opt int 2_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals.")
-      $ seed_arg $ request_arg $ last_arg)
+      $ seed_arg $ request_arg $ last_arg $ trace_file_arg $ csv_file_arg $ breakdown_flag
+      $ check_flag)
+
+(* ---- overheads --------------------------------------------------------------- *)
+
+let overheads_cmd =
+  let systems_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "systems" ] ~docv:"A,B,..."
+          ~doc:"Comma-separated system names (default: the built-in comparison set).")
+  in
+  let rate_arg =
+    Arg.(value & opt float 150.0 & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Offered load in kRps.")
+  in
+  let action systems workload workers rate n_requests seed =
+    let mix =
+      match Concord.workload workload with
+      | Ok m -> m
+      | Error e ->
+        prerr_endline e;
+        exit 1
+    in
+    let rows =
+      Repro_runtime.Breakdown.run_systems ?systems ~workload:mix ?n_workers:workers
+        ~rate_rps:(rate *. 1e3) ~n_requests ~seed ()
+    in
+    Printf.printf "mean per-request latency breakdown, %s at %.1f kRps (ns)\n"
+      mix.Concord.Mix.name rate;
+    print_string (Repro_runtime.Breakdown.render_attribution rows)
+  in
+  Cmd.v
+    (Cmd.info "overheads"
+       ~doc:"Attribute where each system's cycles go (Concord vs Shinjuku et al.).")
+    Term.(
+      const action $ systems_arg $ workload_arg $ workers_arg $ rate_arg
+      $ Arg.(value & opt int 4_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals per system.")
+      $ seed_arg)
 
 let () =
   let info =
@@ -282,4 +432,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; figure_cmd; table1_cmd; sweep_cmd; run_cmd; replicate_cmd; sls_cmd; trace_cmd ]))
+          [
+            list_cmd;
+            figure_cmd;
+            table1_cmd;
+            sweep_cmd;
+            run_cmd;
+            replicate_cmd;
+            sls_cmd;
+            trace_cmd;
+            overheads_cmd;
+          ]))

@@ -43,10 +43,10 @@ let workload name =
            (String.concat ", "
               (List.map fst Presets.all @ [ "leveldb"; "leveldb-zippydb" ]))))
 
-let run ~config ~mix ~rate_rps ?(n_requests = 60_000) ?(seed = 42) () =
+let run ~config ~mix ~rate_rps ?(n_requests = 60_000) ?(seed = 42) ?tracer () =
   Repro_runtime.Server.run ~config ~mix
     ~arrival:(Arrival.Poisson { rate_rps })
-    ~n_requests ~seed ()
+    ~n_requests ~seed ?tracer ()
 
 let sweep ~config ~mix ?(points = 10) ?(max_util = 0.95) ?n_requests ?seed () =
   let rates =

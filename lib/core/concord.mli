@@ -56,9 +56,12 @@ val run :
   rate_rps:float ->
   ?n_requests:int ->
   ?seed:int ->
+  ?tracer:Repro_runtime.Tracing.t ->
   unit ->
   Metrics.summary
-(** One load point: Poisson open-loop arrivals at [rate_rps]. *)
+(** One load point: Poisson open-loop arrivals at [rate_rps]. When
+    [tracer] is given, request-lifecycle events are recorded into it for
+    export or breakdown analysis (see {!Repro_runtime.Tracing}). *)
 
 val sweep :
   config:Config.t ->

@@ -93,3 +93,13 @@ let zero_overhead =
   }
 
 let ns_of t cycles = Cycles.ns_of_cycles t.clock cycles
+
+(* Batched ingress: the first request pays the full price; the rest ride the
+   same NIC-queue scan and cache lines at ~40% marginal cost. Rounded up so a
+   small (but non-zero) ingress cost never truncates to a free marginal. *)
+let ingress_batch_marginal_cycles t =
+  if t.disp_ingress_cycles <= 0 then 0 else max 1 ((2 * t.disp_ingress_cycles + 4) / 5)
+
+let ingress_batch_cost_cycles t ~batch =
+  if batch <= 0 then 0
+  else t.disp_ingress_cycles + ((batch - 1) * ingress_batch_marginal_cycles t)

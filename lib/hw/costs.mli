@@ -64,3 +64,13 @@ val zero_overhead : t
 
 val ns_of : t -> int -> int
 (** [ns_of t cycles] converts under [t]'s clock. *)
+
+val ingress_batch_marginal_cycles : t -> int
+(** Marginal cost of each additional request admitted in one batched ingress
+    pass: ~40% of [disp_ingress_cycles], rounded {e up} so it never truncates
+    to 0 for small non-zero ingress costs (0 only when ingress itself is
+    free, e.g. {!zero_overhead}). *)
+
+val ingress_batch_cost_cycles : t -> batch:int -> int
+(** Total cost of admitting [batch] requests in one coalesced ingress op:
+    one full [disp_ingress_cycles] plus [batch - 1] marginal costs. *)

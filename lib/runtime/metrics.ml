@@ -10,8 +10,10 @@ type t = {
   mutable censored : int;
   mutable measured_censored : int;
   mutable first_measured_ns : int;
+  mutable first_measured_arrival_ns : int;
   mutable last_measured_ns : int;
   mutable measured_completions : int;
+  mutable negative_idle_gaps : int;
   mutable preemptions : int;
   mutable steal_slices : int;
   mutable dispatcher_busy_ns : int;
@@ -30,8 +32,10 @@ let create ~warmup_before ~n_classes =
     censored = 0;
     measured_censored = 0;
     first_measured_ns = max_int;
+    first_measured_arrival_ns = max_int;
     last_measured_ns = 0;
     measured_completions = 0;
+    negative_idle_gaps = 0;
     preemptions = 0;
     steal_slices = 0;
     dispatcher_busy_ns = 0;
@@ -52,6 +56,7 @@ let record_completion t (r : Request.t) =
   if measured t r then begin
     t.measured_completions <- t.measured_completions + 1;
     t.first_measured_ns <- min t.first_measured_ns r.completion_ns;
+    t.first_measured_arrival_ns <- min t.first_measured_arrival_ns r.arrival_ns;
     t.last_measured_ns <- max t.last_measured_ns r.completion_ns;
     record_sample t r ~slowdown:(Request.slowdown r) ~sojourn_ns:(Request.sojourn_ns r)
   end
@@ -65,7 +70,12 @@ let record_censored t (r : Request.t) ~now_ns =
     record_sample t r ~slowdown ~sojourn_ns
   end
 
-let record_idle_gap t gap = if gap >= 0 then Stats.add t.idle_gaps (float_of_int gap)
+(* A negative gap means the cost model accounted a worker as starting its
+   next request before the previous one released the core — an accounting
+   bug, not a measurement. Count rather than silently drop. *)
+let record_idle_gap t gap =
+  if gap >= 0 then Stats.add t.idle_gaps (float_of_int gap)
+  else t.negative_idle_gaps <- t.negative_idle_gaps + 1
 let add_preemption t = t.preemptions <- t.preemptions + 1
 let add_steal_slice t = t.steal_slices <- t.steal_slices + 1
 let add_dispatcher_busy t ns = t.dispatcher_busy_ns <- t.dispatcher_busy_ns + ns
@@ -91,6 +101,7 @@ type summary = {
   dispatcher_app_frac : float;
   worker_busy_frac : float;
   median_idle_gap_ns : float;
+  negative_idle_gaps : int;
   per_class : (string * int * float) array;
 }
 
@@ -99,6 +110,10 @@ let summarize t ~offered_rps ~span_ns ~n_workers ~class_names =
   let span = max span_ns 1 in
   let measured_span =
     if t.measured_completions > 1 then max 1 (t.last_measured_ns - t.first_measured_ns)
+    else if t.measured_completions = 1 then
+      (* A single measured completion spans its own sojourn, not the whole
+         run (which would report a near-zero goodput for short runs). *)
+      max 1 (t.last_measured_ns - t.first_measured_arrival_ns)
     else span
   in
   {
@@ -125,6 +140,7 @@ let summarize t ~offered_rps ~span_ns ~n_workers ~class_names =
     worker_busy_frac =
       float_of_int t.worker_busy_ns /. (float_of_int span *. float_of_int (max n_workers 1));
     median_idle_gap_ns = (if Stats.is_empty t.idle_gaps then 0.0 else Stats.median t.idle_gaps);
+    negative_idle_gaps = t.negative_idle_gaps;
     per_class =
       Array.mapi
         (fun i s ->

@@ -17,7 +17,9 @@ val record_completion : t -> Request.t -> unit
 val record_censored : t -> Request.t -> now_ns:int -> unit
 val record_idle_gap : t -> int -> unit
 (** Worker idle time between finishing one request and starting the next
-    while runnable work existed (the cnext measurement of Fig. 3). *)
+    while runnable work existed (the cnext measurement of Fig. 3). Negative
+    gaps indicate cost-model accounting errors; they are excluded from the
+    distribution but counted in [negative_idle_gaps]. *)
 
 val add_preemption : t -> unit
 val add_steal_slice : t -> unit
@@ -50,6 +52,9 @@ type summary = {
   dispatcher_app_frac : float;  (** stolen application work / wall time *)
   worker_busy_frac : float;  (** mean across workers *)
   median_idle_gap_ns : float;  (** 0 when no gaps were recorded *)
+  negative_idle_gaps : int;
+      (** idle gaps dropped because they were negative — should be 0; anything
+          else points at a cost-model accounting bug *)
   per_class : (string * int * float) array;  (** name, samples, p99.9 slowdown *)
 }
 

@@ -17,8 +17,9 @@ type t = {
   mutable done_ns : int;  (** completed progress *)
   mutable started : bool;
   mutable dispatcher_owned : bool;
-      (** once the work-conserving dispatcher starts a request it can never
-          migrate to a worker (§3.3: different instrumentation) *)
+      (** the work-conserving dispatcher has executed (part of) this request
+          under its rdtsc instrumentation (§3.3); it may still hand the
+          saved context back to an idle worker via the central queue *)
   mutable last_worker : int;  (** worker that last ran it, or -1 *)
   mutable preemptions : int;
   mutable completion_ns : int;  (** -1 until completed *)

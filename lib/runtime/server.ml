@@ -148,10 +148,7 @@ let probe_spacing t (req : Request.t) =
 let op_cost_ns t = function
   | Op_ingress _ -> ns t t.config.costs.disp_ingress_cycles
   | Op_ingress_batch reqs ->
-    (* First request pays full price; the rest ride the same NIC-queue scan
-       and cache lines at ~40% marginal cost. *)
-    let marginal = t.config.costs.disp_ingress_cycles * 2 / 5 in
-    ns t (t.config.costs.disp_ingress_cycles + (max 0 (List.length reqs - 1) * marginal))
+    ns t (Costs.ingress_batch_cost_cycles t.config.costs ~batch:(List.length reqs))
   | Op_completion _ ->
     ns t (t.config.costs.disp_completion_cycles + t.config.costs.flag_propagation_cycles)
   | Op_requeue _ -> ns t t.config.costs.disp_requeue_cycles
@@ -246,22 +243,34 @@ let rec disp_kick t =
    the quantum. *)
 and try_steal t =
   let d = t.disp in
-  let candidate =
-    match d.saved with
+  match d.saved with
+  | Some req when not (all_workers_busy_view t) ->
+    (* Stealing (and holding a stolen context) is an all-workers-busy
+       fallback; with a worker free, hand the saved request back so the
+       worker finishes it instead of it waiting for dispatcher idle time. *)
+    d.saved <- None;
+    Queue.push (Op_requeue { req; from_worker = -1 }) d.ops;
+    disp_kick t
+  | saved -> (
+    let candidate =
+      match saved with
+      | Some req ->
+        d.saved <- None;
+        Some req
+      | None ->
+        if all_workers_busy_view t && Policy.has_not_started t.central then
+          Policy.pop_not_started t.central
+        else None
+    in
+    match candidate with
+    | None -> ()
     | Some req ->
-      d.saved <- None;
-      Some req
-    | None ->
-      if all_workers_busy_view t && Policy.has_not_started t.central then
-        Policy.pop_not_started t.central
-      else None
-  in
-  match candidate with
-  | None -> ()
-  | Some req ->
     let now = Sim.now t.sim in
     if not req.Request.dispatcher_owned then trace t ~request:req.Request.id Tracing.Stolen;
-    trace t ~request:req.Request.id (Tracing.Started { worker = -1 });
+    if req.Request.started then
+      trace t ~request:req.Request.id
+        (Tracing.Resumed { worker = -1; progress_ns = req.Request.done_ns })
+    else trace t ~request:req.Request.id (Tracing.Started { worker = -1 });
     req.Request.started <- true;
     req.Request.dispatcher_owned <- true;
     let mult = t.disp_mult in
@@ -287,7 +296,7 @@ and try_steal t =
     d.depoch <- d.depoch + 1;
     d.slice <- Some { sreq = req; sstart = now; send; sstop_progress };
     Metrics.add_steal_slice t.metrics;
-    Sim.schedule_at t.sim ~time:send (Ev_disp_slice_end { depoch = d.depoch })
+    Sim.schedule_at t.sim ~time:send (Ev_disp_slice_end { depoch = d.depoch }))
 
 let complete_request t (req : Request.t) ~worker =
   trace t ~request:req.Request.id (Tracing.Completed { worker });
@@ -309,6 +318,8 @@ let on_slice_end t ~depoch =
       Metrics.add_dispatcher_app t.metrics (now - sstart);
       if sstop_progress >= sreq.Request.service_ns then complete_request t sreq ~worker:(-1)
       else begin
+        trace t ~request:sreq.Request.id
+          (Tracing.Preempted { worker = -1; progress_ns = sstop_progress });
         sreq.Request.done_ns <- sstop_progress;
         sreq.Request.preemptions <- sreq.Request.preemptions + 1;
         d.saved <- Some sreq
@@ -325,6 +336,7 @@ let on_slice_end t ~depoch =
 (* Hand [req] to worker [w], which is idle; [delay] models the receive path
    (coherence miss on the request line, context switch, local pop...). *)
 let deliver t (w : worker) (req : Request.t) ~delay =
+  trace t ~request:req.Request.id (Tracing.Delivered { worker = w.wid });
   w.cur <- Some req;
   w.epoch <- w.epoch + 1;
   Sim.schedule_after t.sim ~delay (Ev_worker_begin { w = w.wid; epoch = w.epoch })
@@ -334,7 +346,10 @@ let begin_exec t (w : worker) =
   | None -> ()
   | Some req ->
     let now = Sim.now t.sim in
-    trace t ~request:req.Request.id (Tracing.Started { worker = w.wid });
+    if req.Request.started then
+      trace t ~request:req.Request.id
+        (Tracing.Resumed { worker = w.wid; progress_ns = req.Request.done_ns })
+    else trace t ~request:req.Request.id (Tracing.Started { worker = w.wid });
     req.Request.started <- true;
     req.Request.last_worker <- w.wid;
     w.seg_start_ns <- now;
@@ -484,28 +499,33 @@ let on_yield_done t (w : worker) ~epoch =
 let on_disp_op_done t =
   let d = t.disp in
   let now = Sim.now t.sim in
-  Metrics.add_dispatcher_busy t.metrics (now - d.op_started_ns);
+  let op_ns = now - d.op_started_ns in
+  Metrics.add_dispatcher_busy t.metrics op_ns;
   let op = d.cur_op in
   d.cur_op <- None;
   d.busy <- false;
   (match op with
   | None -> ()
   | Some (Op_ingress req) ->
-    trace t ~request:req.Request.id Tracing.Admitted;
-    Policy.push_new t.central req
+    Policy.push_new t.central req;
+    trace t ~request:req.Request.id
+      (Tracing.Admitted { central_depth = Policy.length t.central; op_ns })
   | Some (Op_ingress_batch reqs) ->
+    (* Each batch member is charged its amortized share of the op latency. *)
+    let share = op_ns / max 1 (List.length reqs) in
     List.iter
       (fun (r : Request.t) ->
-        trace t ~request:r.Request.id Tracing.Admitted;
-        Policy.push_new t.central r)
+        Policy.push_new t.central r;
+        trace t ~request:r.Request.id
+          (Tracing.Admitted { central_depth = Policy.length t.central; op_ns = share }))
       reqs
   | Some (Op_completion wid) ->
     let w = t.workers.(wid) in
     if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
     else w.sq_waiting <- true
   | Some (Op_requeue { req; from_worker }) ->
-    trace t ~request:req.Request.id Tracing.Requeued;
     Policy.push_preempted t.central req;
+    trace t ~request:req.Request.id (Tracing.Requeued { queue_depth = Policy.length t.central });
     if from_worker >= 0 then begin
       let w = t.workers.(from_worker) in
       if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
@@ -513,13 +533,19 @@ let on_disp_op_done t =
     end
   | Some (Op_preempt_signal { worker; epoch }) -> handle_preempt_signal t ~worker ~epoch
   | Some (Op_send { worker; req }) ->
-    trace t ~request:req.Request.id (Tracing.Dispatched { worker });
     let w = t.workers.(worker) in
+    trace t ~request:req.Request.id
+      (Tracing.Dispatched
+         { worker; central_depth = Policy.length t.central; local_depth = 0; op_ns });
     deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
   | Some (Op_push { worker; req }) ->
-    trace t ~request:req.Request.id (Tracing.Dispatched { worker });
     let w = t.workers.(worker) in
-    if w.cur = None then deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
+    let direct = w.cur = None in
+    let local_depth = if direct then 0 else Local_queue.length w.local + 1 in
+    trace t ~request:req.Request.id
+      (Tracing.Dispatched
+         { worker; central_depth = Policy.length t.central; local_depth; op_ns });
+    if direct then deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
     else Local_queue.push w.local req);
   disp_kick t
 
@@ -532,7 +558,7 @@ let on_arrival t =
   let profile = Mix.sample t.mix t.service_rng in
   let req = Request.create ~id:t.arrived ~arrival_ns:now ~profile in
   Hashtbl.replace t.live req.Request.id req;
-  trace t ~request:req.Request.id Tracing.Arrived;
+  trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });
   t.arrived <- t.arrived + 1;
   t.last_arrival_ns <- now;
   Queue.push (Op_ingress req) t.disp.ops;

@@ -133,7 +133,8 @@ let next_work t (w : worker) =
         | None -> None
     end
 
-let begin_request t (w : worker) req ~extra_delay =
+let begin_request t (w : worker) (req : Request.t) ~extra_delay =
+  trace t ~request:req.Request.id (Tracing.Delivered { worker = w.wid });
   w.cur <- Some req;
   w.epoch <- w.epoch + 1;
   Sim.schedule_after t.sim ~delay:(extra_delay + t.cswitch_ns)
@@ -153,7 +154,10 @@ let on_begin t (w : worker) =
   | None -> ()
   | Some req ->
     let now = Sim.now t.sim in
-    trace t ~request:req.Request.id (Tracing.Started { worker = w.wid });
+    if req.Request.started then
+      trace t ~request:req.Request.id
+        (Tracing.Resumed { worker = w.wid; progress_ns = req.Request.done_ns })
+    else trace t ~request:req.Request.id (Tracing.Started { worker = w.wid });
     req.Request.started <- true;
     req.Request.last_worker <- w.wid;
     w.seg_start_ns <- now;
@@ -231,8 +235,8 @@ let on_yield_done t (w : worker) ~epoch =
     | Some req ->
       (* Preempted work goes to the tail of the local queue, where peers can
          steal it — the single *logical* queue. *)
-      trace t ~request:req.Request.id Tracing.Requeued;
       Queue.push req w.queue;
+      trace t ~request:req.Request.id (Tracing.Requeued { queue_depth = Queue.length w.queue });
       fetch_next t w ~switch_paid:true
   end
 
@@ -243,7 +247,7 @@ let on_arrival t =
   let profile = Mix.sample t.mix t.service_rng in
   let req = Request.create ~id:t.arrived ~arrival_ns:now ~profile in
   Hashtbl.replace t.live req.Request.id req;
-  trace t ~request:req.Request.id Tracing.Arrived;
+  trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });
   t.arrived <- t.arrived + 1;
   let target = t.workers.(t.rr_next) in
   t.rr_next <- (t.rr_next + 1) mod t.config.n_workers;

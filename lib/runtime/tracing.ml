@@ -1,10 +1,12 @@
 type kind =
-  | Arrived
-  | Admitted
-  | Dispatched of { worker : int }
+  | Arrived of { service_ns : int }
+  | Admitted of { central_depth : int; op_ns : int }
+  | Dispatched of { worker : int; central_depth : int; local_depth : int; op_ns : int }
+  | Delivered of { worker : int }
   | Started of { worker : int }
+  | Resumed of { worker : int; progress_ns : int }
   | Preempted of { worker : int; progress_ns : int }
-  | Requeued
+  | Requeued of { queue_depth : int }
   | Stolen
   | Completed of { worker : int }
 
@@ -35,19 +37,46 @@ let entries t =
 
 let of_request t ~request = List.filter (fun e -> e.request = request) (entries t)
 
-let kind_to_string = function
-  | Arrived -> "arrived"
-  | Admitted -> "admitted to central queue"
-  | Dispatched { worker } -> Printf.sprintf "dispatched to worker %d" worker
-  | Started { worker } ->
-    if worker < 0 then "started on the dispatcher" else Printf.sprintf "started on worker %d" worker
-  | Preempted { worker; progress_ns } ->
-    Printf.sprintf "preempted on worker %d at %dns progress" worker progress_ns
-  | Requeued -> "requeued"
-  | Stolen -> "stolen by the dispatcher"
+let worker_of = function
+  | Dispatched { worker; _ }
+  | Delivered { worker }
+  | Started { worker }
+  | Resumed { worker; _ }
+  | Preempted { worker; _ }
   | Completed { worker } ->
-    if worker < 0 then "completed on the dispatcher"
-    else Printf.sprintf "completed on worker %d" worker
+    Some worker
+  | Arrived _ | Admitted _ | Requeued _ | Stolen -> None
+
+let kind_name = function
+  | Arrived _ -> "arrived"
+  | Admitted _ -> "admitted"
+  | Dispatched _ -> "dispatched"
+  | Delivered _ -> "delivered"
+  | Started _ -> "started"
+  | Resumed _ -> "resumed"
+  | Preempted _ -> "preempted"
+  | Requeued _ -> "requeued"
+  | Stolen -> "stolen"
+  | Completed _ -> "completed"
+
+let owner_name worker = if worker < 0 then "the dispatcher" else Printf.sprintf "worker %d" worker
+
+let kind_to_string = function
+  | Arrived { service_ns } -> Printf.sprintf "arrived (service %dns)" service_ns
+  | Admitted { central_depth; op_ns } ->
+    Printf.sprintf "admitted to central queue (depth %d, op %dns)" central_depth op_ns
+  | Dispatched { worker; central_depth; local_depth; op_ns } ->
+    Printf.sprintf "dispatched to worker %d (central %d, local %d, op %dns)" worker central_depth
+      local_depth op_ns
+  | Delivered { worker } -> Printf.sprintf "picked up by worker %d" worker
+  | Started { worker } -> "started on " ^ owner_name worker
+  | Resumed { worker; progress_ns } ->
+    Printf.sprintf "resumed on %s at %dns progress" (owner_name worker) progress_ns
+  | Preempted { worker; progress_ns } ->
+    Printf.sprintf "preempted on %s at %dns progress" (owner_name worker) progress_ns
+  | Requeued { queue_depth } -> Printf.sprintf "requeued (depth %d)" queue_depth
+  | Stolen -> "stolen by the dispatcher"
+  | Completed { worker } -> "completed on " ^ owner_name worker
 
 let entry_to_string e =
   Printf.sprintf "[%10dns] req %-6d %s" e.time_ns e.request (kind_to_string e.kind)

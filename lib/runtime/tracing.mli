@@ -1,18 +1,31 @@
 (** Request-lifecycle tracing.
 
-    A bounded ring of scheduling events (arrival, dispatch, execution
-    start, preemption, re-queue, dispatcher steal, completion) recorded by
-    the server when a tracer is attached. Used to debug scheduling
-    behaviour and to let users *see* the mechanisms — e.g. a 500 µs SCAN
-    bouncing between workers every quantum while GETs slip past it. *)
+    A bounded ring of scheduling events (arrival, admission, dispatch,
+    delivery, execution start/resume, preemption, re-queue, dispatcher
+    steal, completion) recorded by the server when a tracer is attached.
+    Events carry the queue depths and dispatcher-op latencies observed at
+    the instant they fire, so a post-hoc pass ({!Breakdown}) can
+    reconstruct exactly where each request's sojourn went. Also used to
+    debug scheduling behaviour and to let users *see* the mechanisms —
+    e.g. a 500 µs SCAN bouncing between workers every quantum while GETs
+    slip past it. *)
 
 type kind =
-  | Arrived
-  | Admitted  (** dispatcher moved it from the NIC queue to the central queue *)
-  | Dispatched of { worker : int }  (** sent/pushed towards a worker *)
-  | Started of { worker : int }  (** began executing (worker = -1: dispatcher) *)
+  | Arrived of { service_ns : int }  (** un-instrumented service demand *)
+  | Admitted of { central_depth : int; op_ns : int }
+      (** dispatcher moved it from the NIC queue to the central queue;
+          [central_depth] includes this request, [op_ns] is this request's
+          share of the ingress-op latency *)
+  | Dispatched of { worker : int; central_depth : int; local_depth : int; op_ns : int }
+      (** sent/pushed towards a worker; [local_depth] > 0 means it landed
+          in the worker's core-local queue behind other work (JBSQ) *)
+  | Delivered of { worker : int }
+      (** the worker picked it up (receive path / local pop begins) *)
+  | Started of { worker : int }  (** first execution (worker = -1: dispatcher) *)
+  | Resumed of { worker : int; progress_ns : int }
+      (** re-started after a preemption, [progress_ns] already done *)
   | Preempted of { worker : int; progress_ns : int }
-  | Requeued
+  | Requeued of { queue_depth : int }  (** back in the central queue *)
   | Stolen  (** picked up by the work-conserving dispatcher *)
   | Completed of { worker : int }  (** worker = -1: completed on the dispatcher *)
 
@@ -34,6 +47,12 @@ val entries : t -> entry list
 
 val of_request : t -> request:int -> entry list
 (** The retained lifecycle of one request, oldest first. *)
+
+val worker_of : kind -> int option
+(** The worker (or -1 for the dispatcher) an event is pinned to, if any. *)
+
+val kind_name : kind -> string
+(** Payload-free tag: ["arrived"], ["dispatched"], ... (stable, for CSV). *)
 
 val kind_to_string : kind -> string
 val entry_to_string : entry -> string

@@ -23,6 +23,7 @@ let dummy_summary ~p999 =
     dispatcher_app_frac = 0.0;
     worker_busy_frac = 0.0;
     median_idle_gap_ns = 0.0;
+    negative_idle_gaps = 0;
     per_class = [||];
   }
 

@@ -284,7 +284,7 @@ let test_sls_tracing () =
   let entries = Repro_runtime.Tracing.entries tracer in
   let has kind_pred = List.exists (fun e -> kind_pred e.Repro_runtime.Tracing.kind) entries in
   Alcotest.(check bool) "arrivals traced" true
-    (has (fun k -> k = Repro_runtime.Tracing.Arrived));
+    (has (function Repro_runtime.Tracing.Arrived _ -> true | _ -> false));
   Alcotest.(check bool) "preemptions traced" true
     (has (function Repro_runtime.Tracing.Preempted _ -> true | _ -> false));
   Alcotest.(check bool) "completions traced" true

@@ -17,6 +17,7 @@ let () =
       ("runtime.server", Test_server.suite);
       ("runtime.oracle", Test_oracle.suite);
       ("runtime.tracing", Test_tracing.suite);
+      ("runtime.breakdown", Test_breakdown.suite);
       ("kvstore", Test_kvstore.suite);
       ("kvstore.wal", Test_wal.suite);
       ("instrument", Test_instrument.suite);

@@ -234,6 +234,55 @@ let test_metrics_percentiles () =
   Alcotest.(check (float 1e-6)) "p50" 1.0 s.Metrics.p50_slowdown;
   Alcotest.(check (float 1e-6)) "p99.9 is the max" 10.0 s.Metrics.p999_slowdown
 
+let test_negative_idle_gap_counter () =
+  let m = Metrics.create ~warmup_before:0 ~n_classes:1 in
+  Metrics.record_idle_gap m (-5);
+  Metrics.record_idle_gap m 10;
+  Metrics.record_idle_gap m (-1);
+  let s =
+    Metrics.summarize m ~offered_rps:1.0 ~span_ns:1_000 ~n_workers:1 ~class_names:[| "c" |]
+  in
+  Alcotest.(check int) "negative gaps counted, not dropped" 2 s.Metrics.negative_idle_gaps;
+  Alcotest.(check (float 1e-6)) "distribution keeps only valid gaps" 10.0
+    s.Metrics.median_idle_gap_ns
+
+let test_goodput_single_completion () =
+  (* Regression: with exactly one measured completion the goodput used to be
+     divided by the whole run span (including warmup and drain), reporting a
+     near-zero goodput for short runs. It must span the request's sojourn. *)
+  let m = Metrics.create ~warmup_before:1 ~n_classes:1 in
+  Metrics.record_completion m
+    (completed_request ~id:0 ~arrival_ns:0 ~service_ns:100 ~completion_ns:500 ());
+  Metrics.record_completion m
+    (completed_request ~id:1 ~arrival_ns:1_000 ~service_ns:100 ~completion_ns:2_000 ());
+  let s =
+    Metrics.summarize m ~offered_rps:1.0 ~span_ns:500_000_000 ~n_workers:1
+      ~class_names:[| "c" |]
+  in
+  Alcotest.(check int) "one measured completion" 1 s.Metrics.measured;
+  (* 1 completion over its own 1000ns sojourn = 1e6 rps. *)
+  Alcotest.(check (float 1.0)) "goodput spans the measured sojourn" 1e6 s.Metrics.goodput_rps
+
+let test_ingress_batch_cost () =
+  let module Costs = Repro_hw.Costs in
+  let d = Costs.default in
+  (* Default 150-cycle ingress: marginal is the historical 40% = 60. *)
+  Alcotest.(check int) "marginal at default" 60 (Costs.ingress_batch_marginal_cycles d);
+  Alcotest.(check int) "batch of one pays full price" d.Costs.disp_ingress_cycles
+    (Costs.ingress_batch_cost_cycles d ~batch:1);
+  Alcotest.(check int) "batch of three" (150 + (2 * 60))
+    (Costs.ingress_batch_cost_cycles d ~batch:3);
+  (* Regression: tiny ingress costs used to truncate the marginal to 0,
+     making arbitrarily large batches free. *)
+  let tiny = { d with Costs.disp_ingress_cycles = 1 } in
+  Alcotest.(check bool) "marginal never truncates to 0" true
+    (Costs.ingress_batch_marginal_cycles tiny >= 1);
+  Alcotest.(check bool) "large batches are never free" true
+    (Costs.ingress_batch_cost_cycles tiny ~batch:100 > Costs.ingress_batch_cost_cycles tiny ~batch:1);
+  (* Zero-cost model stays zero-cost. *)
+  Alcotest.(check int) "zero-overhead batches stay free" 0
+    (Costs.ingress_batch_cost_cycles Costs.zero_overhead ~batch:8)
+
 let suite =
   [
     Alcotest.test_case "request lifecycle" `Quick test_request_lifecycle;
@@ -257,4 +306,8 @@ let suite =
     Alcotest.test_case "metrics warmup cutoff" `Quick test_metrics_warmup_cutoff;
     Alcotest.test_case "metrics censoring" `Quick test_metrics_censoring;
     Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
+    Alcotest.test_case "negative idle gaps are counted" `Quick test_negative_idle_gap_counter;
+    Alcotest.test_case "goodput with one measured completion" `Quick
+      test_goodput_single_completion;
+    Alcotest.test_case "batched ingress cost never truncates" `Quick test_ingress_batch_cost;
   ]

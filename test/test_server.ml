@@ -215,6 +215,48 @@ let test_concord_beats_shinjuku_at_small_quantum () =
   Alcotest.(check bool) "concord sustains what shinjuku cannot" true
     (concord.Metrics.p999_slowdown < 50.0 && shinjuku.Metrics.p999_slowdown > 50.0)
 
+(* Regression (§3.3): the dispatcher may hold a preempted stolen context
+   only while every worker is busy. Once a worker idles, the saved request
+   must be requeued so the worker finishes it; it used to stay parked on
+   the dispatcher (under the slower rdtsc instrumentation) until the
+   dispatcher itself went idle, inflating the tail at low load. *)
+let test_saved_context_migrates_to_idle_worker () =
+  let services = [| 10_000; 10_000; 200_000; 10_000 |] in
+  let idx = ref 0 in
+  let generate _rng =
+    let s = services.(!idx mod Array.length services) in
+    incr idx;
+    { Mix.class_id = 0; service_ns = s; lock_windows = [||]; probe_spacing_ns = 0.0 }
+  in
+  let mix =
+    Mix.of_classes ~name:"replay"
+      [| { Mix.name = "replay"; weight = 1.0; mean_ns = 1.0; generate } |]
+  in
+  let tracer = Repro_runtime.Tracing.create () in
+  (* One worker, JBSQ(2): a burst of four saturates the worker with r0/r1,
+     so the dispatcher steals r2 (200 us) and self-preempts holding it. *)
+  let s =
+    Server.run
+      ~config:(Systems.concord ~n_workers:1 ~quantum_ns:20_000 ())
+      ~mix
+      ~arrival:(Arrival.Burst_poisson { rate_rps = 10_000.0; burst = 4 })
+      ~n_requests:4 ~warmup_frac:0.0 ~tracer ()
+  in
+  Alcotest.(check int) "all complete" 4 s.Metrics.completed;
+  Alcotest.(check int) "nothing censored" 0 s.Metrics.censored;
+  let module Tracing = Repro_runtime.Tracing in
+  let life = Tracing.of_request tracer ~request:2 in
+  let has f = List.exists (fun (e : Tracing.entry) -> f e.Tracing.kind) life in
+  Alcotest.(check bool) "the long request was stolen" true
+    (has (function Tracing.Stolen -> true | _ -> false));
+  Alcotest.(check bool) "then requeued once a worker idled" true
+    (has (function Tracing.Requeued _ -> true | _ -> false));
+  match List.rev life with
+  | { Tracing.kind = Tracing.Completed { worker }; _ } :: _ ->
+    if worker < 0 then
+      Alcotest.fail "saved context completed on the dispatcher despite an idle worker"
+  | _ -> Alcotest.fail "stolen request never completed"
+
 let prop_conservation_random =
   QCheck.Test.make ~count:25 ~name:"conservation holds for random loads and seeds"
     QCheck.(pair (int_range 1 100) (int_range 0 1000))
@@ -252,5 +294,7 @@ let suite =
       test_preemption_beats_fcfs_on_bimodal;
     Alcotest.test_case "concord beats shinjuku at 2us quantum" `Slow
       test_concord_beats_shinjuku_at_small_quantum;
+    Alcotest.test_case "saved context migrates to an idle worker" `Quick
+      test_saved_context_migrates_to_idle_worker;
     QCheck_alcotest.to_alcotest prop_conservation_random;
   ]

@@ -9,7 +9,7 @@ module Arrival = Repro_workload.Arrival
 let test_ring_basic () =
   let t = Tracing.create ~capacity:4 () in
   Alcotest.(check int) "empty" 0 (Tracing.length t);
-  Tracing.record t ~time_ns:10 ~request:1 Tracing.Arrived;
+  Tracing.record t ~time_ns:10 ~request:1 (Tracing.Arrived { service_ns = 0 });
   Tracing.record t ~time_ns:20 ~request:1 (Tracing.Started { worker = 0 });
   Alcotest.(check int) "two entries" 2 (Tracing.length t);
   Alcotest.(check int) "nothing dropped" 0 (Tracing.dropped t);
@@ -22,7 +22,7 @@ let test_ring_basic () =
 let test_ring_eviction () =
   let t = Tracing.create ~capacity:3 () in
   for i = 1 to 5 do
-    Tracing.record t ~time_ns:i ~request:i Tracing.Arrived
+    Tracing.record t ~time_ns:i ~request:i (Tracing.Arrived { service_ns = 0 })
   done;
   Alcotest.(check int) "capacity respected" 3 (Tracing.length t);
   Alcotest.(check int) "dropped" 2 (Tracing.dropped t);
@@ -31,8 +31,8 @@ let test_ring_eviction () =
 
 let test_of_request () =
   let t = Tracing.create () in
-  Tracing.record t ~time_ns:1 ~request:7 Tracing.Arrived;
-  Tracing.record t ~time_ns:2 ~request:9 Tracing.Arrived;
+  Tracing.record t ~time_ns:1 ~request:7 (Tracing.Arrived { service_ns = 0 });
+  Tracing.record t ~time_ns:2 ~request:9 (Tracing.Arrived { service_ns = 0 });
   Tracing.record t ~time_ns:3 ~request:7 (Tracing.Completed { worker = 2 });
   Alcotest.(check int) "request 7 lifecycle" 2
     (List.length (Tracing.of_request t ~request:7))
@@ -63,23 +63,31 @@ let test_server_lifecycle_invariants () =
   Alcotest.(check int) "no ring overflow in a small run" 0 (Tracing.dropped tracer);
   for id = 0 to 299 do
     let life = Tracing.of_request tracer ~request:id in
-    (* Every request: first event Arrived, last event Completed; at least
-       one Started; preemption count = requeue count. *)
+    (* Every request: first event Arrived, last event Completed; exactly
+       one Started; every preemption is followed by exactly one resume
+       (so a completed request has as many Resumed as Preempted events). *)
     (match life with
-    | { Tracing.kind = Tracing.Arrived; _ } :: _ -> ()
+    | { Tracing.kind = Tracing.Arrived _; _ } :: _ -> ()
     | _ -> Alcotest.failf "request %d does not start with Arrived" id);
     (match List.rev life with
     | { Tracing.kind = Tracing.Completed _; _ } :: _ -> ()
     | _ -> Alcotest.failf "request %d does not end with Completed" id);
     let count f = List.length (List.filter f life) in
     let started = count (fun e -> match e.Tracing.kind with Tracing.Started _ -> true | _ -> false) in
+    let resumed =
+      count (fun e -> match e.Tracing.kind with Tracing.Resumed _ -> true | _ -> false)
+    in
     let preempted =
       count (fun e -> match e.Tracing.kind with Tracing.Preempted _ -> true | _ -> false)
     in
-    let requeued = count (fun e -> e.Tracing.kind = Tracing.Requeued) in
-    if started < 1 then Alcotest.failf "request %d never started" id;
-    if preempted <> requeued then
-      Alcotest.failf "request %d: %d preemptions but %d requeues" id preempted requeued;
+    let requeued =
+      count (fun e -> match e.Tracing.kind with Tracing.Requeued _ -> true | _ -> false)
+    in
+    if started <> 1 then Alcotest.failf "request %d started %d times" id started;
+    if preempted <> resumed then
+      Alcotest.failf "request %d: %d preemptions but %d resumes" id preempted resumed;
+    if requeued > preempted then
+      Alcotest.failf "request %d: %d requeues exceed %d preemptions" id requeued preempted;
     (* Timestamps must be nondecreasing. *)
     let rec monotone = function
       | a :: (b :: _ as rest) ->
@@ -116,8 +124,9 @@ let test_dispatch_matches_execution () =
   List.iter
     (fun e ->
       match e.Tracing.kind with
-      | Tracing.Dispatched { worker } -> Hashtbl.replace last_dispatch e.Tracing.request worker
-      | Tracing.Started { worker } when worker >= 0 -> begin
+      | Tracing.Dispatched { worker; _ } ->
+        Hashtbl.replace last_dispatch e.Tracing.request worker
+      | (Tracing.Started { worker } | Tracing.Resumed { worker; _ }) when worker >= 0 -> begin
         match Hashtbl.find_opt last_dispatch e.Tracing.request with
         | Some w when w <> worker ->
           Alcotest.failf "request %d dispatched to %d but started on %d" e.Tracing.request w
@@ -148,8 +157,8 @@ let test_admission_precedes_dispatch () =
             e.Tracing.request cur p
       in
       match e.Tracing.kind with
-      | Tracing.Arrived -> Hashtbl.replace phase e.Tracing.request 0
-      | Tracing.Admitted ->
+      | Tracing.Arrived _ -> Hashtbl.replace phase e.Tracing.request 0
+      | Tracing.Admitted _ ->
         expect_at_least 1;
         Hashtbl.replace phase e.Tracing.request 1
       | Tracing.Dispatched _ ->
