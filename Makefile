@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test bench trace-smoke clean
+.PHONY: all check build test bench trace-smoke cluster-smoke clean
 
 all: build
 
@@ -17,9 +17,17 @@ trace-smoke:
 	dune exec bin/concord_sim.exe -- trace --system concord --workload ycsb-a \
 		-n 2000 --rate 150 --last 0 --trace _build/trace-smoke.json --check
 
+# Rack-scale smoke test: three instances behind a Po2c balancer; --check
+# verifies the conservation invariants (per-instance completions sum to the
+# cluster count, goodput does not exceed offered load) and exits non-zero
+# on any violation.
+cluster-smoke:
+	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy po2c \
+		-n 4000 --check
+
 # What CI (and every PR) must keep green.
 check:
-	dune build && dune runtest && $(MAKE) trace-smoke
+	dune build && dune runtest && $(MAKE) trace-smoke && $(MAKE) cluster-smoke
 
 bench:
 	dune exec bench/main.exe

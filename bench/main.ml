@@ -91,6 +91,19 @@ let microbenches () =
                 ~arrival:(Repro_workload.Arrival.Poisson { rate_rps = 1.0e6 })
                 ~n_requests:2_000 ())))
   in
+  let cluster_bench =
+    Test.make ~name:"cluster.rack 3x po2c 2k-request run"
+      (Staged.stage (fun () ->
+           let cluster =
+             Repro_cluster.Cluster.homogeneous ~policy:Repro_cluster.Lb_policy.Po2c
+               ~instances:3
+               (Repro_runtime.Systems.concord ())
+           in
+           ignore
+             (Repro_cluster.Cluster.run ~cluster ~mix:Repro_workload.Presets.usr
+                ~arrival:(Repro_workload.Arrival.Poisson { rate_rps = 3.0e6 })
+                ~n_requests:2_000 ())))
+  in
   let percentile_bench =
     let stats = Repro_engine.Stats.create () in
     let rng = Repro_engine.Rng.create ~seed:3 in
@@ -120,7 +133,7 @@ let microbenches () =
   in
   print_endline "[microbench] substrate performance (Bechamel, monotonic clock)";
   List.iter benchmark
-    [ heap_bench; rng_bench; skiplist_bench; server_bench; percentile_bench ]
+    [ heap_bench; rng_bench; skiplist_bench; server_bench; cluster_bench; percentile_bench ]
 
 (* Inspection mode: one canonical traced run (Concord on YCSB-A at a
    moderate load), reported as a latency breakdown and/or a Perfetto

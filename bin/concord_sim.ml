@@ -200,21 +200,205 @@ let replicate_cmd =
   let action system workload quantum workers instances rate n_requests seed =
     let config, mix = resolve ~system ~workload ~quantum ~workers in
     let s =
-      Repro_runtime.Replication.run ~instances ~config ~mix ~rate_rps:(rate *. 1e3)
+      Repro_cluster.Replication.run ~instances ~config ~mix ~rate_rps:(rate *. 1e3)
         ~n_requests ~seed ()
     in
     Printf.printf "%d x { %s }\n" instances (Concord.Config.describe config);
     Printf.printf "total %.1f kRps -> goodput %.1f kRps, p50 %.2f, p99 %.2f, p99.9 %.2f\n"
-      (s.Repro_runtime.Replication.offered_rps /. 1e3)
-      (s.Repro_runtime.Replication.goodput_rps /. 1e3)
-      s.Repro_runtime.Replication.p50_slowdown s.Repro_runtime.Replication.p99_slowdown
-      s.Repro_runtime.Replication.p999_slowdown
+      (s.Repro_cluster.Replication.offered_rps /. 1e3)
+      (s.Repro_cluster.Replication.goodput_rps /. 1e3)
+      s.Repro_cluster.Replication.p50_slowdown s.Repro_cluster.Replication.p99_slowdown
+      s.Repro_cluster.Replication.p999_slowdown
   in
   Cmd.v
     (Cmd.info "replicate" ~doc:"Run K single-dispatcher replicas with disjoint workers (6).")
     Term.(
       const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ instances_arg
       $ rate_arg $ requests_arg $ seed_arg)
+
+(* ---- cluster (rack scale) ---------------------------------------------- *)
+
+let cluster_cmd =
+  let module Cluster = Repro_cluster.Cluster in
+  let module Lb_policy = Repro_cluster.Lb_policy in
+  let policy_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Lb_policy.of_string s) in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Lb_policy.name p))
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Lb_policy.Po2c
+      & info [ "policy"; "p" ] ~docv:"POLICY"
+          ~doc:
+            (Printf.sprintf "Inter-server load-balancing policy: %s."
+               (String.concat ", " Lb_policy.all_names)))
+  in
+  let instances_arg =
+    Arg.(value & opt int 4 & info [ "instances" ] ~docv:"K" ~doc:"Server instances in the rack.")
+  in
+  let rtt_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "rtt-cycles" ] ~docv:"CYCLES"
+          ~doc:
+            "Inter-server round trip in cycles; the balancer's queue views go stale by up to \
+             this much.")
+  in
+  let straggler_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' int float) []
+      & info [ "straggler" ] ~docv:"IDX:FACTOR"
+          ~doc:
+            "Make instance IDX a straggler that executes everything FACTOR times slower \
+             (repeatable).")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate"; "r" ] ~docv:"KRPS"
+          ~doc:"Total offered load in kRps (default: 75% of the rack's ideal capacity).")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Export the all-instance trace as Chrome trace-event JSON (Perfetto).")
+  in
+  let breakdown_flag =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ] ~doc:"Print the per-request latency-breakdown percentile table.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Validate conservation invariants on the summary; non-zero exit on failure.")
+  in
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ] ~doc:"Sweep offered load instead of running one point.")
+  in
+  let points_arg =
+    Arg.(value & opt int 8 & info [ "points" ] ~docv:"N" ~doc:"Sweep points (with --sweep).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Domains for the sweep fan-out (with --sweep).")
+  in
+  let action system workload quantum workers policy instances rtt stragglers rate n_requests
+      seed trace_file breakdown check sweep points jobs =
+    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let cluster =
+      try Cluster.homogeneous ~policy ~rtt_cycles:rtt ~stragglers ~instances config
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 1
+    in
+    let total_workers =
+      Array.fold_left
+        (fun acc (s : Cluster.instance_spec) -> acc + s.config.Concord.Config.n_workers)
+        0 cluster.Cluster.specs
+    in
+    let capacity_rps =
+      float_of_int total_workers /. Concord.Mix.mean_service_ns mix *. 1e9
+    in
+    let rate_rps =
+      match rate with Some k -> k *. 1e3 | None -> 0.75 *. capacity_rps
+    in
+    let describe () =
+      Printf.printf "rack: %d x { %s }, policy %s, rtt %d cycles%s\n" instances
+        (Concord.Config.describe config) (Lb_policy.name policy) rtt
+        (if stragglers = [] then ""
+         else
+           ", stragglers "
+           ^ String.concat ","
+               (List.map (fun (i, f) -> Printf.sprintf "%d:%.2gx" i f) stragglers))
+    in
+    if sweep then begin
+      let rates =
+        List.init points (fun i ->
+            0.95 *. capacity_rps *. float_of_int (i + 1) /. float_of_int points)
+      in
+      let sw =
+        Concord.Sweep.run_cluster ~cluster ~mix ~rates ~n_requests ~seed ?domains:jobs ()
+      in
+      describe ();
+      Printf.printf "workload: %s\n" sw.Concord.Sweep.workload;
+      print_endline Concord.Metrics.summary_header;
+      List.iter
+        (fun (p : Concord.Sweep.point) -> print_endline (Concord.Metrics.summary_row p.summary))
+        sw.Concord.Sweep.points;
+      match Concord.max_load_under_slo sw with
+      | Some r -> Printf.printf "max load under 50x p99.9 slowdown: %.1f kRps\n" (r /. 1e3)
+      | None -> print_endline "SLO violated at every load point"
+    end
+    else begin
+      let tracer =
+        if trace_file <> None || breakdown then
+          Some (Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ())
+        else None
+      in
+      let s =
+        Cluster.run ~cluster ~mix
+          ~arrival:(Concord.Arrival.Poisson { rate_rps })
+          ~n_requests ~seed ?tracer ()
+      in
+      describe ();
+      Printf.printf "workload: %s, offered %.1f kRps total (%.0f%% of rack capacity)\n"
+        mix.Concord.Mix.name (rate_rps /. 1e3)
+        (100. *. rate_rps /. capacity_rps);
+      print_endline Concord.Metrics.summary_header;
+      print_endline (Concord.Metrics.summary_row s.Cluster.cluster);
+      Array.iteri
+        (fun i (ps : Concord.Metrics.summary) ->
+          Printf.printf "  instance %d (routed %d):\n    %s\n" i s.Cluster.routed.(i)
+            (Concord.Metrics.summary_row ps))
+        s.Cluster.per_instance;
+      if s.Cluster.lb_held > 0 || s.Cluster.lb_unrouted > 0 then
+        Printf.printf "balancer: %d arrivals held for a JBSQ credit, %d never routed\n"
+          s.Cluster.lb_held s.Cluster.lb_unrouted;
+      Option.iter
+        (fun tracer ->
+          let cswitch =
+            Repro_hw.Costs.ns_of config.Concord.Config.costs
+              config.Concord.Config.costs.Repro_hw.Costs.context_switch_cycles
+          in
+          if breakdown then
+            print_string
+              (Repro_runtime.Breakdown.render
+                 (Repro_runtime.Breakdown.of_trace ~cswitch_cost_ns:cswitch tracer));
+          Option.iter
+            (fun path ->
+              Repro_runtime.Trace_export.write_file ~path
+                (Repro_runtime.Trace_export.to_chrome_json
+                   (Repro_runtime.Tracing.entries tracer));
+              Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
+            trace_file)
+        tracer;
+      if check then begin
+        match Cluster.check_invariants s with
+        | Ok () -> Printf.printf "check: invariants hold (%d requests)\n" s.Cluster.requests
+        | Error msg ->
+          Printf.eprintf "check: %s\n" msg;
+          exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a rack of server instances behind an inter-server load balancer.")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ policy_arg
+      $ instances_arg $ rtt_arg $ straggler_arg $ rate_arg $ requests_arg $ seed_arg
+      $ trace_file_arg $ breakdown_flag $ check_flag $ sweep_flag $ points_arg $ jobs_arg)
 
 (* ---- sls (6) -------------------------------------------------------------- *)
 
@@ -438,6 +622,7 @@ let () =
             table1_cmd;
             sweep_cmd;
             run_cmd;
+            cluster_cmd;
             replicate_cmd;
             sls_cmd;
             trace_cmd;

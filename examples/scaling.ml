@@ -24,10 +24,10 @@ let () =
       let plain = p999 (Concord.Systems.concord ()) in
       let batched = p999 (Concord.Systems.concord_batched ~batch:16 ()) in
       let replicated =
-        (Repro_runtime.Replication.run ~instances:2
+        (Repro_cluster.Replication.run ~instances:2
            ~config:(Concord.Systems.concord ~n_workers:7 ())
            ~mix ~rate_rps:rate ~n_requests:40_000 ())
-          .Repro_runtime.Replication.p999_slowdown
+          .Repro_cluster.Replication.p999_slowdown
       in
       let sls =
         (Repro_runtime.Sls_server.run

@@ -1,0 +1,296 @@
+module Sim = Repro_engine.Sim
+module Rng = Repro_engine.Rng
+module Stats = Repro_engine.Stats
+module Costs = Repro_hw.Costs
+module Mix = Repro_workload.Mix
+module Arrival = Repro_workload.Arrival
+module Config = Repro_runtime.Config
+module Metrics = Repro_runtime.Metrics
+module Request = Repro_runtime.Request
+module Server = Repro_runtime.Server
+
+type instance_spec = { config : Config.t; speed_factor : float }
+
+let spec ?(speed_factor = 1.0) config =
+  if speed_factor <= 0.0 then invalid_arg "Cluster.spec: speed_factor must be positive";
+  Config.validate config;
+  { config; speed_factor }
+
+type t = {
+  policy : Lb_policy.t;
+  rtt_cycles : int;
+  specs : instance_spec array;
+}
+
+let make ?(policy = Lb_policy.Po2c) ?(rtt_cycles = 0) specs =
+  if Array.length specs < 1 then invalid_arg "Cluster.make: need at least one instance";
+  if rtt_cycles < 0 then invalid_arg "Cluster.make: rtt_cycles must be >= 0";
+  Array.iter (fun s -> ignore (spec ~speed_factor:s.speed_factor s.config)) specs;
+  (match policy with
+  | Lb_policy.Jbsq n when n < 1 -> invalid_arg "Cluster.make: jbsq bound must be >= 1"
+  | _ -> ());
+  { policy; rtt_cycles; specs }
+
+let homogeneous ?policy ?rtt_cycles ?(stragglers = []) ~instances config =
+  if instances < 1 then invalid_arg "Cluster.homogeneous: need at least one instance";
+  let specs = Array.init instances (fun _ -> spec config) in
+  List.iter
+    (fun (i, f) ->
+      if i < 0 || i >= instances then
+        invalid_arg "Cluster.homogeneous: straggler index out of range";
+      specs.(i) <- spec ~speed_factor:f config)
+    stragglers;
+  make ?policy ?rtt_cycles specs
+
+type summary = {
+  policy : Lb_policy.t;
+  rtt_cycles : int;
+  instances : int;
+  requests : int;
+  total_workers : int;
+  cluster : Metrics.summary;
+  per_instance : Metrics.summary array;
+  routed : int array;
+  lb_held : int;
+  lb_unrouted : int;
+}
+
+(* The shared-clock event type: the balancer's own steps plus every
+   instance's internal steps, tagged with the instance index. *)
+type ev =
+  | Arrive
+  | Deliver of { inst : int; req : Request.t }
+  | Credit of { inst : int }
+  | End_of_run
+  | Inst of { inst : int; ev : Server.event }
+
+let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
+    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer ?on_decision () =
+  if n_requests < 1 then invalid_arg "Cluster.run: need at least one request";
+  let n_inst = Array.length cluster.specs in
+  let master = Rng.create ~seed in
+  let arrival_rng = Rng.split master in
+  let service_rng = Rng.split master in
+  let lb_rng = Rng.split master in
+  let mech_rngs = Array.init n_inst (fun _ -> Rng.split master) in
+  let warmup_before = int_of_float (warmup_frac *. float_of_int n_requests) in
+  let n_classes = Array.length mix.Mix.classes in
+  let sim : ev Sim.t = Sim.create () in
+  (* The RTT is split across the two legs: request delivery rides the
+     forward half, the completion credit rides the return half, so the
+     balancer's view of a server lags the truth by up to one full RTT. *)
+  let rtt_ns = Costs.ns_of cluster.specs.(0).config.Config.costs cluster.rtt_cycles in
+  let one_way_ns = rtt_ns / 2 in
+  let credit_ns = rtt_ns - one_way_ns in
+  (* Rack-level accumulator: sees every completion and censoring, so counts,
+     goodput (over the global measured span), sojourns and per-class tails
+     come out exactly; the per-instance metrics stay the breakdowns. *)
+  let agg = Metrics.create ~warmup_before ~n_classes in
+  (* Requests censored while still at the balancer or on the wire belong to
+     no instance; they get their own accumulator so the merge-all below
+     covers the full population. *)
+  let lb_metrics = Metrics.create ~warmup_before ~n_classes in
+  let views = Array.make n_inst 0 in
+  let routed = Array.make n_inst 0 in
+  let pending : Request.t Queue.t = Queue.create () in
+  let in_net : (int, int * Request.t) Hashtbl.t = Hashtbl.create 64 in
+  let lb_state = Lb_policy.make_state ~rng:lb_rng in
+  let lb_held = ref 0 in
+  let arrived = ref 0 in
+  let finished = ref 0 in
+  let instances = ref [||] in
+  let rec do_credit i =
+    views.(i) <- views.(i) - 1;
+    (* A credit may free a slot the rack-level JBSQ bound was waiting on. *)
+    drain_pending ()
+  and drain_pending () =
+    if not (Queue.is_empty pending) then begin
+      match Lb_policy.choose cluster.policy lb_state ~views with
+      | None -> ()
+      | Some j ->
+        dispatch j (Queue.pop pending);
+        drain_pending ()
+    end
+  and dispatch i req =
+    (match on_decision with
+    | None -> ()
+    | Some f ->
+      f ~views:(Array.copy views)
+        ~lengths:(Array.map Server.Instance.inflight !instances)
+        ~chosen:i);
+    views.(i) <- views.(i) + 1;
+    routed.(i) <- routed.(i) + 1;
+    if one_way_ns = 0 then Server.Instance.inject !instances.(i) req
+    else begin
+      Hashtbl.replace in_net req.Request.id (i, req);
+      Sim.schedule_after sim ~delay:one_way_ns (Deliver { inst = i; req })
+    end
+  in
+  let on_complete i (req : Request.t) =
+    Metrics.record_completion agg req;
+    incr finished;
+    if cluster.rtt_cycles = 0 then do_credit i
+    else Sim.schedule_after sim ~delay:credit_ns (Credit { inst = i });
+    if !finished >= n_requests then Sim.stop sim
+  in
+  instances :=
+    Array.init n_inst (fun i ->
+        let s = cluster.specs.(i) in
+        Server.Instance.create ~sim
+          ~lift:(fun e -> Inst { inst = i; ev = e })
+          ~config:s.config ~warmup_before ~n_classes ~rng:mech_rngs.(i)
+          ~speed_factor:s.speed_factor ?tracer ~on_complete:(on_complete i) ());
+  let handler _ = function
+    | Arrive ->
+      let now = Sim.now sim in
+      (* Service time is drawn at the balancer, before routing: every policy
+         at the same seed schedules the identical request sequence. *)
+      let profile = Mix.sample mix service_rng in
+      let req = Request.create ~id:!arrived ~arrival_ns:now ~profile in
+      incr arrived;
+      if !arrived < n_requests then begin
+        let gap = Arrival.next_gap_ns arrival arrival_rng ~index:(!arrived - 1) in
+        Sim.schedule_after sim ~delay:gap Arrive
+      end
+      else Sim.schedule_after sim ~delay:drain_cap_ns End_of_run;
+      if not (Queue.is_empty pending) then begin
+        (* FIFO at the balancer: new arrivals queue behind parked ones. *)
+        incr lb_held;
+        Queue.push req pending
+      end
+      else begin
+        match Lb_policy.choose cluster.policy lb_state ~views with
+        | Some i -> dispatch i req
+        | None ->
+          incr lb_held;
+          Queue.push req pending
+      end
+    | Deliver { inst; req } ->
+      Hashtbl.remove in_net req.Request.id;
+      Server.Instance.inject !instances.(inst) req
+    | Credit { inst } -> do_credit inst
+    | Inst { inst; ev } -> Server.Instance.handle !instances.(inst) ev
+    | End_of_run ->
+      let now_ns = Sim.now sim in
+      Array.iter
+        (fun inst ->
+          Server.Instance.censor_all inst ~now_ns
+            ~also:(fun req -> Metrics.record_censored agg req ~now_ns))
+        !instances;
+      Hashtbl.iter
+        (fun _ (_, req) ->
+          Metrics.record_censored agg req ~now_ns;
+          Metrics.record_censored lb_metrics req ~now_ns)
+        in_net;
+      Queue.iter
+        (fun req ->
+          Metrics.record_censored agg req ~now_ns;
+          Metrics.record_censored lb_metrics req ~now_ns)
+        pending;
+      Sim.stop sim
+  in
+  Sim.schedule_at sim ~time:0 Arrive;
+  Sim.run sim ~handler ();
+  let span_ns = max 1 (Sim.now sim) in
+  let instances = !instances in
+  let total_workers =
+    Array.fold_left (fun acc s -> acc + s.config.Config.n_workers) 0 cluster.specs
+  in
+  let class_names = Array.map (fun (c : Mix.class_def) -> c.name) mix.Mix.classes in
+  let per_instance =
+    Array.mapi
+      (fun i inst ->
+        Metrics.summarize
+          (Server.Instance.metrics inst)
+          ~offered_rps:(float_of_int routed.(i) /. (float_of_int span_ns /. 1e9))
+          ~span_ns
+          ~n_workers:cluster.specs.(i).config.Config.n_workers
+          ~class_names)
+      instances
+  in
+  (* Headline slowdown percentiles come from one merge_all over the
+     per-instance sample sets plus the balancer-censored stragglers; by
+     construction this is the same multiset [agg] holds, so the merged view
+     and the rack accumulator agree exactly — the override below just makes
+     the cluster summary's provenance the per-instance breakdowns. *)
+  let merged =
+    Stats.merge_all
+      (Metrics.slowdown_samples lb_metrics
+      :: Array.to_list
+           (Array.map (fun i -> Metrics.slowdown_samples (Server.Instance.metrics i)) instances))
+  in
+  let agg_summary =
+    Metrics.summarize agg
+      ~offered_rps:(Arrival.rate_rps arrival)
+      ~span_ns ~n_workers:total_workers ~class_names
+  in
+  let pctl p = if Stats.is_empty merged then 0.0 else Stats.percentile merged p in
+  let fsum f = Array.fold_left (fun acc s -> acc +. f s) 0.0 per_instance in
+  let isum f = Array.fold_left (fun acc s -> acc + f s) 0 per_instance in
+  let cluster_summary =
+    {
+      agg_summary with
+      Metrics.mean_slowdown = Stats.mean merged;
+      p50_slowdown = pctl 50.0;
+      p99_slowdown = pctl 99.0;
+      p999_slowdown = pctl 99.9;
+      preemptions = isum (fun s -> s.Metrics.preemptions);
+      steal_slices = isum (fun s -> s.Metrics.steal_slices);
+      negative_idle_gaps = isum (fun s -> s.Metrics.negative_idle_gaps);
+      dispatcher_busy_frac = fsum (fun s -> s.Metrics.dispatcher_busy_frac) /. float_of_int n_inst;
+      dispatcher_app_frac = fsum (fun s -> s.Metrics.dispatcher_app_frac) /. float_of_int n_inst;
+      worker_busy_frac =
+        (let weighted = ref 0.0 in
+         Array.iteri
+           (fun i s ->
+             weighted :=
+               !weighted
+               +. (s.Metrics.worker_busy_frac
+                  *. float_of_int cluster.specs.(i).config.Config.n_workers))
+           per_instance;
+         !weighted /. float_of_int (max total_workers 1));
+      median_idle_gap_ns = 0.0;
+    }
+  in
+  ( {
+      policy = cluster.policy;
+      rtt_cycles = cluster.rtt_cycles;
+      instances = n_inst;
+      requests = n_requests;
+      total_workers;
+      cluster = cluster_summary;
+      per_instance;
+      routed;
+      lb_held = !lb_held;
+      lb_unrouted = Queue.length pending;
+    },
+    merged )
+
+let run ~cluster ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer
+    ?on_decision () =
+  fst
+    (run_detailed ~cluster ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer
+       ?on_decision ())
+
+let check_invariants s =
+  let inst_completed =
+    Array.fold_left (fun acc (m : Metrics.summary) -> acc + m.Metrics.completed) 0 s.per_instance
+  in
+  let routed_sum = Array.fold_left ( + ) 0 s.routed in
+  if inst_completed <> s.cluster.Metrics.completed then
+    Error
+      (Printf.sprintf "per-instance completions (%d) != cluster completions (%d)" inst_completed
+         s.cluster.Metrics.completed)
+  else if s.cluster.Metrics.completed + s.cluster.Metrics.censored <> s.requests then
+    Error
+      (Printf.sprintf "completed (%d) + censored (%d) != requests (%d)"
+         s.cluster.Metrics.completed s.cluster.Metrics.censored s.requests)
+  else if routed_sum + s.lb_unrouted <> s.requests then
+    Error
+      (Printf.sprintf "routed (%d) + unrouted (%d) != requests (%d)" routed_sum s.lb_unrouted
+         s.requests)
+  else if s.cluster.Metrics.goodput_rps > s.cluster.Metrics.offered_rps *. 1.05 then
+    Error
+      (Printf.sprintf "goodput %.1f exceeds offered %.1f" s.cluster.Metrics.goodput_rps
+         s.cluster.Metrics.offered_rps)
+  else Ok ()

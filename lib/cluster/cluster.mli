@@ -1,0 +1,117 @@
+(** Rack-scale cluster layer: N Concord server instances under one clock.
+
+    The paper's answer to the single-dispatcher bottleneck (§6) is
+    replicating single-dispatcher instances over disjoint core sets; at
+    rack scale the *inter-server* policy that feeds those instances
+    dominates tail latency (RackSched, SNIPPETS/PAPERS). This module runs
+    [N] full {!Repro_runtime.Server} instances — each with its own
+    dispatcher, workers, JBSQ(k) and preemption mechanism, heterogeneous
+    configurations allowed — inside one shared {!Repro_engine.Sim}
+    discrete-event clock, behind a pluggable {!Lb_policy} load balancer.
+
+    State staleness is modelled with send/credit accounting: the balancer
+    increments its per-server queue view when it dispatches a request and
+    decrements it when the server's completion notification arrives, one
+    inter-server RTT later. With [rtt_cycles = 0] the view equals the true
+    instantaneous queue length (notifications are applied synchronously);
+    as the RTT grows, JSQ's view goes stale and its tail advantage over
+    Po2c/random shrinks — the rack-level effect this layer exists to
+    reproduce. *)
+
+module Config = Repro_runtime.Config
+module Metrics = Repro_runtime.Metrics
+
+type instance_spec = {
+  config : Config.t;
+  speed_factor : float;
+      (** straggler multiplier: 2.0 = this server executes everything
+          (dispatcher micro-ops and application work) twice as slowly *)
+}
+
+val spec : ?speed_factor:float -> Config.t -> instance_spec
+(** [speed_factor] defaults to 1.0. *)
+
+type t = {
+  policy : Lb_policy.t;
+  rtt_cycles : int;
+      (** inter-server round trip, in cycles of the first instance's cost
+          model: requests take rtt/2 from balancer to server, completion
+          credits take the remaining rtt/2 back *)
+  specs : instance_spec array;
+}
+
+val make : ?policy:Lb_policy.t -> ?rtt_cycles:int -> instance_spec array -> t
+(** Defaults: [Po2c], [rtt_cycles = 0]. Validates every spec eagerly. *)
+
+val homogeneous :
+  ?policy:Lb_policy.t -> ?rtt_cycles:int -> ?stragglers:(int * float) list ->
+  instances:int -> Config.t -> t
+(** [instances] identical servers; [stragglers] then overrides the listed
+    indices' speed factors, e.g. [[ (2, 3.0) ]] makes server 2 a 3x
+    straggler. *)
+
+type summary = {
+  policy : Lb_policy.t;
+  rtt_cycles : int;
+  instances : int;
+  requests : int;  (** total open-loop arrivals offered to the rack *)
+  total_workers : int;
+  cluster : Metrics.summary;
+      (** rack-level view: counts and goodput over the merged population,
+          slowdown percentiles over the {!Repro_engine.Stats.merge_all} of
+          every instance's samples, preemption/busy counters summed or
+          worker-weighted across instances. [median_idle_gap_ns] is 0 at
+          this level — idle-gap detail only makes sense per instance. *)
+  per_instance : Metrics.summary array;
+  routed : int array;  (** requests dispatched to each instance *)
+  lb_held : int;
+      (** arrivals that waited at the balancer for a JBSQ(n) credit *)
+  lb_unrouted : int;
+      (** requests still parked at the balancer at end of run (censored) *)
+}
+
+val run :
+  cluster:t ->
+  mix:Repro_workload.Mix.t ->
+  arrival:Repro_workload.Arrival.t ->
+  n_requests:int ->
+  ?warmup_frac:float ->
+  ?drain_cap_ns:int ->
+  ?seed:int ->
+  ?tracer:Repro_runtime.Tracing.t ->
+  ?on_decision:(views:int array -> lengths:int array -> chosen:int -> unit) ->
+  unit ->
+  summary
+(** Simulate [n_requests] open-loop arrivals at the load balancer. One
+    service-time stream is drawn at the balancer (before routing), so two
+    runs at the same seed see identical request sequences regardless of
+    policy — policies are compared on the same work.
+
+    [warmup_frac]/[drain_cap_ns]/[seed] as in {!Repro_runtime.Server.run};
+    the warm-up cutoff applies to global arrival ids, shared by the rack
+    and per-instance metrics. [tracer] records all instances into one
+    trace (request ids are globally unique; worker ids repeat across
+    instances). [on_decision] fires at every placement with the balancer's
+    stale [views], the true instantaneous queue [lengths], and the chosen
+    instance — the hook the policy tests audit. *)
+
+val run_detailed :
+  cluster:t ->
+  mix:Repro_workload.Mix.t ->
+  arrival:Repro_workload.Arrival.t ->
+  n_requests:int ->
+  ?warmup_frac:float ->
+  ?drain_cap_ns:int ->
+  ?seed:int ->
+  ?tracer:Repro_runtime.Tracing.t ->
+  ?on_decision:(views:int array -> lengths:int array -> chosen:int -> unit) ->
+  unit ->
+  summary * Repro_engine.Stats.t
+(** Like {!run}, also returning the merged post-warm-up slowdown samples. *)
+
+val check_invariants : summary -> (unit, string) result
+(** Conservation and sanity checks used by [make cluster-smoke] and tests:
+    per-instance completions sum to the cluster count, every arrival is
+    either completed, censored, or parked; routed + unrouted covers all
+    arrivals; goodput does not exceed offered load (5 % measurement
+    tolerance). *)

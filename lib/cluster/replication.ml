@@ -1,5 +1,8 @@
 module Stats = Repro_engine.Stats
 module Arrival = Repro_workload.Arrival
+module Config = Repro_runtime.Config
+module Metrics = Repro_runtime.Metrics
+module Server = Repro_runtime.Server
 
 type summary = {
   instances : int;
@@ -14,6 +17,28 @@ type summary = {
 
 let run ~instances ~config ~mix ~rate_rps ~n_requests ?(seed = 42) () =
   if instances < 1 then invalid_arg "Replication.run: need at least one instance";
+  let cluster =
+    Cluster.homogeneous ~policy:Lb_policy.Random ~rtt_cycles:0 ~instances config
+  in
+  let s, merged =
+    Cluster.run_detailed ~cluster ~mix
+      ~arrival:(Arrival.Poisson { rate_rps })
+      ~n_requests ~seed ()
+  in
+  let pct p = if Stats.is_empty merged then 0.0 else Stats.percentile merged p in
+  {
+    instances;
+    offered_rps = rate_rps;
+    goodput_rps = s.Cluster.cluster.Metrics.goodput_rps;
+    p50_slowdown = pct 50.0;
+    p99_slowdown = pct 99.0;
+    p999_slowdown = pct 99.9;
+    total_workers = s.Cluster.total_workers;
+    per_instance = Array.to_list s.Cluster.per_instance;
+  }
+
+let run_independent ~instances ~config ~mix ~rate_rps ~n_requests ?(seed = 42) () =
+  if instances < 1 then invalid_arg "Replication.run: need at least one instance";
   let per_rate = rate_rps /. float_of_int instances in
   let per_n = max 1 (n_requests / instances) in
   let runs =
@@ -22,11 +47,7 @@ let run ~instances ~config ~mix ~rate_rps ~n_requests ?(seed = 42) () =
           ~arrival:(Arrival.Poisson { rate_rps = per_rate })
           ~n_requests:per_n ~seed:(seed + (1_000_003 * i)) ())
   in
-  let merged =
-    List.fold_left
-      (fun acc (_, samples) -> Stats.merge acc samples)
-      (Stats.create ()) runs
-  in
+  let merged = Stats.merge_all (List.map snd runs) in
   let pct p = if Stats.is_empty merged then 0.0 else Stats.percentile merged p in
   {
     instances;

@@ -1,0 +1,54 @@
+(** Multi-dispatcher replication (§6).
+
+    The paper's answer to the single-dispatcher bottleneck: "creating
+    multiple single-dispatcher instances that feed disjoint sets of cores".
+    A Poisson stream split uniformly at random across [instances] replicas
+    is again Poisson at rate/instances per replica, so replication is the
+    rack {!Cluster} under the {!Lb_policy.Random} policy — {!run} delegates
+    to it. {!run_independent} keeps the older closed-form shortcut (each
+    replica simulated in isolation on its own thinned stream); the two
+    agree on the slowdown distribution up to sampling noise, which the
+    equivalence test in [test/test_cluster.ml] checks. *)
+
+module Config = Repro_runtime.Config
+module Metrics = Repro_runtime.Metrics
+
+type summary = {
+  instances : int;
+  offered_rps : float;  (** total across replicas *)
+  goodput_rps : float;  (** summed *)
+  p50_slowdown : float;  (** over the merged samples *)
+  p99_slowdown : float;
+  p999_slowdown : float;
+  total_workers : int;
+  per_instance : Metrics.summary list;
+}
+
+val run :
+  instances:int ->
+  config:Config.t ->
+  mix:Repro_workload.Mix.t ->
+  rate_rps:float ->
+  n_requests:int ->
+  ?seed:int ->
+  unit ->
+  summary
+(** [config] describes ONE replica (its worker count is per-replica);
+    [rate_rps] and [n_requests] are totals across the deployment. Runs the
+    replicas under one shared clock behind a uniform-random balancer
+    ({!Cluster.run} with {!Lb_policy.Random}). *)
+
+val run_independent :
+  instances:int ->
+  config:Config.t ->
+  mix:Repro_workload.Mix.t ->
+  rate_rps:float ->
+  n_requests:int ->
+  ?seed:int ->
+  unit ->
+  summary
+(** The pre-cluster formulation: each replica is a separate
+    {!Repro_runtime.Server.run_detailed} at rate/instances with a distinct
+    seed, sample sets combined with {!Repro_engine.Stats.merge_all}.
+    Statistically equivalent to {!run}; kept as the baseline the
+    equivalence test compares against. *)

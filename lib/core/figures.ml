@@ -574,10 +574,10 @@ let ablation_replication ?(scale = Quick) () =
           Pool.parallel_map
             (fun rate ->
               let s =
-                Repro_runtime.Replication.run ~instances ~config ~mix ~rate_rps:rate
+                Repro_cluster.Replication.run ~instances ~config ~mix ~rate_rps:rate
                   ~n_requests:n ()
               in
-              (rate /. 1e3, s.Repro_runtime.Replication.p999_slowdown))
+              (rate /. 1e3, s.Repro_cluster.Replication.p999_slowdown))
             rates
         in
         { Figure.label; points })

@@ -33,6 +33,33 @@ let run ~config ~mix ~rates ?(n_requests = 60_000) ?(seed = 42) ?(burst = 1) ?do
     points = map_points run_one (List.sort_uniq compare rates);
   }
 
+let run_cluster ~cluster ~mix ~rates ?(n_requests = 60_000) ?(seed = 42) ?(burst = 1) ?domains
+    () =
+  let module Cluster = Repro_cluster.Cluster in
+  let run_one rate_rps =
+    let arrival =
+      if burst > 1 then Arrival.Burst_poisson { rate_rps; burst } else Arrival.Poisson { rate_rps }
+    in
+    let s = Cluster.run ~cluster ~mix ~arrival ~n_requests ~seed () in
+    { rate_rps; summary = s.Cluster.cluster }
+  in
+  (* Same determinism argument as [run]: every point reseeds from [seed]
+     and owns its whole rack simulation, so the domain fan-out is
+     bit-identical to the sequential map. *)
+  let map_points =
+    if mix.Mix.parallel_safe then Repro_engine.Pool.parallel_map ?domains else List.map
+  in
+  let spec0 = cluster.Cluster.specs.(0) in
+  {
+    system =
+      Printf.sprintf "rack-%dx%s/%s"
+        (Array.length cluster.Cluster.specs)
+        spec0.Cluster.config.Repro_runtime.Config.name
+        (Repro_cluster.Lb_policy.name cluster.Cluster.policy);
+    workload = mix.Mix.name;
+    points = map_points run_one (List.sort_uniq compare rates);
+  }
+
 let default_rates ~mix ~n_workers ?(points = 10) ?(max_util = 0.95) () =
   let mean_ns = Mix.mean_service_ns mix in
   let capacity = float_of_int n_workers /. mean_ns *. 1e9 in

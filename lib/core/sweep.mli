@@ -35,6 +35,23 @@ val run :
     ([Mix.parallel_safe = false], e.g. kvstore-backed ones) always run
     sequentially. *)
 
+val run_cluster :
+  cluster:Repro_cluster.Cluster.t ->
+  mix:Repro_workload.Mix.t ->
+  rates:float list ->
+  ?n_requests:int ->
+  ?seed:int ->
+  ?burst:int ->
+  ?domains:int ->
+  unit ->
+  t
+(** Like {!run} but each point simulates the whole rack through
+    {!Repro_cluster.Cluster.run}; [rates] are total offered loads across the
+    cluster and each point's [summary] is the rack-level merged view, so the
+    result plugs into {!Slo} and {!p999_series} unchanged. The same
+    determinism contract holds: points fan across [domains] with
+    bit-identical results for any domain count. *)
+
 val default_rates :
   mix:Repro_workload.Mix.t -> n_workers:int -> ?points:int -> ?max_util:float -> unit -> float list
 (** Evenly spaced offered loads from ~5 % to [max_util] (default 0.95) of

@@ -103,6 +103,21 @@ let merge a b =
     t
   end
 
+let merge_all ts =
+  (* One allocation and one sort for the whole list: folding [merge] pairwise
+     into a growing accumulator re-copies the accumulated prefix on every
+     step (quadratic in total sample count when inputs arrive unsorted). *)
+  let n = List.fold_left (fun acc t -> acc + t.size) 0 ts in
+  let data = Array.make (max n 1) 0.0 in
+  let off = ref 0 in
+  List.iter
+    (fun t ->
+      Array.blit t.data 0 data !off t.size;
+      off := !off + t.size)
+    ts;
+  if n > 0 then Array.sort compare data;
+  { data; size = n; sorted = true }
+
 module Online = struct
   type acc = { mutable n : int; mutable m : float; mutable m2 : float }
 

@@ -45,6 +45,13 @@ val merge : t -> t -> t
     result is born sorted — a subsequent percentile query pays no sort.
     Otherwise samples are concatenated in insertion order. *)
 
+val merge_all : t list -> t
+(** [merge_all ts] is a fresh collection holding every sample of every input,
+    built with a single allocation and a single sort (the result is born
+    sorted, so a subsequent percentile query pays no sort). Equivalent to
+    folding {!merge} over the list but never quadratic: folding re-copies the
+    growing accumulator on each step. Inputs are not mutated. *)
+
 (** Online mean/variance accumulator (Welford) for streams where retaining
     samples is unnecessary. *)
 module Online : sig

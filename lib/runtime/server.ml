@@ -20,8 +20,11 @@ type disp_op =
   | Op_send of { worker : int; req : Request.t } (* SQ hand-off *)
   | Op_push of { worker : int; req : Request.t } (* JBSQ push *)
 
+(* Per-instance events. The host simulation (the standalone driver below,
+   or a {!Cluster}-style rack model) wraps these in its own event type via
+   the [lift] injection, so several instances can interleave on one shared
+   clock. *)
 type event =
-  | Ev_arrival
   | Ev_disp_op_done
   | Ev_disp_slice_end of { depoch : int }
   | Ev_worker_begin of { w : int; epoch : int }
@@ -29,7 +32,6 @@ type event =
   | Ev_quantum of { w : int; epoch : int }
   | Ev_preempt_stop of { w : int; epoch : int }
   | Ev_yield_done of { w : int; epoch : int }
-  | Ev_end_of_run
 
 (* ------------------------------------------------------------------ *)
 (* Mutable state                                                       *)
@@ -62,15 +64,10 @@ type dispatcher = {
   mutable saved : Request.t option; (* §3.3 dedicated context buffer *)
 }
 
-type t = {
-  sim : event Sim.t;
+type 'e t = {
+  sim : 'e Sim.t;
+  lift : event -> 'e;
   config : Config.t;
-  mix : Mix.t;
-  arrival : Arrival.t;
-  n_requests : int;
-  drain_cap_ns : int;
-  arrival_rng : Rng.t;
-  service_rng : Rng.t;
   mech_rng : Rng.t;
   central : Policy.t;
   workers : worker array;
@@ -78,21 +75,27 @@ type t = {
   metrics : Metrics.t;
   live : (int, Request.t) Hashtbl.t; (* in-flight requests, for censoring *)
   tracer : Tracing.t option;
-  mutable arrived : int;
+  on_complete : (Request.t -> unit) option;
   mutable finished : int; (* completions, all owners *)
-  mutable last_arrival_ns : int;
-  (* cached cost-model conversions (ns) *)
+  (* cached cost-model conversions (ns), pre-scaled by [speed] *)
   quantum_ns : int;
   cswitch_ns : int;
   receive_ns : int;
   local_pop_ns : int;
   notif_ns : int;
-  worker_mult : float; (* 1 + cproc of the worker mechanism *)
-  disp_mult : float; (* 1 + cproc of rdtsc instrumentation (stolen work) *)
+  worker_mult : float; (* (1 + cproc of the worker mechanism) x speed *)
+  disp_mult : float; (* (1 + cproc of rdtsc instrumentation) x speed *)
   default_spacing_ns : float;
+  speed : float; (* straggler multiplier: >1 = uniformly slower box *)
 }
 
-let ns t cycles = Costs.ns_of t.config.costs cycles
+(* Straggler scaling: a slow instance pays proportionally more wall time
+   for the same cycle budget, both in its dispatcher micro-ops and in
+   application execution. [speed = 1.0] is the exact identity. *)
+let scale_ns t n =
+  if t.speed = 1.0 then n else int_of_float (ceil (float_of_int n *. t.speed))
+
+let ns t cycles = scale_ns t (Costs.ns_of t.config.costs cycles)
 
 let trace t ~request kind =
   match t.tracer with
@@ -233,7 +236,7 @@ let rec disp_kick t =
       d.busy <- true;
       d.cur_op <- Some op;
       d.op_started_ns <- Sim.now t.sim;
-      Sim.schedule_after t.sim ~delay:(op_cost_ns t op) Ev_disp_op_done
+      Sim.schedule_after t.sim ~delay:(op_cost_ns t op) (t.lift Ev_disp_op_done)
     | None -> if t.config.dispatcher_steals then try_steal t
   end
 
@@ -296,7 +299,7 @@ and try_steal t =
     d.depoch <- d.depoch + 1;
     d.slice <- Some { sreq = req; sstart = now; send; sstop_progress };
     Metrics.add_steal_slice t.metrics;
-    Sim.schedule_at t.sim ~time:send (Ev_disp_slice_end { depoch = d.depoch }))
+    Sim.schedule_at t.sim ~time:send (t.lift (Ev_disp_slice_end { depoch = d.depoch })))
 
 let complete_request t (req : Request.t) ~worker =
   trace t ~request:req.Request.id (Tracing.Completed { worker });
@@ -305,7 +308,7 @@ let complete_request t (req : Request.t) ~worker =
   Hashtbl.remove t.live req.Request.id;
   Metrics.record_completion t.metrics req;
   t.finished <- t.finished + 1;
-  if t.finished >= t.n_requests then Sim.stop t.sim
+  match t.on_complete with None -> () | Some f -> f req
 
 let on_slice_end t ~depoch =
   let d = t.disp in
@@ -339,7 +342,7 @@ let deliver t (w : worker) (req : Request.t) ~delay =
   trace t ~request:req.Request.id (Tracing.Delivered { worker = w.wid });
   w.cur <- Some req;
   w.epoch <- w.epoch + 1;
-  Sim.schedule_after t.sim ~delay (Ev_worker_begin { w = w.wid; epoch = w.epoch })
+  Sim.schedule_after t.sim ~delay (t.lift (Ev_worker_begin { w = w.wid; epoch = w.epoch }))
 
 let begin_exec t (w : worker) =
   match w.cur with
@@ -358,9 +361,10 @@ let begin_exec t (w : worker) =
     let remaining = Request.remaining_ns req in
     w.completion_at <- now + int_of_float (ceil (float_of_int remaining *. t.worker_mult));
     Sim.schedule_at t.sim ~time:w.completion_at
-      (Ev_worker_complete { w = w.wid; epoch = w.epoch });
+      (t.lift (Ev_worker_complete { w = w.wid; epoch = w.epoch }));
     if Mechanism.preemptive t.config.mechanism then
-      Sim.schedule_after t.sim ~delay:t.quantum_ns (Ev_quantum { w = w.wid; epoch = w.epoch });
+      Sim.schedule_after t.sim ~delay:t.quantum_ns
+        (t.lift (Ev_quantum { w = w.wid; epoch = w.epoch }));
     if w.gap_open_ns >= 0 then begin
       (* cnext measurement: idle time excluding the context switch itself *)
       Metrics.record_idle_gap t.metrics (now - w.gap_open_ns - t.cswitch_ns);
@@ -427,7 +431,7 @@ let on_quantum t (w : worker) ~epoch =
             w.epoch <- w.epoch + 1;
             w.stop_progress <- p;
             Sim.schedule_at t.sim ~time:stop_time
-              (Ev_preempt_stop { w = w.wid; epoch = w.epoch }))
+              (t.lift (Ev_preempt_stop { w = w.wid; epoch = w.epoch })))
         | Mechanism.Ipi | Mechanism.Linux_ipi | Mechanism.Uipi | Mechanism.Cache_line
         | Mechanism.Model_lateness _ ->
           (* The dispatcher must notice the elapsed quantum and signal; its
@@ -460,7 +464,8 @@ let handle_preempt_signal t ~worker ~epoch =
       | Some (stop_time, p) ->
         w.epoch <- w.epoch + 1;
         w.stop_progress <- p;
-        Sim.schedule_at t.sim ~time:stop_time (Ev_preempt_stop { w = w.wid; epoch = w.epoch })
+        Sim.schedule_at t.sim ~time:stop_time
+          (t.lift (Ev_preempt_stop { w = w.wid; epoch = w.epoch }))
   end
 
 let on_preempt_stop t (w : worker) ~epoch =
@@ -478,7 +483,7 @@ let on_preempt_stop t (w : worker) ~epoch =
       w.busy_from <- now;
       (* Receive the notification, save the context, switch out. *)
       Sim.schedule_after t.sim ~delay:(t.notif_ns + t.cswitch_ns)
-        (Ev_yield_done { w = w.wid; epoch })
+        (t.lift (Ev_yield_done { w = w.wid; epoch }))
   end
 
 let on_yield_done t (w : worker) ~epoch =
@@ -550,32 +555,76 @@ let on_disp_op_done t =
   disp_kick t
 
 (* ------------------------------------------------------------------ *)
-(* Arrivals and run loop                                               *)
+(* Instance life cycle                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let on_arrival t =
-  let now = Sim.now t.sim in
-  let profile = Mix.sample t.mix t.service_rng in
-  let req = Request.create ~id:t.arrived ~arrival_ns:now ~profile in
+let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
+    ?(speed_factor = 1.0) ?tracer ?on_complete () =
+  Config.validate config;
+  if speed_factor <= 0.0 then
+    invalid_arg "Server.Instance.create: speed_factor must be positive";
+  let costs = config.Config.costs in
+  let scale n =
+    if speed_factor = 1.0 then n else int_of_float (ceil (float_of_int n *. speed_factor))
+  in
+  let ns cycles = scale (Costs.ns_of costs cycles) in
+  {
+    sim;
+    lift;
+    config;
+    mech_rng = rng;
+    central = Policy.create config.Config.policy;
+    workers =
+      Array.init config.Config.n_workers (fun wid ->
+          {
+            wid;
+            epoch = 0;
+            cur = None;
+            seg_start_ns = 0;
+            seg_start_progress = 0;
+            completion_at = 0;
+            stop_progress = 0;
+            local = Local_queue.create ~capacity:(Config.jbsq_depth config - 1);
+            sq_waiting = true;
+            outstanding_view = 0;
+            gap_open_ns = -1;
+            busy_from = 0;
+          });
+    disp =
+      {
+        ops = Queue.create ();
+        busy = false;
+        depoch = 0;
+        op_started_ns = 0;
+        cur_op = None;
+        slice = None;
+        saved = None;
+      };
+    metrics = Metrics.create ~warmup_before ~n_classes;
+    live = Hashtbl.create 1024;
+    tracer;
+    on_complete;
+    finished = 0;
+    quantum_ns = config.Config.quantum_ns;
+    cswitch_ns = ns costs.Costs.context_switch_cycles;
+    receive_ns = ns costs.Costs.worker_receive_cycles;
+    local_pop_ns = ns costs.Costs.local_pop_cycles;
+    notif_ns = ns (Mechanism.notif_cost_cycles costs config.Config.mechanism);
+    worker_mult = (1.0 +. Mechanism.proc_overhead costs config.Config.mechanism) *. speed_factor;
+    disp_mult = (1.0 +. costs.Costs.rdtsc_proc_overhead) *. speed_factor;
+    default_spacing_ns = costs.Costs.probe_spacing_ns;
+    speed = speed_factor;
+  }
+
+(* Hand an externally created request to this instance's ingress path, as
+   if it had just landed in the NIC queue. *)
+let inject t (req : Request.t) =
   Hashtbl.replace t.live req.Request.id req;
   trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });
-  t.arrived <- t.arrived + 1;
-  t.last_arrival_ns <- now;
   Queue.push (Op_ingress req) t.disp.ops;
-  if t.arrived < t.n_requests then begin
-    let gap = Arrival.next_gap_ns t.arrival t.arrival_rng ~index:(t.arrived - 1) in
-    Sim.schedule_after t.sim ~delay:gap Ev_arrival
-  end
-  else Sim.schedule_after t.sim ~delay:t.drain_cap_ns Ev_end_of_run;
   disp_kick t
 
-let on_end_of_run t =
-  let now = Sim.now t.sim in
-  Hashtbl.iter (fun _ req -> Metrics.record_censored t.metrics req ~now_ns:now) t.live;
-  Sim.stop t.sim
-
-let handler t (_ : event Sim.t) = function
-  | Ev_arrival -> on_arrival t
+let handle t = function
   | Ev_disp_op_done -> on_disp_op_done t
   | Ev_disp_slice_end { depoch } -> on_slice_end t ~depoch
   | Ev_worker_begin { w; epoch } ->
@@ -585,7 +634,32 @@ let handler t (_ : event Sim.t) = function
   | Ev_quantum { w; epoch } -> on_quantum t t.workers.(w) ~epoch
   | Ev_preempt_stop { w; epoch } -> on_preempt_stop t t.workers.(w) ~epoch
   | Ev_yield_done { w; epoch } -> on_yield_done t t.workers.(w) ~epoch
-  | Ev_end_of_run -> on_end_of_run t
+
+let censor_all ?also t ~now_ns =
+  Hashtbl.iter
+    (fun _ req ->
+      Metrics.record_censored t.metrics req ~now_ns;
+      match also with None -> () | Some f -> f req)
+    t.live
+
+module Instance = struct
+  type nonrec 'e t = 'e t
+
+  let create = create_instance
+  let inject = inject
+  let handle = handle
+  let censor_all = censor_all
+  let metrics t = t.metrics
+  let inflight t = Hashtbl.length t.live
+  let completed t = t.finished
+  let n_workers t = t.config.Config.n_workers
+end
+
+(* ------------------------------------------------------------------ *)
+(* Standalone run loop: one instance, its own clock and open-loop client *)
+(* ------------------------------------------------------------------ *)
+
+type run_event = Rv_arrival | Rv_end | Rv_inst of event
 
 let run_detailed ~config ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
     ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer () =
@@ -595,76 +669,48 @@ let run_detailed ~config ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
   let arrival_rng = Rng.split master in
   let service_rng = Rng.split master in
   let mech_rng = Rng.split master in
-  let costs = config.Config.costs in
-  let ns cycles = Costs.ns_of costs cycles in
-  let t =
-    {
-      sim = Sim.create ();
-      config;
-      mix;
-      arrival;
-      n_requests;
-      drain_cap_ns;
-      arrival_rng;
-      service_rng;
-      mech_rng;
-      central = Policy.create config.Config.policy;
-      workers =
-        Array.init config.Config.n_workers (fun wid ->
-            {
-              wid;
-              epoch = 0;
-              cur = None;
-              seg_start_ns = 0;
-              seg_start_progress = 0;
-              completion_at = 0;
-              stop_progress = 0;
-              local = Local_queue.create ~capacity:(Config.jbsq_depth config - 1);
-              sq_waiting = true;
-              outstanding_view = 0;
-              gap_open_ns = -1;
-              busy_from = 0;
-            })
-        ;
-      disp =
-        {
-          ops = Queue.create ();
-          busy = false;
-          depoch = 0;
-          op_started_ns = 0;
-          cur_op = None;
-          slice = None;
-          saved = None;
-        };
-      metrics =
-        Metrics.create
-          ~warmup_before:(int_of_float (warmup_frac *. float_of_int n_requests))
-          ~n_classes:(Array.length mix.Mix.classes);
-      live = Hashtbl.create 1024;
-      tracer;
-      arrived = 0;
-      finished = 0;
-      last_arrival_ns = 0;
-      quantum_ns = config.Config.quantum_ns;
-      cswitch_ns = ns costs.Costs.context_switch_cycles;
-      receive_ns = ns costs.Costs.worker_receive_cycles;
-      local_pop_ns = ns costs.Costs.local_pop_cycles;
-      notif_ns = ns (Mechanism.notif_cost_cycles costs config.Config.mechanism);
-      worker_mult = 1.0 +. Mechanism.proc_overhead costs config.Config.mechanism;
-      disp_mult = 1.0 +. costs.Costs.rdtsc_proc_overhead;
-      default_spacing_ns = costs.Costs.probe_spacing_ns;
-    }
+  let sim = Sim.create () in
+  let finished = ref 0 in
+  let inst =
+    create_instance ~sim
+      ~lift:(fun e -> Rv_inst e)
+      ~config
+      ~warmup_before:(int_of_float (warmup_frac *. float_of_int n_requests))
+      ~n_classes:(Array.length mix.Mix.classes)
+      ~rng:mech_rng ?tracer
+      ~on_complete:(fun _ ->
+        incr finished;
+        if !finished >= n_requests then Sim.stop sim)
+      ()
   in
-  Sim.schedule_at t.sim ~time:0 Ev_arrival;
-  Sim.run t.sim ~handler:(handler t) ();
-  let span_ns = max 1 (Sim.now t.sim) in
+  let arrived = ref 0 in
+  let handler _ = function
+    | Rv_arrival ->
+      let now = Sim.now sim in
+      let profile = Mix.sample mix service_rng in
+      let req = Request.create ~id:!arrived ~arrival_ns:now ~profile in
+      incr arrived;
+      if !arrived < n_requests then begin
+        let gap = Arrival.next_gap_ns arrival arrival_rng ~index:(!arrived - 1) in
+        Sim.schedule_after sim ~delay:gap Rv_arrival
+      end
+      else Sim.schedule_after sim ~delay:drain_cap_ns Rv_end;
+      inject inst req
+    | Rv_end ->
+      censor_all inst ~now_ns:(Sim.now sim);
+      Sim.stop sim
+    | Rv_inst e -> handle inst e
+  in
+  Sim.schedule_at sim ~time:0 Rv_arrival;
+  Sim.run sim ~handler ();
+  let span_ns = max 1 (Sim.now sim) in
   let summary =
-    Metrics.summarize t.metrics
+    Metrics.summarize inst.metrics
       ~offered_rps:(Arrival.rate_rps arrival)
       ~span_ns ~n_workers:config.Config.n_workers
       ~class_names:(Array.map (fun (c : Mix.class_def) -> c.name) mix.Mix.classes)
   in
-  (summary, Metrics.slowdown_samples t.metrics)
+  (summary, Metrics.slowdown_samples inst.metrics)
 
 let run ~config ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer () =
   fst

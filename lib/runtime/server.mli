@@ -13,6 +13,64 @@
     Progress, probe lateness, lock deferral and instrumentation slowdown
     follow the task model described in DESIGN.md §3. *)
 
+type event
+(** One instance-internal simulation step (a dispatcher micro-op finishing,
+    a worker quantum elapsing, ...). Opaque: a host simulation receives
+    values of this type only through the [lift] injection given to
+    {!Instance.create} and must pass them back to {!Instance.handle}
+    untouched. *)
+
+(** An embeddable server instance: the same dispatcher/worker model as
+    {!run}, but driven by an external {!Repro_engine.Sim} clock so several
+    instances can interleave in one simulation (the rack-scale cluster
+    layer). The host owns arrival generation and end-of-run policy; the
+    instance owns everything from NIC ingress to completion. *)
+module Instance : sig
+  type 'e t
+
+  val create :
+    sim:'e Repro_engine.Sim.t ->
+    lift:(event -> 'e) ->
+    config:Config.t ->
+    warmup_before:int ->
+    n_classes:int ->
+    rng:Repro_engine.Rng.t ->
+    ?speed_factor:float ->
+    ?tracer:Tracing.t ->
+    ?on_complete:(Request.t -> unit) ->
+    unit ->
+    'e t
+  (** [warmup_before] is the global request-id warm-up cutoff (ids are
+      assigned by the host, so the cutoff is shared across instances).
+      [rng] drives this instance's preemption-lateness draws — give each
+      instance its own split stream. [speed_factor] > 1 models a straggler:
+      dispatcher micro-ops and application execution take proportionally
+      more wall time (1.0, the default, is the exact fast path).
+      [on_complete] fires after each completion is recorded. *)
+
+  val inject : 'e t -> Request.t -> unit
+  (** Land a request in the instance's NIC queue at the current sim time.
+      The request's [arrival_ns] is not modified, so any load-balancer
+      delay the host charged before injection shows up in the sojourn. *)
+
+  val handle : 'e t -> event -> unit
+  (** Advance the instance by one of its own events (the host unwraps its
+      event type and forwards). *)
+
+  val censor_all : ?also:(Request.t -> unit) -> 'e t -> now_ns:int -> unit
+  (** Record every in-flight request as censored (end of run); [also] is
+      called on each, letting the host mirror the record into a merged
+      accumulator. *)
+
+  val metrics : 'e t -> Metrics.t
+  val inflight : 'e t -> int
+  (** Requests injected but not yet completed — the queue-length signal an
+      inter-server load balancer observes. *)
+
+  val completed : 'e t -> int
+  val n_workers : 'e t -> int
+end
+
 val run :
   config:Config.t ->
   mix:Repro_workload.Mix.t ->
@@ -49,5 +107,5 @@ val run_detailed :
   unit ->
   Metrics.summary * Repro_engine.Stats.t
 (** Like {!run}, but also returns the raw post-warm-up slowdown samples so
-    callers (e.g. {!Replication}) can merge several runs and recompute
+    callers (e.g. [Repro_cluster.Replication]) can merge several runs and recompute
     joint percentiles. The returned samples are owned by the caller. *)

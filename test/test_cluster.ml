@@ -1,0 +1,201 @@
+(* Tests for the rack-scale cluster layer: policy parsing, routing
+   behaviour under fresh and stale views, straggler handling, determinism,
+   and the replication-vs-cluster-Random equivalence. *)
+
+module Cluster = Repro_cluster.Cluster
+module Lb_policy = Repro_cluster.Lb_policy
+module Replication = Repro_cluster.Replication
+module Systems = Repro_runtime.Systems
+module Metrics = Repro_runtime.Metrics
+module Mix = Repro_workload.Mix
+module Service_dist = Repro_workload.Service_dist
+module Arrival = Repro_workload.Arrival
+
+let fixed_mix ns = Mix.of_dist ~name:"fixed" (Service_dist.Fixed (float_of_int ns))
+
+(* 3 x 4 workers on Fixed(5us): rack capacity 2.4 MRps. *)
+let small_config () = Systems.concord ~n_workers:4 ()
+
+let run_rack ?(policy = Lb_policy.Po2c) ?(rtt_cycles = 0) ?(stragglers = [])
+    ?(instances = 3) ?(rate = 1.8e6) ?(n = 12_000) ?(seed = 42) ?on_decision () =
+  let cluster =
+    Cluster.homogeneous ~policy ~rtt_cycles ~stragglers ~instances (small_config ())
+  in
+  Cluster.run ~cluster ~mix:(fixed_mix 5_000)
+    ~arrival:(Arrival.Poisson { rate_rps = rate })
+    ~n_requests:n ~seed ?on_decision ()
+
+(* --- policy parsing ---------------------------------------------------- *)
+
+let test_policy_parsing () =
+  let ok s p =
+    match Lb_policy.of_string s with
+    | Ok got -> Alcotest.(check string) s (Lb_policy.name p) (Lb_policy.name got)
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "random" Lb_policy.Random;
+  ok "rr" Lb_policy.Round_robin;
+  ok "round-robin" Lb_policy.Round_robin;
+  ok "JSQ" Lb_policy.Jsq;
+  ok "po2c" Lb_policy.Po2c;
+  ok "po2" Lb_policy.Po2c;
+  ok "jbsq:4" (Lb_policy.Jbsq 4);
+  let rejected s = match Lb_policy.of_string s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "garbage rejected" true (rejected "shortest");
+  Alcotest.(check bool) "jbsq:0 rejected" true (rejected "jbsq:0");
+  Alcotest.(check bool) "jbsq:x rejected" true (rejected "jbsq:x")
+
+(* --- JSQ with fresh state ---------------------------------------------- *)
+
+let test_jsq_fresh_never_longer () =
+  (* At rtt = 0 the balancer's send/credit views must equal the true
+     instantaneous queue lengths, and JSQ must never route to a strictly
+     longer queue than the minimum. *)
+  let decisions = ref 0 in
+  let s =
+    run_rack ~policy:Lb_policy.Jsq
+      ~on_decision:(fun ~views ~lengths ~chosen ->
+        incr decisions;
+        Array.iteri
+          (fun i v ->
+            if v <> lengths.(i) then
+              Alcotest.failf "decision %d: view %d=%d but true length %d" !decisions i v
+                lengths.(i))
+          views;
+        Array.iter
+          (fun l ->
+            if lengths.(chosen) > l then
+              Alcotest.failf "decision %d: JSQ chose queue %d over one of %d" !decisions
+                lengths.(chosen) l)
+          lengths)
+      ()
+  in
+  Alcotest.(check int) "every request audited" s.Cluster.requests !decisions;
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (Cluster.check_invariants s)
+
+let test_stale_views_diverge () =
+  (* With a large RTT the views must actually go stale: at least one
+     decision sees view <> true length. *)
+  let diverged = ref false in
+  let (_ : Cluster.summary) =
+    run_rack ~policy:Lb_policy.Jsq ~rtt_cycles:50_000
+      ~on_decision:(fun ~views ~lengths ~chosen:_ ->
+        if Array.exists2 (fun v l -> v <> l) views lengths then diverged := true)
+      ()
+  in
+  Alcotest.(check bool) "stale views observed" true !diverged
+
+(* --- policy quality ---------------------------------------------------- *)
+
+let test_po2c_within_factor_of_jsq () =
+  let jsq = run_rack ~policy:Lb_policy.Jsq () in
+  let po2c = run_rack ~policy:Lb_policy.Po2c () in
+  let j = jsq.Cluster.cluster.Metrics.p99_slowdown in
+  let p = po2c.Cluster.cluster.Metrics.p99_slowdown in
+  Alcotest.(check bool) "sane" true (j >= 1.0 && p >= 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "po2c p99 %.2f within 3x of jsq %.2f" p j)
+    true
+    (p <= 3.0 *. j)
+
+let test_oblivious_policies_degrade_with_straggler () =
+  (* A 3x straggler hurts policies that cannot see queue state; JSQ routes
+     around it. *)
+  let straggler = [ (0, 3.0) ] in
+  let p99 (s : Cluster.summary) = s.Cluster.cluster.Metrics.p99_slowdown in
+  let rate = 1.5e6 in
+  let random_hom = run_rack ~policy:Lb_policy.Random ~rate () in
+  let random_str = run_rack ~policy:Lb_policy.Random ~stragglers:straggler ~rate () in
+  let rr_str = run_rack ~policy:Lb_policy.Round_robin ~stragglers:straggler ~rate () in
+  let jsq_str = run_rack ~policy:Lb_policy.Jsq ~stragglers:straggler ~rate () in
+  Alcotest.(check bool)
+    (Printf.sprintf "random degrades: %.2f -> %.2f" (p99 random_hom) (p99 random_str))
+    true
+    (p99 random_str > 1.5 *. p99 random_hom);
+  Alcotest.(check bool)
+    (Printf.sprintf "rr degrades too: %.2f" (p99 rr_str))
+    true
+    (p99 rr_str > 1.5 *. p99 random_hom);
+  Alcotest.(check bool)
+    (Printf.sprintf "jsq routes around it: %.2f < %.2f" (p99 jsq_str) (p99 random_str))
+    true
+    (p99 jsq_str < p99 random_str);
+  (* JSQ must send the straggler strictly fewer requests than the healthy
+     servers. *)
+  Alcotest.(check bool) "straggler starved" true
+    (jsq_str.Cluster.routed.(0) < jsq_str.Cluster.routed.(1)
+    && jsq_str.Cluster.routed.(0) < jsq_str.Cluster.routed.(2))
+
+let test_rack_jbsq_parks_at_bound () =
+  let bound = 2 in
+  let s =
+    run_rack ~policy:(Lb_policy.Jbsq bound) ~rate:2.2e6
+      ~on_decision:(fun ~views ~lengths:_ ~chosen ->
+        if views.(chosen) >= bound then
+          Alcotest.failf "JBSQ placed onto a full server (view %d >= %d)" views.(chosen)
+            bound)
+      ()
+  in
+  Alcotest.(check bool) "balancer actually parked arrivals" true (s.Cluster.lb_held > 0);
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (Cluster.check_invariants s)
+
+(* --- determinism -------------------------------------------------------- *)
+
+let test_same_seed_same_summary () =
+  let a = run_rack ~policy:Lb_policy.Po2c ~seed:7 () in
+  let b = run_rack ~policy:Lb_policy.Po2c ~seed:7 () in
+  Alcotest.(check bool) "cluster summaries bit-identical" true
+    (a.Cluster.cluster = b.Cluster.cluster);
+  Alcotest.(check (array int)) "same routing" a.Cluster.routed b.Cluster.routed;
+  let c = run_rack ~policy:Lb_policy.Po2c ~seed:8 () in
+  Alcotest.(check bool) "different seed differs" true (a.Cluster.routed <> c.Cluster.routed)
+
+let test_sweep_cluster_bit_identical_across_domains () =
+  let cluster =
+    Cluster.homogeneous ~policy:Lb_policy.Po2c ~instances:3 (small_config ())
+  in
+  let sweep domains =
+    Concord.Sweep.run_cluster ~cluster ~mix:(fixed_mix 5_000)
+      ~rates:[ 0.6e6; 1.2e6; 1.8e6 ] ~n_requests:6_000 ~domains ()
+  in
+  let series t = Concord.Sweep.p999_series t in
+  Alcotest.(check bool) "domains 1 vs 4 identical" true (series (sweep 1) = series (sweep 4))
+
+(* --- replication equivalence ------------------------------------------- *)
+
+let test_replication_equivalence () =
+  (* Independent replicas on thinned Poisson streams and the shared-clock
+     cluster under Random are the same queueing system; their slowdown
+     distributions must agree up to sampling noise. *)
+  let config = small_config () in
+  let mix = fixed_mix 5_000 in
+  let args = (1.4e6, 24_000) in
+  let rate_rps, n_requests = args in
+  let shared = Replication.run ~instances:3 ~config ~mix ~rate_rps ~n_requests () in
+  let indep = Replication.run_independent ~instances:3 ~config ~mix ~rate_rps ~n_requests () in
+  let close name tol a b =
+    let rel = Float.abs (a -. b) /. Float.max a b in
+    if rel > tol then Alcotest.failf "%s: cluster %.3f vs independent %.3f (rel %.3f)" name a b rel
+  in
+  close "p50" 0.10 shared.Replication.p50_slowdown indep.Replication.p50_slowdown;
+  close "p99" 0.25 shared.Replication.p99_slowdown indep.Replication.p99_slowdown;
+  close "goodput" 0.10 shared.Replication.goodput_rps indep.Replication.goodput_rps;
+  Alcotest.(check int) "same worker count" shared.Replication.total_workers
+    indep.Replication.total_workers
+
+let suite =
+  [
+    Alcotest.test_case "policy parsing" `Quick test_policy_parsing;
+    Alcotest.test_case "JSQ fresh state never joins longer queue" `Quick
+      test_jsq_fresh_never_longer;
+    Alcotest.test_case "views go stale under RTT" `Quick test_stale_views_diverge;
+    Alcotest.test_case "po2c within bounded factor of JSQ" `Quick test_po2c_within_factor_of_jsq;
+    Alcotest.test_case "oblivious policies degrade with straggler" `Quick
+      test_oblivious_policies_degrade_with_straggler;
+    Alcotest.test_case "rack JBSQ parks at the bound" `Quick test_rack_jbsq_parks_at_bound;
+    Alcotest.test_case "same seed, same summary" `Quick test_same_seed_same_summary;
+    Alcotest.test_case "cluster sweep bit-identical across domains" `Quick
+      test_sweep_cluster_bit_identical_across_domains;
+    Alcotest.test_case "replication equals cluster under Random" `Quick
+      test_replication_equivalence;
+  ]

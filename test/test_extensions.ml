@@ -5,7 +5,7 @@
 module Rng = Repro_engine.Rng
 module Zipf = Repro_engine.Zipf
 module Sls = Repro_runtime.Sls_server
-module Replication = Repro_runtime.Replication
+module Replication = Repro_cluster.Replication
 module Systems = Repro_runtime.Systems
 module Metrics = Repro_runtime.Metrics
 module Mix = Repro_workload.Mix

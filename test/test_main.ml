@@ -22,6 +22,7 @@ let () =
       ("kvstore.wal", Test_wal.suite);
       ("instrument", Test_instrument.suite);
       ("extensions", Test_extensions.suite);
+      ("cluster", Test_cluster.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("core.api", Test_core_api.suite);
       ("core.work", Test_work.suite);

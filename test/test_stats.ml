@@ -72,6 +72,35 @@ let test_merge_sorted_inputs () =
   Alcotest.(check int) "count" 8 (Stats.count m2);
   Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value m2)
 
+let test_merge_all () =
+  (* merge_all must agree with the pairwise-merge fold and come back in
+     sorted state regardless of input sortedness. *)
+  let mk l = of_list l in
+  let parts =
+    [ mk [ 5.0; 1.0; 3.0 ]; mk []; mk [ 4.0; 2.0 ]; mk [ 6.0; 0.5; 7.5; 2.5 ] ]
+  in
+  (* Put one input in sorted state to mix both internal representations. *)
+  ignore (Stats.median (List.nth parts 0));
+  let m = Stats.merge_all parts in
+  let folded = List.fold_left Stats.merge (Stats.create ()) parts in
+  Alcotest.(check int) "count" 9 (Stats.count m);
+  Alcotest.(check bool) "born sorted" true
+    (let v = Stats.values m in
+     Array.for_all (fun ok -> ok) (Array.mapi (fun i x -> i = 0 || v.(i - 1) <= x) v));
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f invariant" p)
+        (Stats.percentile folded p) (Stats.percentile m p))
+    [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ];
+  (* Inputs are untouched. *)
+  Alcotest.(check int) "input count intact" 4 (Stats.count (List.nth parts 3));
+  (* Degenerate cases. *)
+  Alcotest.(check int) "empty list" 0 (Stats.count (Stats.merge_all []));
+  Alcotest.(check (float 1e-9))
+    "singleton" 3.0
+    (Stats.median (Stats.merge_all [ mk [ 3.0 ] ]))
+
 let test_values_insertion_order () =
   let t = of_list [ 3.0; 1.0; 2.0 ] in
   Alcotest.(check bool) "values keep insertion order before sorting" true
@@ -117,6 +146,7 @@ let suite =
     Alcotest.test_case "interleaved add and query" `Quick test_interleaved_add_query;
     Alcotest.test_case "merge" `Quick test_merge;
     Alcotest.test_case "merge keeps sorted invariant" `Quick test_merge_sorted_inputs;
+    Alcotest.test_case "merge_all: sorted, percentile-invariant" `Quick test_merge_all;
     Alcotest.test_case "values keep insertion order" `Quick test_values_insertion_order;
     Alcotest.test_case "online accumulator matches direct" `Quick test_online_matches_direct;
     QCheck_alcotest.to_alcotest prop_percentile_matches_oracle;
