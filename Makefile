@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test bench trace-smoke cluster-smoke clean
+.PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke clean
 
 all: build
 
@@ -27,10 +27,20 @@ cluster-smoke:
 
 # What CI (and every PR) must keep green.
 check:
-	dune build && dune runtest && $(MAKE) trace-smoke && $(MAKE) cluster-smoke
+	dune build && dune runtest && $(MAKE) trace-smoke && $(MAKE) cluster-smoke && $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe
+
+# Core-throughput suite: fixed scenarios reported as simulated events/sec,
+# written as self-validated JSON (schema concord-bench-core/v1). The full
+# run regenerates the committed BENCH_core.json reference; the quick
+# (few-second) variant exercises the same path in `make check`.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_core.json
+
+bench-json-quick:
+	dune exec bench/main.exe -- --json _build/bench-core-quick.json --quick
 
 clean:
 	dune clean

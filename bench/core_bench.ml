@@ -1,0 +1,191 @@
+(* Core-throughput suite: a small, deterministic set of end-to-end
+   simulations plus substrate microbenches, timed wall-clock and reported
+   as *simulated events per second* — the denominator every hot-path
+   optimisation in the engine is judged against. Invoked as
+
+     dune exec bench/main.exe -- --json FILE [--quick]
+
+   The seeds, scenario parameters and event counts are fixed, so [events]
+   and [p99_slowdown] in the output are bit-stable across runs and
+   machines; only [wall_s] (and hence [events_per_sec]) varies. The repo
+   commits a reference run as BENCH_core.json (see EXPERIMENTS.md,
+   "Simulator throughput"). *)
+
+module Sim = Repro_engine.Sim
+module Heap = Repro_engine.Heap
+module Ring = Repro_engine.Ring
+
+type row = {
+  name : string;
+  kind : string; (* "server" | "cluster" | "micro" *)
+  requests : int; (* 0 for microbenches *)
+  events : int; (* simulated events (or micro ops) per run *)
+  wall_s : float; (* best-of-N wall seconds for one run *)
+  p99_slowdown : float; (* nan for microbenches *)
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One warm-up run (buffer growth, page faults), then best-of-[repeats].
+   [f] returns (events, p99); both are deterministic, so any run's pair is
+   as good as another's. *)
+let time_scenario ~repeats f =
+  ignore (f ());
+  let best = ref infinity in
+  let events = ref 0 in
+  let p99 = ref nan in
+  for _ = 1 to repeats do
+    let (e, p), dt = wall f in
+    events := e;
+    p99 := p;
+    if dt < !best then best := dt
+  done;
+  (!events, !p99, !best)
+
+let config_of_system name =
+  match Repro_runtime.Systems.by_name name with
+  | Some make -> make ()
+  | None -> invalid_arg ("core_bench: unknown system " ^ name)
+
+let server_scenario ~system ~rate_rps ~n_requests () =
+  let events = ref 0 in
+  let summary, (_ : Repro_engine.Stats.t) =
+    Repro_runtime.Server.run_detailed ~config:(config_of_system system)
+      ~mix:Repro_workload.Presets.usr
+      ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
+      ~n_requests ~events_out:events ()
+  in
+  (!events, summary.Repro_runtime.Metrics.p99_slowdown)
+
+let cluster_scenario ~instances ~rate_rps ~n_requests () =
+  let cluster =
+    Repro_cluster.Cluster.homogeneous ~policy:Repro_cluster.Lb_policy.Po2c ~instances
+      (config_of_system "concord")
+  in
+  let events = ref 0 in
+  let summary, (_ : Repro_engine.Stats.t) =
+    Repro_cluster.Cluster.run_detailed ~cluster ~mix:Repro_workload.Presets.usr
+      ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
+      ~n_requests ~events_out:events ()
+  in
+  (!events, summary.Repro_cluster.Cluster.cluster.Repro_runtime.Metrics.p99_slowdown)
+
+(* Heap churn: [rounds] batches of 1k keyed adds followed by a full drain —
+   the event-queue access pattern of a loaded simulation, minus the
+   handlers. Counted as adds + pops. *)
+let heap_scenario ~rounds () =
+  let h = Heap.create () in
+  for _ = 1 to rounds do
+    for i = 0 to 999 do
+      Heap.add h ~key:(i * 7919 mod 1000) i
+    done;
+    while not (Heap.is_empty h) do
+      ignore (Heap.pop_unsafe h)
+    done
+  done;
+  (rounds * 2000, nan)
+
+(* Ring churn: fill-then-drain through the dispatcher's op ring. Starts at
+   the dispatcher's default capacity so the first round exercises growth
+   and the rest run steady-state. Counted as pushes + pops. *)
+let ring_scenario ~rounds () =
+  let r = Ring.create ~capacity:64 ~dummy:(-1) () in
+  for _ = 1 to rounds do
+    for i = 0 to 999 do
+      Ring.push r i
+    done;
+    while not (Ring.is_empty r) do
+      ignore (Ring.pop_unsafe r)
+    done
+  done;
+  (rounds * 2000, nan)
+
+(* Sim spin: a single self-rescheduling event driven [n] times through the
+   zero-allocation Sim.run/Heap fast path — the per-event floor of the
+   whole simulator. *)
+let sim_scenario ~n () =
+  let sim = Sim.create ~capacity:16 () in
+  Sim.schedule_at sim ~time:(Sim.now sim) 0;
+  let left = ref n in
+  Sim.run sim
+    ~handler:(fun s _ ->
+      decr left;
+      if !left > 0 then Sim.schedule_after s ~delay:1 0)
+    ();
+  (Sim.events_processed sim, nan)
+
+let scenarios ~quick =
+  let scale n = if quick then n / 5 else n in
+  [
+    ( "sq-shinjuku",
+      "server",
+      scale 30_000,
+      server_scenario ~system:"shinjuku" ~rate_rps:1.0e6 ~n_requests:(scale 30_000) );
+    ( "jbsq-concord",
+      "server",
+      scale 30_000,
+      server_scenario ~system:"concord" ~rate_rps:1.0e6 ~n_requests:(scale 30_000) );
+    ( "cluster-po2c-3x",
+      "cluster",
+      scale 20_000,
+      cluster_scenario ~instances:3 ~rate_rps:3.0e6 ~n_requests:(scale 20_000) );
+    ("heap-churn", "micro", 0, heap_scenario ~rounds:(scale 200));
+    ("ring-churn", "micro", 0, ring_scenario ~rounds:(scale 200));
+    ("sim-spin", "micro", 0, sim_scenario ~n:(scale 500_000));
+  ]
+
+let run_suite ~quick =
+  let repeats = if quick then 2 else 3 in
+  List.map
+    (fun (name, kind, requests, f) ->
+      let events, p99_slowdown, wall_s = time_scenario ~repeats f in
+      Printf.printf "  %-18s %9d events  %8.4f s  %12.0f events/s\n%!" name events wall_s
+        (float_of_int events /. wall_s);
+      { name; kind; requests; events; wall_s; p99_slowdown })
+    (scenarios ~quick)
+
+(* Hand-rolled emitter: the only float formats used are %.17g (round-trips
+   exactly) and JSON has no NaN, so microbench rows just omit the
+   p99_slowdown key. *)
+let json_of_rows ~quick rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"concord-bench-core/v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
+  Buffer.add_string buf "  \"scenarios\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"kind\": \"%s\", \"requests\": %d, \"events\": %d, \
+            \"wall_s\": %.17g, \"events_per_sec\": %.17g" r.name r.kind r.requests r.events
+           r.wall_s
+           (float_of_int r.events /. r.wall_s));
+      if not (Float.is_nan r.p99_slowdown) then
+        Buffer.add_string buf (Printf.sprintf ", \"p99_slowdown\": %.17g" r.p99_slowdown);
+      Buffer.add_string buf "}")
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let run ~path ~quick =
+  Printf.printf "[bench-core] %s suite -> %s\n%!" (if quick then "quick" else "full") path;
+  let rows, total = wall (fun () -> run_suite ~quick) in
+  let text = json_of_rows ~quick rows in
+  Repro_runtime.Trace_export.write_file ~path text;
+  (* Self-check: the file we just wrote must parse as JSON. *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let written = really_input_string ic len in
+  close_in ic;
+  (match Repro_runtime.Trace_export.validate_json written with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "[bench-core] self-validation FAILED: %s\n%!" msg;
+    exit 1);
+  Printf.printf "[bench-core] wrote %d scenarios in %.1fs (JSON self-validated)\n%!"
+    (List.length rows) total

@@ -13,7 +13,11 @@
      dune exec bench/main.exe -- --breakdown  # inspect: latency-breakdown table
                                               # for a canonical traced run
      dune exec bench/main.exe -- --trace F    # inspect: export that run's trace
-                                              # as Chrome JSON (ui.perfetto.dev) *)
+                                              # as Chrome JSON (ui.perfetto.dev)
+     dune exec bench/main.exe -- --json F     # core-throughput suite: events/sec
+                                              # per scenario, written as JSON
+                                              # (add --quick for the <30s variant
+                                              #  make check runs) *)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -162,7 +166,7 @@ let run_inspection ~trace_file ~breakdown =
   Option.iter
     (fun path ->
       Repro_runtime.Trace_export.write_file ~path
-        (Repro_runtime.Trace_export.to_chrome_json (Repro_runtime.Tracing.entries tracer));
+        (Repro_runtime.Trace_export.tracer_to_chrome_json tracer);
       Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
     trace_file
 
@@ -180,6 +184,17 @@ let () =
       else parse_trace rest
   in
   let trace_file = parse_trace args in
+  let rec parse_json = function
+    | [] -> None
+    | "--json" :: v :: _ -> Some v
+    | a :: rest ->
+      if String.length a > 7 && String.sub a 0 7 = "--json=" then
+        Some (String.sub a 7 (String.length a - 7))
+      else parse_json rest
+  in
+  (match parse_json args with
+  | Some path -> Core_bench.run ~path ~quick:(List.mem "--quick" args)
+  | None ->
   if breakdown || trace_file <> None then run_inspection ~trace_file ~breakdown
   else begin
   (* --jobs N / --jobs=N: total domains used per parallel fan-out. *)
@@ -223,4 +238,4 @@ let () =
   run_figures ~scale ~ids:(List.filter (fun i -> i <> "table1") ids);
   if not no_micro then microbenches ();
   Printf.printf "\ntotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)
-  end
+  end)

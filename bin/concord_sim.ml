@@ -174,8 +174,8 @@ let run_cmd =
         Option.iter
           (fun path ->
             Repro_runtime.Trace_export.write_file ~path
-              (Repro_runtime.Trace_export.to_chrome_json
-                 (Repro_runtime.Tracing.entries tracer));
+              (Repro_runtime.Trace_export.tracer_to_chrome_json
+                 tracer);
             Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
           trace_file)
       tracer
@@ -378,8 +378,8 @@ let cluster_cmd =
           Option.iter
             (fun path ->
               Repro_runtime.Trace_export.write_file ~path
-                (Repro_runtime.Trace_export.to_chrome_json
-                   (Repro_runtime.Tracing.entries tracer));
+                (Repro_runtime.Trace_export.tracer_to_chrome_json
+                   tracer);
               Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
             trace_file)
         tracer;
@@ -525,13 +525,13 @@ let trace_cmd =
     Option.iter
       (fun path ->
         Repro_runtime.Trace_export.write_file ~path
-          (Repro_runtime.Trace_export.to_chrome_json (Repro_runtime.Tracing.entries tracer));
+          (Repro_runtime.Trace_export.tracer_to_chrome_json tracer);
         Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
       trace_file;
     Option.iter
       (fun path ->
         Repro_runtime.Trace_export.write_file ~path
-          (Repro_runtime.Trace_export.events_to_csv (Repro_runtime.Tracing.entries tracer));
+          (Repro_runtime.Trace_export.tracer_events_to_csv tracer);
         Printf.printf "events written to %s\n" path)
       csv_file;
     if check then begin

@@ -65,7 +65,7 @@ type ev =
   | Inst of { inst : int; ev : Server.event }
 
 let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
-    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer ?on_decision () =
+    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer ?on_decision ?events_out () =
   if n_requests < 1 then invalid_arg "Cluster.run: need at least one request";
   let n_inst = Array.length cluster.specs in
   let master = Rng.create ~seed in
@@ -75,7 +75,12 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
   let mech_rngs = Array.init n_inst (fun _ -> Rng.split master) in
   let warmup_before = int_of_float (warmup_frac *. float_of_int n_requests) in
   let n_classes = Array.length mix.Mix.classes in
-  let sim : ev Sim.t = Sim.create () in
+  (* Same in-flight bound as the standalone driver, per instance, plus the
+     balancer's arrival/delivery/credit events riding the wire. *)
+  let total_workers =
+    Array.fold_left (fun acc s -> acc + s.config.Config.n_workers) 0 cluster.specs
+  in
+  let sim : ev Sim.t = Sim.create ~capacity:((4 * total_workers) + (8 * n_inst) + 16) () in
   (* The RTT is split across the two legs: request delivery rides the
      forward half, the completion credit rides the return half, so the
      balancer's view of a server lags the truth by up to one full RTT. *)
@@ -191,11 +196,9 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
   in
   Sim.schedule_at sim ~time:0 Arrive;
   Sim.run sim ~handler ();
+  (match events_out with Some r -> r := Sim.events_processed sim | None -> ());
   let span_ns = max 1 (Sim.now sim) in
   let instances = !instances in
-  let total_workers =
-    Array.fold_left (fun acc s -> acc + s.config.Config.n_workers) 0 cluster.specs
-  in
   let class_names = Array.map (fun (c : Mix.class_def) -> c.name) mix.Mix.classes in
   let per_instance =
     Array.mapi

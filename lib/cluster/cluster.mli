@@ -105,9 +105,12 @@ val run_detailed :
   ?seed:int ->
   ?tracer:Repro_runtime.Tracing.t ->
   ?on_decision:(views:int array -> lengths:int array -> chosen:int -> unit) ->
+  ?events_out:int ref ->
   unit ->
   summary * Repro_engine.Stats.t
-(** Like {!run}, also returning the merged post-warm-up slowdown samples. *)
+(** Like {!run}, also returning the merged post-warm-up slowdown samples.
+    [events_out], when given, receives the total simulation events
+    processed (the benchmark suite's events/sec numerator). *)
 
 val check_invariants : summary -> (unit, string) result
 (** Conservation and sanity checks used by [make cluster-smoke] and tests:

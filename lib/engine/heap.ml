@@ -36,67 +36,89 @@ let grow h v =
   h.seqs <- seqs;
   h.vals <- vals
 
-(* [less h i j] decides whether slot [i] must sit above slot [j]. *)
-let less h i j =
-  let ki = h.keys.(i) and kj = h.keys.(j) in
-  ki < kj || (ki = kj && h.seqs.(i) < h.seqs.(j))
+(* The sifts move the hole rather than swapping entries pairwise: the item
+   being placed rides in registers while displaced entries shift one slot,
+   so each level costs one store per array instead of two (the [vals] store
+   is the expensive one — every pointer-array write runs the GC write
+   barrier, and sifting is the simulator's single hottest loop). The final
+   array layout is identical to a swap-based sift, and the (key, seq) order
+   is total, so pop order — and therefore simulation output — is unchanged.
+   Indices stay below [size] by construction, hence the unsafe accesses. *)
 
-let swap h i j =
-  let k = h.keys.(i) in
-  h.keys.(i) <- h.keys.(j);
-  h.keys.(j) <- k;
-  let s = h.seqs.(i) in
-  h.seqs.(i) <- h.seqs.(j);
-  h.seqs.(j) <- s;
-  let v = h.vals.(i) in
-  h.vals.(i) <- h.vals.(j);
-  h.vals.(j) <- v
+let place h key seq v i =
+  Array.unsafe_set h.keys i key;
+  Array.unsafe_set h.seqs i seq;
+  Array.unsafe_set h.vals i v
 
-let rec sift_up h i =
+let rec sift_up h key seq v i =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less h i parent then begin
-      swap h i parent;
-      sift_up h parent
+    let p = (i - 1) / 2 in
+    let kp = Array.unsafe_get h.keys p in
+    if key < kp || (key = kp && seq < Array.unsafe_get h.seqs p) then begin
+      Array.unsafe_set h.keys i kp;
+      Array.unsafe_set h.seqs i (Array.unsafe_get h.seqs p);
+      Array.unsafe_set h.vals i (Array.unsafe_get h.vals p);
+      sift_up h key seq v p
     end
+    else place h key seq v i
   end
+  else place h key seq v i
 
-let rec sift_down h i =
+let rec sift_down h key seq v i =
   let l = (2 * i) + 1 in
   if l < h.size then begin
     let r = l + 1 in
-    let smallest = if r < h.size && less h r l then r else l in
-    if less h smallest i then begin
-      swap h i smallest;
-      sift_down h smallest
+    let c =
+      if r < h.size then begin
+        let kl = Array.unsafe_get h.keys l and kr = Array.unsafe_get h.keys r in
+        if kr < kl || (kr = kl && Array.unsafe_get h.seqs r < Array.unsafe_get h.seqs l) then r
+        else l
+      end
+      else l
+    in
+    let kc = Array.unsafe_get h.keys c in
+    if kc < key || (kc = key && Array.unsafe_get h.seqs c < seq) then begin
+      Array.unsafe_set h.keys i kc;
+      Array.unsafe_set h.seqs i (Array.unsafe_get h.seqs c);
+      Array.unsafe_set h.vals i (Array.unsafe_get h.vals c);
+      sift_down h key seq v c
     end
+    else place h key seq v i
   end
+  else place h key seq v i
 
 let add h ~key v =
   if h.size = 0 && Array.length h.vals = 0 then
     h.vals <- Array.make (Array.length h.keys) v
   else if h.size = Array.length h.keys then grow h v;
   let i = h.size in
-  h.keys.(i) <- key;
-  h.seqs.(i) <- h.next_seq;
-  h.vals.(i) <- v;
-  h.next_seq <- h.next_seq + 1;
-  h.size <- h.size + 1;
-  sift_up h i
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  h.size <- i + 1;
+  sift_up h key seq v i
 
 let min_key h = if h.size = 0 then None else Some h.keys.(0)
+
+(* Non-allocating variants of [min_key]/[pop] for the event-loop hot path.
+   Callers must guard with [is_empty]: on an empty heap [unsafe_min_key]
+   returns whatever stale key sits in slot 0, and [pop_unsafe] raises. *)
+let unsafe_min_key h = Array.unsafe_get h.keys 0
+
+let pop_unsafe h =
+  if h.size = 0 then invalid_arg "Heap.pop_unsafe: empty";
+  let v = h.vals.(0) in
+  let n = h.size - 1 in
+  h.size <- n;
+  if n > 0 then sift_down h h.keys.(n) h.seqs.(n) h.vals.(n) 0;
+  v
 
 let pop h =
   if h.size = 0 then None
   else begin
     let key = h.keys.(0) and v = h.vals.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.keys.(0) <- h.keys.(h.size);
-      h.seqs.(0) <- h.seqs.(h.size);
-      h.vals.(0) <- h.vals.(h.size);
-      sift_down h 0
-    end;
+    let n = h.size - 1 in
+    h.size <- n;
+    if n > 0 then sift_down h h.keys.(n) h.seqs.(n) h.vals.(n) 0;
     Some (key, v)
   end
 

@@ -26,6 +26,16 @@ val pop : 'a t -> (int * 'a) option
 (** Remove and return the entry with the smallest key (FIFO among equal
     keys). O(log n). *)
 
+val unsafe_min_key : 'a t -> int
+(** Smallest key present, without the option box. O(1), allocation-free.
+    The caller must check {!is_empty} first: on an empty heap the result is
+    meaningless (whatever key slot 0 last held). *)
+
+val pop_unsafe : 'a t -> 'a
+(** Remove the minimum entry and return its value without allocating; read
+    the key beforehand with {!unsafe_min_key}. O(log n). Raises
+    [Invalid_argument] on an empty heap — guard with {!is_empty}. *)
+
 val clear : 'a t -> unit
 (** Remove all entries. Does not shrink the backing array. *)
 

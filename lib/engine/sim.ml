@@ -1,10 +1,13 @@
 type 'e t = {
   mutable now : int;
   mutable stopped : bool;
+  mutable processed : int;
   events : 'e Heap.t;
 }
 
-let create () = { now = 0; stopped = false; events = Heap.create ~capacity:1024 () }
+let create ?(capacity = 1024) () =
+  { now = 0; stopped = false; processed = 0; events = Heap.create ~capacity () }
+
 let now t = t.now
 
 let schedule_at t ~time e =
@@ -16,23 +19,27 @@ let schedule_after t ~delay e =
   Heap.add t.events ~key:(t.now + delay) e
 
 let pending t = Heap.length t.events
+let events_processed t = t.processed
 let stop t = t.stopped <- true
 
+(* The loop body allocates nothing: key and value come out of the heap
+   through the unsafe accessors instead of boxed options, so steady-state
+   event dispatch is GC-silent (asserted by the allocation regression test
+   in test/test_golden_perf.ml). *)
 let run t ?until ~handler () =
   t.stopped <- false;
   let horizon = match until with None -> max_int | Some h -> h in
+  let events = t.events in
   let rec loop () =
-    if not t.stopped then begin
-      match Heap.min_key t.events with
-      | None -> ()
-      | Some key when key > horizon -> ()
-      | Some _ ->
-        (match Heap.pop t.events with
-        | None -> ()
-        | Some (time, e) ->
-          t.now <- time;
-          handler t e;
-          loop ())
+    if (not t.stopped) && not (Heap.is_empty events) then begin
+      let key = Heap.unsafe_min_key events in
+      if key <= horizon then begin
+        let e = Heap.pop_unsafe events in
+        t.now <- key;
+        t.processed <- t.processed + 1;
+        handler t e;
+        loop ()
+      end
     end
   in
   loop ()

@@ -7,7 +7,10 @@
 
 type 'e t
 
-val create : unit -> 'e t
+val create : ?capacity:int -> unit -> 'e t
+(** [capacity] pre-sizes the event heap (default 1024). Models that know
+    their in-flight event bound (roughly a few events per worker plus the
+    pending arrival) should pass it to avoid repeated doubling. *)
 
 val now : 'e t -> int
 (** Current simulated time in nanoseconds. *)
@@ -21,6 +24,11 @@ val schedule_after : 'e t -> delay:int -> 'e -> unit
 
 val pending : 'e t -> int
 (** Number of events not yet fired. *)
+
+val events_processed : 'e t -> int
+(** Total events popped and handled since [create], across all [run]s.
+    The simulated-events/sec figures in [bench/main.exe --json] divide this
+    by wall time. *)
 
 val stop : 'e t -> unit
 (** Make the current [run] return after the in-flight handler finishes. *)

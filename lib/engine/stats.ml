@@ -42,11 +42,71 @@ let stddev t =
     sqrt (!sum /. float_of_int t.size)
   end
 
+(* In-place sort over [a.(lo..hi)] specialised to float arrays. Going
+   through [Array.sort Float.compare] boxes both floats on every comparison
+   (the closure takes them as [float] arguments through a generic call),
+   which made percentile queries the second-hottest path in the whole
+   simulator; direct [<] comparisons on an unboxed float array cost one
+   instruction each. Samples are finite (slowdowns, latencies, shares), so
+   NaN ordering is not a concern; for all-finite data the result is exactly
+   what [Float.compare] would produce. *)
+let swap (a : float array) i j =
+  let x = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- x
+
+let insertion_sort (a : float array) lo hi =
+  for i = lo + 1 to hi do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+let rec sort_range (a : float array) lo hi =
+  if hi - lo < 32 then insertion_sort a lo hi
+  else begin
+    (* Median-of-three pivot, then a Hoare partition; recurse on the
+       smaller side so the stack stays logarithmic even on adversarial
+       (e.g. already-sorted) inputs. *)
+    let mid = lo + ((hi - lo) / 2) in
+    if a.(mid) < a.(lo) then swap a lo mid;
+    if a.(hi) < a.(lo) then swap a lo hi;
+    if a.(hi) < a.(mid) then swap a mid hi;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap a !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    if !j - lo < hi - !i then begin
+      sort_range a lo !j;
+      sort_range a !i hi
+    end
+    else begin
+      sort_range a !i hi;
+      sort_range a lo !j
+    end
+  end
+
+let sort_floats (a : float array) n = if n > 1 then sort_range a 0 (n - 1)
+
 let ensure_sorted t =
   if not t.sorted then begin
-    let live = Array.sub t.data 0 t.size in
-    Array.sort compare live;
-    Array.blit live 0 t.data 0 t.size;
+    (* Sort the live prefix in place: no [Array.sub]/[blit] round trip. *)
+    sort_floats t.data t.size;
     t.sorted <- true
   end
 
@@ -115,21 +175,25 @@ let merge_all ts =
       Array.blit t.data 0 data !off t.size;
       off := !off + t.size)
     ts;
-  if n > 0 then Array.sort compare data;
+  sort_floats data n;
   { data; size = n; sorted = true }
 
 module Online = struct
-  type acc = { mutable n : int; mutable m : float; mutable m2 : float }
+  (* All-float record: OCaml stores it flat (unboxed fields), so [add]
+     mutates in place without allocating. With an [int] count mixed in,
+     every float-field update would box a fresh float. Counts stay exact
+     as floats up to 2^53 samples. *)
+  type acc = { mutable n : float; mutable m : float; mutable m2 : float }
 
-  let create () = { n = 0; m = 0.0; m2 = 0.0 }
+  let create () = { n = 0.0; m = 0.0; m2 = 0.0 }
 
   let add acc x =
-    acc.n <- acc.n + 1;
+    acc.n <- acc.n +. 1.0;
     let delta = x -. acc.m in
-    acc.m <- acc.m +. (delta /. float_of_int acc.n);
+    acc.m <- acc.m +. (delta /. acc.n);
     acc.m2 <- acc.m2 +. (delta *. (x -. acc.m))
 
-  let count acc = acc.n
+  let count acc = int_of_float acc.n
   let mean acc = acc.m
-  let stddev acc = if acc.n < 2 then 0.0 else sqrt (acc.m2 /. float_of_int acc.n)
+  let stddev acc = if acc.n < 2.0 then 0.0 else sqrt (acc.m2 /. acc.n)
 end

@@ -161,24 +161,29 @@ let lifecycle ~cswitch_cost_ns ~request evs =
       }
   | _ -> None (* truncated by the ring, censored, or still in flight *)
 
-let of_entries ?(cswitch_cost_ns = 0) entries =
+(* Group entries per request in first-seen order, then replay each
+   lifecycle. [iter] abstracts the event source so [of_trace] can stream
+   straight off the tracer ring without first materializing every retained
+   entry as a list. *)
+let of_iter ~cswitch_cost_ns iter =
   let by_request : (int, Tracing.entry list ref) Hashtbl.t = Hashtbl.create 1024 in
   let order = ref [] in
-  List.iter
-    (fun (e : Tracing.entry) ->
+  iter (fun (e : Tracing.entry) ->
       match Hashtbl.find_opt by_request e.request with
       | Some l -> l := e :: !l
       | None ->
         Hashtbl.add by_request e.request (ref [ e ]);
-        order := e.request :: !order)
-    entries;
+        order := e.request :: !order);
   List.filter_map
     (fun request ->
       let evs = List.rev !(Hashtbl.find by_request request) in
       lifecycle ~cswitch_cost_ns ~request evs)
     (List.rev !order)
 
-let of_trace ?cswitch_cost_ns tracer = of_entries ?cswitch_cost_ns (Tracing.entries tracer)
+let of_entries ?(cswitch_cost_ns = 0) entries = of_iter ~cswitch_cost_ns (fun f -> List.iter f entries)
+
+let of_trace ?(cswitch_cost_ns = 0) tracer =
+  of_iter ~cswitch_cost_ns (fun f -> Tracing.iter_entries tracer ~f)
 
 (* ------------------------------------------------------------------ *)
 (* Invariants and views                                                *)

@@ -105,14 +105,16 @@ let pop t ~worker =
     | None -> Dlq.pop_head q
   end
   | List_queue { q; _ } -> Dlq.pop_head q
-  | Srpt_queue { fresh; started } -> begin
-    match (Heap.min_key fresh, Heap.min_key started) with
-    | None, None -> None
-    | Some _, None -> Option.map snd (Heap.pop fresh)
-    | None, Some _ -> Option.map snd (Heap.pop started)
-    | Some kf, Some ks ->
-      if kf <= ks then Option.map snd (Heap.pop fresh) else Option.map snd (Heap.pop started)
-  end
+  | Srpt_queue { fresh; started } ->
+    (* Unsafe heap accessors: no (key, value) tuple or nested option per
+       pop. Ties between the two heaps go to [fresh], as before. *)
+    let no_fresh = Heap.is_empty fresh and no_started = Heap.is_empty started in
+    if no_fresh && no_started then None
+    else if
+      no_started
+      || ((not no_fresh) && Heap.unsafe_min_key fresh <= Heap.unsafe_min_key started)
+    then Some (Heap.pop_unsafe fresh)
+    else Some (Heap.pop_unsafe started)
 
 let pop_not_started t =
   match t with
@@ -124,7 +126,8 @@ let pop_not_started t =
       Some node.Dlq.req
     | None -> None
   end
-  | Srpt_queue { fresh; _ } -> Option.map snd (Heap.pop fresh)
+  | Srpt_queue { fresh; _ } ->
+    if Heap.is_empty fresh then None else Some (Heap.pop_unsafe fresh)
 
 let has_not_started t =
   match t with

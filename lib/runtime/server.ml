@@ -1,5 +1,6 @@
 module Sim = Repro_engine.Sim
 module Rng = Repro_engine.Rng
+module Ring = Repro_engine.Ring
 module Costs = Repro_hw.Costs
 module Mechanism = Repro_hw.Mechanism
 module Mix = Repro_workload.Mix
@@ -11,9 +12,12 @@ module Arrival = Repro_workload.Arrival
 
 type disp_op =
   | Op_ingress of Request.t
-  | Op_ingress_batch of Request.t list
+  | Op_ingress_batch
       (* coalesced ingress: the dispatcher admits several queued arrivals in
-         one pass, amortizing the per-request cost (Config.ingress_batch) *)
+         one pass, amortizing the per-request cost (Config.ingress_batch).
+         The members live in [dispatcher.batch_buf.(0 .. batch_n - 1)] — at
+         most one batch op is ever in flight, so a single scratch array per
+         instance replaces a freshly allocated list per batch. *)
   | Op_completion of int (* worker id *)
   | Op_requeue of { req : Request.t; from_worker : int }
   | Op_preempt_signal of { worker : int; epoch : int }
@@ -54,19 +58,28 @@ type worker = {
 
 type slice = { sreq : Request.t; sstart : int; send : int; sstop_progress : int }
 
+(* The op ring replaces a [Queue.t]: pushes and pops move two cursors in a
+   flat array instead of allocating a cons cell per op, which matters because
+   every completion, requeue and preemption signal flows through here.
+   [cur_op] is a plain field (meaningful only while [busy]); the dispatcher
+   runs ops strictly serially, so an option box would only encode a state
+   [busy] already tracks. *)
 type dispatcher = {
-  ops : disp_op Queue.t;
+  ops : disp_op Ring.t;
   mutable busy : bool;
   mutable depoch : int;
   mutable op_started_ns : int;
-  mutable cur_op : disp_op option;
+  mutable cur_op : disp_op;
   mutable slice : slice option;
   mutable saved : Request.t option; (* §3.3 dedicated context buffer *)
+  mutable batch_buf : Request.t array; (* Op_ingress_batch scratch, grown lazily *)
+  mutable batch_n : int;
 }
 
 type 'e t = {
   sim : 'e Sim.t;
   lift : event -> 'e;
+  lifted_op_done : 'e; (* [lift Ev_disp_op_done], cached: one per op otherwise *)
   config : Config.t;
   mech_rng : Rng.t;
   central : Policy.t;
@@ -75,6 +88,9 @@ type 'e t = {
   metrics : Metrics.t;
   live : (int, Request.t) Hashtbl.t; (* in-flight requests, for censoring *)
   tracer : Tracing.t option;
+  tracing : bool;
+      (* [tracer <> None]; call sites test this before building a
+         [Tracing.kind], so untraced runs never allocate the payload *)
   on_complete : (Request.t -> unit) option;
   mutable finished : int; (* completions, all owners *)
   (* cached cost-model conversions (ns), pre-scaled by [speed] *)
@@ -150,8 +166,8 @@ let probe_spacing t (req : Request.t) =
 
 let op_cost_ns t = function
   | Op_ingress _ -> ns t t.config.costs.disp_ingress_cycles
-  | Op_ingress_batch reqs ->
-    ns t (Costs.ingress_batch_cost_cycles t.config.costs ~batch:(List.length reqs))
+  | Op_ingress_batch ->
+    ns t (Costs.ingress_batch_cost_cycles t.config.costs ~batch:t.disp.batch_n)
   | Op_completion _ ->
     ns t (t.config.costs.disp_completion_cycles + t.config.costs.flag_propagation_cycles)
   | Op_requeue _ -> ns t t.config.costs.disp_requeue_cycles
@@ -167,35 +183,48 @@ let depth t = Config.jbsq_depth t.config
 (* Pick the drain action the dispatcher would perform next, if any:
    hand a queued request to a free worker (SQ) or push to the shortest
    per-worker queue with a free slot (JBSQ). *)
+(* Plain index loops: this runs after every dispatcher op, so the
+   ref-cell-and-closure scan it replaced was itself a per-event allocation. *)
 let make_drain_op t =
   if Policy.is_empty t.central then None
   else if is_jbsq t then begin
+    let workers = t.workers in
+    let n = Array.length workers in
+    let cap = depth t in
     let best = ref (-1) in
     let best_view = ref max_int in
-    Array.iter
-      (fun w ->
-        if w.outstanding_view < depth t && w.outstanding_view < !best_view then begin
-          best := w.wid;
-          best_view := w.outstanding_view
-        end)
-      t.workers;
+    for i = 0 to n - 1 do
+      let view = workers.(i).outstanding_view in
+      if view < cap && view < !best_view then begin
+        best := i;
+        best_view := view
+      end
+    done;
     if !best < 0 then None
     else begin
       match Policy.pop t.central ~worker:!best with
       | None -> None
       | Some req ->
-        t.workers.(!best).outstanding_view <- t.workers.(!best).outstanding_view + 1;
+        workers.(!best).outstanding_view <- workers.(!best).outstanding_view + 1;
         Some (Op_push { worker = !best; req })
     end
   end
   else begin
-    let waiting = Array.fold_left (fun acc w -> if acc >= 0 then acc else if w.sq_waiting then w.wid else acc) (-1) t.workers in
-    if waiting < 0 then None
+    let workers = t.workers in
+    let n = Array.length workers in
+    let waiting = ref (-1) in
+    (let i = ref 0 in
+     while !waiting < 0 && !i < n do
+       if workers.(!i).sq_waiting then waiting := !i;
+       incr i
+     done);
+    if !waiting < 0 then None
     else begin
+      let waiting = !waiting in
       match Policy.pop t.central ~worker:waiting with
       | None -> None
       | Some req ->
-        t.workers.(waiting).sq_waiting <- false;
+        workers.(waiting).sq_waiting <- false;
         Some (Op_send { worker = waiting; req })
     end
   end
@@ -204,41 +233,50 @@ let all_workers_busy_view t =
   if is_jbsq t then Array.for_all (fun w -> w.outstanding_view >= 1) t.workers
   else Array.for_all (fun w -> not w.sq_waiting) t.workers
 
+(* Move consecutive pending ingress ops from the op ring into [buf],
+   starting at slot [n]; stops at the batch limit or the first non-ingress
+   op. Returns the filled length. *)
+let rec collect_batch t buf n limit =
+  let d = t.disp in
+  if n >= limit || Ring.is_empty d.ops then n
+  else begin
+    match Ring.peek_unsafe d.ops with
+    | Op_ingress r ->
+      ignore (Ring.pop_unsafe d.ops : disp_op);
+      buf.(n) <- r;
+      collect_batch t buf (n + 1) limit
+    | Op_ingress_batch | Op_completion _ | Op_requeue _ | Op_preempt_signal _ | Op_send _
+    | Op_push _ ->
+      n
+  end
+
 let rec disp_kick t =
   let d = t.disp in
   if not d.busy then begin
-    let op =
-      if Queue.is_empty d.ops then make_drain_op t
-      else begin
-        match Queue.pop d.ops with
-        | Op_ingress first when t.config.ingress_batch > 1 ->
-          (* Coalesce consecutive pending arrivals into one admission op. *)
-          let rec collect acc n =
-            if n >= t.config.ingress_batch then acc
-            else begin
-              match Queue.peek_opt d.ops with
-              | Some (Op_ingress _) -> begin
-                match Queue.pop d.ops with
-                | Op_ingress r -> collect (r :: acc) (n + 1)
-                | Op_ingress_batch _ | Op_completion _ | Op_requeue _ | Op_preempt_signal _
-                | Op_send _ | Op_push _ ->
-                  acc (* unreachable: peek said ingress *)
-              end
-              | Some _ | None -> acc
-            end
-          in
-          Some (Op_ingress_batch (List.rev (collect [ first ] 1)))
-        | op -> Some op
-      end
-    in
-    match op with
-    | Some op ->
-      d.busy <- true;
-      d.cur_op <- Some op;
-      d.op_started_ns <- Sim.now t.sim;
-      Sim.schedule_after t.sim ~delay:(op_cost_ns t op) (t.lift Ev_disp_op_done)
-    | None -> if t.config.dispatcher_steals then try_steal t
+    if Ring.is_empty d.ops then begin
+      match make_drain_op t with
+      | Some op -> start_op t op
+      | None -> if t.config.dispatcher_steals then try_steal t
+    end
+    else begin
+      match Ring.pop_unsafe d.ops with
+      | Op_ingress first when t.config.ingress_batch > 1 ->
+        (* Coalesce consecutive pending arrivals into one admission op. *)
+        if Array.length d.batch_buf < t.config.ingress_batch then
+          d.batch_buf <- Array.make t.config.ingress_batch first;
+        d.batch_buf.(0) <- first;
+        d.batch_n <- collect_batch t d.batch_buf 1 t.config.ingress_batch;
+        start_op t Op_ingress_batch
+      | op -> start_op t op
+    end
   end
+
+and start_op t op =
+  let d = t.disp in
+  d.busy <- true;
+  d.cur_op <- op;
+  d.op_started_ns <- Sim.now t.sim;
+  Sim.schedule_after t.sim ~delay:(op_cost_ns t op) t.lifted_op_done
 
 (* §3.3: when idle, the dispatcher resumes its saved context, or steals the
    first non-started request once every worker is busy. It runs the request
@@ -252,7 +290,7 @@ and try_steal t =
        fallback; with a worker free, hand the saved request back so the
        worker finishes it instead of it waiting for dispatcher idle time. *)
     d.saved <- None;
-    Queue.push (Op_requeue { req; from_worker = -1 }) d.ops;
+    Ring.push d.ops (Op_requeue { req; from_worker = -1 });
     disp_kick t
   | saved -> (
     let candidate =
@@ -269,11 +307,13 @@ and try_steal t =
     | None -> ()
     | Some req ->
     let now = Sim.now t.sim in
-    if not req.Request.dispatcher_owned then trace t ~request:req.Request.id Tracing.Stolen;
-    if req.Request.started then
-      trace t ~request:req.Request.id
-        (Tracing.Resumed { worker = -1; progress_ns = req.Request.done_ns })
-    else trace t ~request:req.Request.id (Tracing.Started { worker = -1 });
+    if t.tracing then begin
+      if not req.Request.dispatcher_owned then trace t ~request:req.Request.id Tracing.Stolen;
+      if req.Request.started then
+        trace t ~request:req.Request.id
+          (Tracing.Resumed { worker = -1; progress_ns = req.Request.done_ns })
+      else trace t ~request:req.Request.id (Tracing.Started { worker = -1 })
+    end;
     req.Request.started <- true;
     req.Request.dispatcher_owned <- true;
     let mult = t.disp_mult in
@@ -302,7 +342,7 @@ and try_steal t =
     Sim.schedule_at t.sim ~time:send (t.lift (Ev_disp_slice_end { depoch = d.depoch })))
 
 let complete_request t (req : Request.t) ~worker =
-  trace t ~request:req.Request.id (Tracing.Completed { worker });
+  if t.tracing then trace t ~request:req.Request.id (Tracing.Completed { worker });
   req.Request.completion_ns <- Sim.now t.sim;
   req.Request.done_ns <- req.Request.service_ns;
   Hashtbl.remove t.live req.Request.id;
@@ -321,8 +361,9 @@ let on_slice_end t ~depoch =
       Metrics.add_dispatcher_app t.metrics (now - sstart);
       if sstop_progress >= sreq.Request.service_ns then complete_request t sreq ~worker:(-1)
       else begin
-        trace t ~request:sreq.Request.id
-          (Tracing.Preempted { worker = -1; progress_ns = sstop_progress });
+        if t.tracing then
+          trace t ~request:sreq.Request.id
+            (Tracing.Preempted { worker = -1; progress_ns = sstop_progress });
         sreq.Request.done_ns <- sstop_progress;
         sreq.Request.preemptions <- sreq.Request.preemptions + 1;
         d.saved <- Some sreq
@@ -339,7 +380,7 @@ let on_slice_end t ~depoch =
 (* Hand [req] to worker [w], which is idle; [delay] models the receive path
    (coherence miss on the request line, context switch, local pop...). *)
 let deliver t (w : worker) (req : Request.t) ~delay =
-  trace t ~request:req.Request.id (Tracing.Delivered { worker = w.wid });
+  if t.tracing then trace t ~request:req.Request.id (Tracing.Delivered { worker = w.wid });
   w.cur <- Some req;
   w.epoch <- w.epoch + 1;
   Sim.schedule_after t.sim ~delay (t.lift (Ev_worker_begin { w = w.wid; epoch = w.epoch }))
@@ -349,10 +390,12 @@ let begin_exec t (w : worker) =
   | None -> ()
   | Some req ->
     let now = Sim.now t.sim in
-    if req.Request.started then
-      trace t ~request:req.Request.id
-        (Tracing.Resumed { worker = w.wid; progress_ns = req.Request.done_ns })
-    else trace t ~request:req.Request.id (Tracing.Started { worker = w.wid });
+    if t.tracing then begin
+      if req.Request.started then
+        trace t ~request:req.Request.id
+          (Tracing.Resumed { worker = w.wid; progress_ns = req.Request.done_ns })
+      else trace t ~request:req.Request.id (Tracing.Started { worker = w.wid })
+    end;
     req.Request.started <- true;
     req.Request.last_worker <- w.wid;
     w.seg_start_ns <- now;
@@ -399,7 +442,7 @@ let on_worker_complete t (w : worker) ~epoch =
       let now = Sim.now t.sim in
       Metrics.add_worker_busy t.metrics (now - w.busy_from);
       complete_request t req ~worker:w.wid;
-      Queue.push (Op_completion w.wid) t.disp.ops;
+      Ring.push t.disp.ops (Op_completion w.wid);
       fetch_next t w ~switch_paid:false ~open_gap:true;
       disp_kick t
   end
@@ -436,7 +479,7 @@ let on_quantum t (w : worker) ~epoch =
         | Mechanism.Model_lateness _ ->
           (* The dispatcher must notice the elapsed quantum and signal; its
              busyness delays the signal (§3.3). *)
-          Queue.push (Op_preempt_signal { worker = w.wid; epoch }) t.disp.ops;
+          Ring.push t.disp.ops (Op_preempt_signal { worker = w.wid; epoch });
           disp_kick t
       end
   end
@@ -474,8 +517,9 @@ let on_preempt_stop t (w : worker) ~epoch =
     | None -> ()
     | Some req ->
       let now = Sim.now t.sim in
-      trace t ~request:req.Request.id
-        (Tracing.Preempted { worker = w.wid; progress_ns = w.stop_progress });
+      if t.tracing then
+        trace t ~request:req.Request.id
+          (Tracing.Preempted { worker = w.wid; progress_ns = w.stop_progress });
       req.Request.done_ns <- w.stop_progress;
       req.Request.preemptions <- req.Request.preemptions + 1;
       Metrics.add_preemption t.metrics;
@@ -492,7 +536,7 @@ let on_yield_done t (w : worker) ~epoch =
     | None -> ()
     | Some req ->
       Metrics.add_worker_busy t.metrics (Sim.now t.sim - w.busy_from);
-      Queue.push (Op_requeue { req; from_worker = w.wid }) t.disp.ops;
+      Ring.push t.disp.ops (Op_requeue { req; from_worker = w.wid });
       fetch_next t w ~switch_paid:true ~open_gap:false;
       disp_kick t
   end
@@ -506,50 +550,59 @@ let on_disp_op_done t =
   let now = Sim.now t.sim in
   let op_ns = now - d.op_started_ns in
   Metrics.add_dispatcher_busy t.metrics op_ns;
+  (* [cur_op] is left holding the finished op; it is only ever read while
+     [busy], which we clear here. *)
   let op = d.cur_op in
-  d.cur_op <- None;
   d.busy <- false;
   (match op with
-  | None -> ()
-  | Some (Op_ingress req) ->
+  | Op_ingress req ->
     Policy.push_new t.central req;
-    trace t ~request:req.Request.id
-      (Tracing.Admitted { central_depth = Policy.length t.central; op_ns })
-  | Some (Op_ingress_batch reqs) ->
+    if t.tracing then
+      trace t ~request:req.Request.id
+        (Tracing.Admitted { central_depth = Policy.length t.central; op_ns })
+  | Op_ingress_batch ->
     (* Each batch member is charged its amortized share of the op latency. *)
-    let share = op_ns / max 1 (List.length reqs) in
-    List.iter
-      (fun (r : Request.t) ->
-        Policy.push_new t.central r;
+    let n = d.batch_n in
+    let share = op_ns / max 1 n in
+    for i = 0 to n - 1 do
+      let r = d.batch_buf.(i) in
+      Policy.push_new t.central r;
+      if t.tracing then
         trace t ~request:r.Request.id
-          (Tracing.Admitted { central_depth = Policy.length t.central; op_ns = share }))
-      reqs
-  | Some (Op_completion wid) ->
+          (Tracing.Admitted { central_depth = Policy.length t.central; op_ns = share })
+    done;
+    d.batch_n <- 0
+  | Op_completion wid ->
     let w = t.workers.(wid) in
     if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
     else w.sq_waiting <- true
-  | Some (Op_requeue { req; from_worker }) ->
+  | Op_requeue { req; from_worker } ->
     Policy.push_preempted t.central req;
-    trace t ~request:req.Request.id (Tracing.Requeued { queue_depth = Policy.length t.central });
+    if t.tracing then
+      trace t ~request:req.Request.id
+        (Tracing.Requeued { queue_depth = Policy.length t.central });
     if from_worker >= 0 then begin
       let w = t.workers.(from_worker) in
       if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
       else w.sq_waiting <- true
     end
-  | Some (Op_preempt_signal { worker; epoch }) -> handle_preempt_signal t ~worker ~epoch
-  | Some (Op_send { worker; req }) ->
+  | Op_preempt_signal { worker; epoch } -> handle_preempt_signal t ~worker ~epoch
+  | Op_send { worker; req } ->
     let w = t.workers.(worker) in
-    trace t ~request:req.Request.id
-      (Tracing.Dispatched
-         { worker; central_depth = Policy.length t.central; local_depth = 0; op_ns });
+    if t.tracing then
+      trace t ~request:req.Request.id
+        (Tracing.Dispatched
+           { worker; central_depth = Policy.length t.central; local_depth = 0; op_ns });
     deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
-  | Some (Op_push { worker; req }) ->
+  | Op_push { worker; req } ->
     let w = t.workers.(worker) in
     let direct = w.cur = None in
-    let local_depth = if direct then 0 else Local_queue.length w.local + 1 in
-    trace t ~request:req.Request.id
-      (Tracing.Dispatched
-         { worker; central_depth = Policy.length t.central; local_depth; op_ns });
+    if t.tracing then begin
+      let local_depth = if direct then 0 else Local_queue.length w.local + 1 in
+      trace t ~request:req.Request.id
+        (Tracing.Dispatched
+           { worker; central_depth = Policy.length t.central; local_depth; op_ns })
+    end;
     if direct then deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
     else Local_queue.push w.local req);
   disp_kick t
@@ -568,9 +621,12 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
     if speed_factor = 1.0 then n else int_of_float (ceil (float_of_int n *. speed_factor))
   in
   let ns cycles = scale (Costs.ns_of costs cycles) in
+  (* Never dispatched: pads vacated ring slots and the idle [cur_op]. *)
+  let dummy_op = Op_completion (-1) in
   {
     sim;
     lift;
+    lifted_op_done = lift Ev_disp_op_done;
     config;
     mech_rng = rng;
     central = Policy.create config.Config.policy;
@@ -592,17 +648,20 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
           });
     disp =
       {
-        ops = Queue.create ();
+        ops = Ring.create ~capacity:64 ~dummy:dummy_op ();
         busy = false;
         depoch = 0;
         op_started_ns = 0;
-        cur_op = None;
+        cur_op = dummy_op;
         slice = None;
         saved = None;
+        batch_buf = [||];
+        batch_n = 0;
       };
     metrics = Metrics.create ~warmup_before ~n_classes;
     live = Hashtbl.create 1024;
     tracer;
+    tracing = tracer <> None;
     on_complete;
     finished = 0;
     quantum_ns = config.Config.quantum_ns;
@@ -620,8 +679,9 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
    if it had just landed in the NIC queue. *)
 let inject t (req : Request.t) =
   Hashtbl.replace t.live req.Request.id req;
-  trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });
-  Queue.push (Op_ingress req) t.disp.ops;
+  if t.tracing then
+    trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });
+  Ring.push t.disp.ops (Op_ingress req);
   disp_kick t
 
 let handle t = function
@@ -662,14 +722,16 @@ end
 type run_event = Rv_arrival | Rv_end | Rv_inst of event
 
 let run_detailed ~config ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
-    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer () =
+    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer ?events_out () =
   Config.validate config;
   if n_requests < 1 then invalid_arg "Server.run: need at least one request";
   let master = Rng.create ~seed in
   let arrival_rng = Rng.split master in
   let service_rng = Rng.split master in
   let mech_rng = Rng.split master in
-  let sim = Sim.create () in
+  (* In-flight bound: a few timer/completion events per worker, one
+     dispatcher op, one pending arrival. Pre-sizing skips heap doubling. *)
+  let sim = Sim.create ~capacity:((4 * config.Config.n_workers) + 16) () in
   let finished = ref 0 in
   let inst =
     create_instance ~sim
@@ -703,6 +765,7 @@ let run_detailed ~config ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
   in
   Sim.schedule_at sim ~time:0 Rv_arrival;
   Sim.run sim ~handler ();
+  (match events_out with Some r -> r := Sim.events_processed sim | None -> ());
   let span_ns = max 1 (Sim.now sim) in
   let summary =
     Metrics.summarize inst.metrics

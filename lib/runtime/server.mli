@@ -104,8 +104,11 @@ val run_detailed :
   ?drain_cap_ns:int ->
   ?seed:int ->
   ?tracer:Tracing.t ->
+  ?events_out:int ref ->
   unit ->
   Metrics.summary * Repro_engine.Stats.t
 (** Like {!run}, but also returns the raw post-warm-up slowdown samples so
     callers (e.g. [Repro_cluster.Replication]) can merge several runs and recompute
-    joint percentiles. The returned samples are owned by the caller. *)
+    joint percentiles. The returned samples are owned by the caller.
+    [events_out], when given, receives the total simulation events processed
+    (the numerator of the benchmark suite's events/sec figure). *)

@@ -46,14 +46,14 @@ let metadata ~name ~tid ~value =
     "{\"name\":\"%s\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
     name tid (escape_json value)
 
-let to_chrome_json ?(process_name = "concord-sim") entries =
+let chrome_json_of_iter ~process_name iter =
   let events = ref [] in
   let emit e = events := e :: !events in
   (* Pair each Started/Resumed with the next Preempted/Completed of the
      same request to form a duration slice on the executing thread. *)
   let open_exec : (int, int * int) Hashtbl.t = Hashtbl.create 256 (* req -> start_ns, tid *) in
   let seen_tids = Hashtbl.create 16 in
-  List.iter
+  iter
     (fun (e : Tracing.entry) ->
       let req_arg = ("request", string_of_int e.request) in
       (match Tracing.worker_of e.kind with
@@ -110,8 +110,7 @@ let to_chrome_json ?(process_name = "concord-sim") entries =
         emit
           (instant ~name:"requeued" ~ts_ns:e.time_ns ~tid:0
              ~args:[ req_arg; ("queue_depth", string_of_int queue_depth) ])
-      | Tracing.Stolen -> emit (instant ~name:"stolen" ~ts_ns:e.time_ns ~tid:0 ~args:[ req_arg ]))
-    entries;
+      | Tracing.Stolen -> emit (instant ~name:"stolen" ~ts_ns:e.time_ns ~tid:0 ~args:[ req_arg ]));
   let meta =
     Printf.sprintf
       "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"args\":{\"name\":\"%s\"}}"
@@ -127,14 +126,20 @@ let to_chrome_json ?(process_name = "concord-sim") entries =
   Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ns\"}\n"
     (String.concat ",\n" (meta @ List.rev !events))
 
+let to_chrome_json ?(process_name = "concord-sim") entries =
+  chrome_json_of_iter ~process_name (fun f -> List.iter f entries)
+
+let tracer_to_chrome_json ?(process_name = "concord-sim") tracer =
+  chrome_json_of_iter ~process_name (fun f -> Tracing.iter_entries tracer ~f)
+
 (* ------------------------------------------------------------------ *)
 (* CSV                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let events_to_csv entries =
+let csv_of_iter iter =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "time_ns,request,kind,worker,progress_ns,queue_depth,local_depth,op_ns\n";
-  List.iter
+  iter
     (fun (e : Tracing.entry) ->
       let worker = match Tracing.worker_of e.kind with Some w -> string_of_int w | None -> "" in
       let progress, queue_depth, local_depth, op_ns =
@@ -152,9 +157,11 @@ let events_to_csv entries =
       in
       Buffer.add_string buf
         (Printf.sprintf "%d,%d,%s,%s,%s,%s,%s,%s\n" e.time_ns e.request
-           (Tracing.kind_name e.kind) worker progress queue_depth local_depth op_ns))
-    entries;
+           (Tracing.kind_name e.kind) worker progress queue_depth local_depth op_ns));
   Buffer.contents buf
+
+let events_to_csv entries = csv_of_iter (fun f -> List.iter f entries)
+let tracer_events_to_csv tracer = csv_of_iter (fun f -> Tracing.iter_entries tracer ~f)
 
 (* ------------------------------------------------------------------ *)
 (* Minimal JSON reader (validation only; no external dependency)       *)
@@ -291,6 +298,11 @@ let parse_json (s : string) : json =
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v
+
+let validate_json text =
+  match parse_json text with
+  | exception Parse_error msg -> Error ("invalid JSON: " ^ msg)
+  | (_ : json) -> Ok ()
 
 let validate_chrome_json text =
   match parse_json text with

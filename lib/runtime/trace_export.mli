@@ -20,6 +20,17 @@ val events_to_csv : Tracing.entry list -> string
     [time_ns,request,kind,worker,progress_ns,queue_depth,local_depth,op_ns]
     (inapplicable columns empty). *)
 
+val tracer_to_chrome_json : ?process_name:string -> Tracing.t -> string
+(** {!to_chrome_json} streamed directly off the tracer ring — one decode
+    pass, no intermediate entry list. *)
+
+val tracer_events_to_csv : Tracing.t -> string
+(** {!events_to_csv} streamed directly off the tracer ring. *)
+
+val validate_json : string -> (unit, string) result
+(** Syntax-check any JSON document with the built-in reader — the
+    benchmark suite self-validates its [--json] output through this. *)
+
 val validate_chrome_json : string -> (int, string) result
 (** Parse a JSON document and check the Chrome trace-event shape: a
     top-level object whose ["traceEvents"] is a non-empty array of objects

@@ -13,29 +13,134 @@ type kind =
 type entry = { time_ns : int; request : int; kind : entry_kind }
 and entry_kind = kind
 
+(* Struct-of-arrays ring: the public [kind] is encoded into an int tag plus
+   up to four int payload slots, so [record] writes six array cells and
+   allocates nothing. The boxed [entry]/[kind] views are rebuilt on demand
+   by the (cold) query functions. *)
+
+let tag_arrived = 0
+let tag_admitted = 1
+let tag_dispatched = 2
+let tag_delivered = 3
+let tag_started = 4
+let tag_resumed = 5
+let tag_preempted = 6
+let tag_requeued = 7
+let tag_stolen = 8
+let tag_completed = 9
+
 type t = {
-  ring : entry option array;
+  times : int array;
+  reqs : int array;
+  tags : int array;
+  p0 : int array;
+  p1 : int array;
+  p2 : int array;
+  p3 : int array;
   mutable next : int; (* total entries ever recorded *)
 }
 
 let create ?(capacity = 65_536) () =
   if capacity < 1 then invalid_arg "Tracing.create: capacity must be positive";
-  { ring = Array.make capacity None; next = 0 }
+  {
+    times = Array.make capacity 0;
+    reqs = Array.make capacity 0;
+    tags = Array.make capacity 0;
+    p0 = Array.make capacity 0;
+    p1 = Array.make capacity 0;
+    p2 = Array.make capacity 0;
+    p3 = Array.make capacity 0;
+    next = 0;
+  }
 
 let record t ~time_ns ~request kind =
-  t.ring.(t.next mod Array.length t.ring) <- Some { time_ns; request; kind };
+  let i = t.next mod Array.length t.times in
+  t.times.(i) <- time_ns;
+  t.reqs.(i) <- request;
+  (match kind with
+  | Arrived { service_ns } ->
+    t.tags.(i) <- tag_arrived;
+    t.p0.(i) <- service_ns
+  | Admitted { central_depth; op_ns } ->
+    t.tags.(i) <- tag_admitted;
+    t.p0.(i) <- central_depth;
+    t.p1.(i) <- op_ns
+  | Dispatched { worker; central_depth; local_depth; op_ns } ->
+    t.tags.(i) <- tag_dispatched;
+    t.p0.(i) <- worker;
+    t.p1.(i) <- central_depth;
+    t.p2.(i) <- local_depth;
+    t.p3.(i) <- op_ns
+  | Delivered { worker } ->
+    t.tags.(i) <- tag_delivered;
+    t.p0.(i) <- worker
+  | Started { worker } ->
+    t.tags.(i) <- tag_started;
+    t.p0.(i) <- worker
+  | Resumed { worker; progress_ns } ->
+    t.tags.(i) <- tag_resumed;
+    t.p0.(i) <- worker;
+    t.p1.(i) <- progress_ns
+  | Preempted { worker; progress_ns } ->
+    t.tags.(i) <- tag_preempted;
+    t.p0.(i) <- worker;
+    t.p1.(i) <- progress_ns
+  | Requeued { queue_depth } ->
+    t.tags.(i) <- tag_requeued;
+    t.p0.(i) <- queue_depth
+  | Stolen -> t.tags.(i) <- tag_stolen
+  | Completed { worker } ->
+    t.tags.(i) <- tag_completed;
+    t.p0.(i) <- worker);
   t.next <- t.next + 1
 
-let length t = min t.next (Array.length t.ring)
-let dropped t = max 0 (t.next - Array.length t.ring)
+let length t = min t.next (Array.length t.times)
+let dropped t = max 0 (t.next - Array.length t.times)
 
-let entries t =
-  let cap = Array.length t.ring in
+let decode_kind t i =
+  let tag = t.tags.(i) in
+  if tag = tag_arrived then Arrived { service_ns = t.p0.(i) }
+  else if tag = tag_admitted then Admitted { central_depth = t.p0.(i); op_ns = t.p1.(i) }
+  else if tag = tag_dispatched then
+    Dispatched
+      { worker = t.p0.(i); central_depth = t.p1.(i); local_depth = t.p2.(i); op_ns = t.p3.(i) }
+  else if tag = tag_delivered then Delivered { worker = t.p0.(i) }
+  else if tag = tag_started then Started { worker = t.p0.(i) }
+  else if tag = tag_resumed then Resumed { worker = t.p0.(i); progress_ns = t.p1.(i) }
+  else if tag = tag_preempted then Preempted { worker = t.p0.(i); progress_ns = t.p1.(i) }
+  else if tag = tag_requeued then Requeued { queue_depth = t.p0.(i) }
+  else if tag = tag_stolen then Stolen
+  else Completed { worker = t.p0.(i) }
+
+let decode t i = { time_ns = t.times.(i); request = t.reqs.(i); kind = decode_kind t i }
+
+(* One pass oldest-to-newest over the retained window. *)
+let fold t ~init ~f =
+  let cap = Array.length t.times in
   let n = length t in
   let first = t.next - n in
-  List.filter_map (fun i -> t.ring.((first + i) mod cap)) (List.init n (fun i -> i))
+  let acc = ref init in
+  for k = 0 to n - 1 do
+    acc := f !acc (decode t ((first + k) mod cap))
+  done;
+  !acc
 
-let of_request t ~request = List.filter (fun e -> e.request = request) (entries t)
+let iter_entries t ~f = fold t ~init:() ~f:(fun () e -> f e)
+
+let entries t = List.rev (fold t ~init:[] ~f:(fun acc e -> e :: acc))
+
+let of_request t ~request =
+  (* Single pass, decoding only matching slots — [entries]-then-filter
+     would materialize every retained entry to keep a handful. *)
+  let cap = Array.length t.times in
+  let n = length t in
+  let first = t.next - n in
+  let acc = ref [] in
+  for k = n - 1 downto 0 do
+    let i = (first + k) mod cap in
+    if t.reqs.(i) = request then acc := decode t i :: !acc
+  done;
+  !acc
 
 let worker_of = function
   | Dispatched { worker; _ }

@@ -45,6 +45,15 @@ val dropped : t -> int
 val entries : t -> entry list
 (** Oldest first. *)
 
+val iter_entries : t -> f:(entry -> unit) -> unit
+(** Visit the retained entries oldest first, decoding one at a time —
+    streaming consumers ({!Trace_export}) avoid materializing the whole
+    window as a list. *)
+
+val fold : t -> init:'a -> f:('a -> entry -> 'a) -> 'a
+(** Like {!iter_entries} with an accumulator; {!Breakdown} uses it to
+    bucket every request's sojourn in one pass over the ring. *)
+
 val of_request : t -> request:int -> entry list
 (** The retained lifecycle of one request, oldest first. *)
 

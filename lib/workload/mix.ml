@@ -16,13 +16,29 @@ type class_def = {
 
 type t = { name : string; classes : class_def array; parallel_safe : bool }
 
+(* Inline weighted pick over the class array. This is [Rng.categorical]
+   with the same fold order and float arithmetic (so streams are
+   bit-identical), minus the per-sample weights array that the categorical
+   API would force us to build. *)
+let rec pick_class classes x i acc =
+  if i = Array.length classes - 1 then i
+  else begin
+    let acc = acc +. classes.(i).weight in
+    if x < acc then i else pick_class classes x (i + 1) acc
+  end
+
 let sample t rng =
   let idx =
     if Array.length t.classes = 1 then 0
-    else Rng.categorical rng ~weights:(Array.map (fun c -> c.weight) t.classes)
+    else begin
+      let total = Array.fold_left (fun acc c -> acc +. c.weight) 0.0 t.classes in
+      if total <= 0.0 then invalid_arg "Mix.sample: weights must sum to a positive value";
+      let x = Rng.float rng *. total in
+      pick_class t.classes x 0 0.0
+    end
   in
   let profile = t.classes.(idx).generate rng in
-  { profile with class_id = idx }
+  if profile.class_id = idx then profile else { profile with class_id = idx }
 
 let mean_service_ns t =
   let total = Array.fold_left (fun acc c -> acc +. c.weight) 0.0 t.classes in

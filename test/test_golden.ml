@@ -1,0 +1,137 @@
+(* Guard rails for the hot-path work: (1) a golden matrix pinning headline
+   metrics of eight canonical runs to 17-significant-digit strings, so any
+   engine/runtime "optimisation" that perturbs simulation behaviour —
+   event order, RNG draws, float arithmetic — fails loudly rather than
+   silently shifting results; (2) allocation regression tests holding the
+   Sim.run/Heap event loop at zero words per event. *)
+
+module Sim = Repro_engine.Sim
+module Heap = Repro_engine.Heap
+
+let systems = [ "shinjuku"; "coop-sq"; "concord"; "concord-uipi" ]
+
+let config_of name =
+  match Repro_runtime.Systems.by_name name with
+  | Some make -> make ()
+  | None -> Alcotest.failf "unknown system %s" name
+
+(* %.17g round-trips IEEE doubles exactly: string equality = bit identity. *)
+let fingerprint (s : Repro_runtime.Metrics.summary) =
+  Printf.sprintf "p50=%.17g p99=%.17g goodput=%.17g" s.Repro_runtime.Metrics.p50_slowdown
+    s.Repro_runtime.Metrics.p99_slowdown s.Repro_runtime.Metrics.goodput_rps
+
+(* Captured from the seed tree (commit 0621362); the perf PR and everything
+   after it must reproduce these exactly. Regenerate (only for a change
+   that *intends* to alter behaviour) by printing [fingerprint] from the
+   runs below. *)
+let golden_standalone =
+  [
+    ("shinjuku", "p50=4.2160000000000002 p99=13.904 goodput=1234181.0557321883");
+    ("coop-sq", "p50=2.4620000000000002 p99=8.5700000000000003 goodput=1278638.8463267903");
+    ("concord", "p50=2.476 p99=11.132 goodput=1277452.815860854");
+    ("concord-uipi", "p50=3.714 p99=12.646000000000001 goodput=1268848.5692675009");
+  ]
+
+let golden_cluster =
+  [
+    ("shinjuku", "p50=2.0259999999999998 p99=3.8279999999999998 goodput=2696050.2863305258");
+    ("coop-sq", "p50=1.99 p99=3.456 goodput=2826056.2385191466");
+    ("concord", "p50=2.048 p99=3.694 goodput=2823092.478236048");
+    ("concord-uipi", "p50=2.1259999999999999 p99=4.5519999999999996 goodput=2800190.8278193772");
+  ]
+
+let test_golden_standalone () =
+  List.iter
+    (fun name ->
+      let s =
+        Repro_runtime.Server.run ~config:(config_of name) ~mix:Repro_workload.Presets.usr
+          ~arrival:(Repro_workload.Arrival.Poisson { rate_rps = 2.0e6 })
+          ~n_requests:2_000 ()
+      in
+      Alcotest.(check string) ("standalone/" ^ name) (List.assoc name golden_standalone)
+        (fingerprint s))
+    systems
+
+let test_golden_cluster () =
+  List.iter
+    (fun name ->
+      let cluster =
+        Repro_cluster.Cluster.homogeneous ~policy:Repro_cluster.Lb_policy.Po2c ~instances:3
+          (config_of name)
+      in
+      let s =
+        Repro_cluster.Cluster.run ~cluster ~mix:Repro_workload.Presets.usr
+          ~arrival:(Repro_workload.Arrival.Poisson { rate_rps = 6.0e6 })
+          ~n_requests:3_000 ()
+      in
+      Alcotest.(check string) ("cluster/" ^ name) (List.assoc name golden_cluster)
+        (fingerprint s.Repro_cluster.Cluster.cluster))
+    systems
+
+(* [Gc.allocated_bytes] itself allocates a boxed float per call; measure
+   that overhead first and subtract it. *)
+let probe_overhead () =
+  let a0 = Gc.allocated_bytes () in
+  let a1 = Gc.allocated_bytes () in
+  a1 -. a0
+
+(* Budget for a measured region that must allocate nothing per iteration:
+   generous enough for measurement slop, far below one word per event
+   (100k events * 8 bytes = 800k). *)
+let slack_bytes = 512.0
+
+let test_sim_run_zero_alloc () =
+  let events = 100_000 in
+  let sim = Sim.create ~capacity:16 () in
+  let left = ref events in
+  let handler s (_ : int) =
+    decr left;
+    if !left > 0 then Sim.schedule_after s ~delay:1 0
+  in
+  (* Warm run: pay one-time costs (closure specialisation, lazy init). *)
+  Sim.schedule_at sim ~time:(Sim.now sim) 0;
+  Sim.run sim ~handler ();
+  left := events;
+  Sim.schedule_after sim ~delay:1 0;
+  let overhead = probe_overhead () in
+  let a0 = Gc.allocated_bytes () in
+  Sim.run sim ~handler ();
+  let a1 = Gc.allocated_bytes () in
+  let net = a1 -. a0 -. overhead in
+  if net > slack_bytes then
+    Alcotest.failf "Sim.run allocated %.0f bytes over %d events (%.4f B/event); expected 0"
+      net events
+      (net /. float_of_int events)
+
+let test_heap_churn_zero_alloc () =
+  let iters = 100_000 in
+  let h = Heap.create ~capacity:1024 () in
+  for i = 0 to 511 do
+    Heap.add h ~key:(i * 7919 mod 1000) i
+  done;
+  let churn () =
+    for i = 1 to iters do
+      let v = Heap.pop_unsafe h in
+      Heap.add h ~key:(i * 7919 mod 1000) v
+    done
+  in
+  churn ();
+  (* pre-sized, warmed *)
+  let overhead = probe_overhead () in
+  let a0 = Gc.allocated_bytes () in
+  churn ();
+  let a1 = Gc.allocated_bytes () in
+  let net = a1 -. a0 -. overhead in
+  if net > slack_bytes then
+    Alcotest.failf "Heap churn allocated %.0f bytes over %d add+pop pairs; expected 0" net
+      iters
+
+let suite =
+  [
+    Alcotest.test_case "standalone metrics bit-identical to seed" `Quick
+      test_golden_standalone;
+    Alcotest.test_case "cluster metrics bit-identical to seed" `Quick test_golden_cluster;
+    Alcotest.test_case "Sim.run allocates zero words/event" `Quick test_sim_run_zero_alloc;
+    Alcotest.test_case "Heap add+pop allocates zero words/op" `Quick
+      test_heap_churn_zero_alloc;
+  ]

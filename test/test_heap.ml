@@ -63,6 +63,33 @@ let test_growth () =
   check "grew" 1001 (Heap.length h);
   Alcotest.(check (option int)) "min" (Some 0) (Heap.min_key h)
 
+let test_unsafe_accessors () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.add h ~key:k (k * 10)) [ 5; 2; 8 ];
+  check "unsafe_min_key sees the root" 2 (Heap.unsafe_min_key h);
+  check "pop_unsafe returns the value alone" 20 (Heap.pop_unsafe h);
+  check "root advances" 5 (Heap.unsafe_min_key h);
+  check "second pop" 50 (Heap.pop_unsafe h);
+  check "last pop" 80 (Heap.pop_unsafe h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let prop_unsafe_matches_pop =
+  QCheck.Test.make ~count:300 ~name:"pop_unsafe drains in exactly pop's order"
+    QCheck.(list small_int)
+    (fun keys ->
+      let a = Heap.create () and b = Heap.create () in
+      List.iteri
+        (fun i k ->
+          Heap.add a ~key:k i;
+          Heap.add b ~key:k i)
+        keys;
+      let rec go () =
+        match Heap.pop a with
+        | None -> Heap.is_empty b
+        | Some (k, v) -> Heap.unsafe_min_key b = k && Heap.pop_unsafe b = v && go ()
+      in
+      go ())
+
 let prop_pop_sorted =
   QCheck.Test.make ~count:300 ~name:"heap pops keys in nondecreasing order"
     QCheck.(list small_int)
@@ -96,6 +123,8 @@ let suite =
     Alcotest.test_case "clear resets" `Quick test_clear;
     Alcotest.test_case "iter visits every entry" `Quick test_iter;
     Alcotest.test_case "grows past initial capacity" `Quick test_growth;
+    Alcotest.test_case "unsafe accessors" `Quick test_unsafe_accessors;
+    QCheck_alcotest.to_alcotest prop_unsafe_matches_pop;
     QCheck_alcotest.to_alcotest prop_pop_sorted;
     QCheck_alcotest.to_alcotest prop_conserves_elements;
   ]

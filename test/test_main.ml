@@ -9,6 +9,7 @@ let () =
       ("engine.histogram", Test_histogram.suite);
       ("engine.pool", Test_pool.suite);
       ("engine.sim", Test_sim.suite);
+      ("engine.ring", Test_ring.suite);
       ("engine.queueing", Test_queueing.suite);
       ("hw", Test_hw.suite);
       ("workload", Test_workload.suite);
@@ -26,4 +27,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("core.api", Test_core_api.suite);
       ("core.work", Test_work.suite);
+      ("perf.golden", Test_golden.suite);
     ]

@@ -71,6 +71,20 @@ let test_past_scheduling_rejected () =
           Sim.schedule_after s ~delay:(-1) ()))
     ()
 
+let test_capacity_and_events_processed () =
+  (* A tiny pre-sized queue must still absorb a much larger event burst, and
+     the processed counter must accumulate across separate [run]s. *)
+  let sim = Sim.create ~capacity:1 () in
+  Alcotest.(check int) "starts at zero" 0 (Sim.events_processed sim);
+  for t = 1 to 100 do
+    Sim.schedule_at sim ~time:t t
+  done;
+  Sim.run sim ~until:50 ~handler:(fun _ _ -> ()) ();
+  Alcotest.(check int) "counts first run" 50 (Sim.events_processed sim);
+  Sim.run sim ~handler:(fun _ _ -> ()) ();
+  Alcotest.(check int) "accumulates across runs" 100 (Sim.events_processed sim);
+  Alcotest.(check int) "drained" 0 (Sim.pending sim)
+
 let prop_trace_is_time_sorted =
   QCheck.Test.make ~count:200 ~name:"any schedule produces a nondecreasing clock trace"
     QCheck.(list_of_size (Gen.int_range 0 50) (int_range 0 1000))
@@ -92,5 +106,7 @@ let suite =
     Alcotest.test_case "until horizon" `Quick test_until_horizon;
     Alcotest.test_case "stop" `Quick test_stop;
     Alcotest.test_case "scheduling in the past is rejected" `Quick test_past_scheduling_rejected;
+    Alcotest.test_case "capacity hint and events_processed" `Quick
+      test_capacity_and_events_processed;
     QCheck_alcotest.to_alcotest prop_trace_is_time_sorted;
   ]

@@ -128,6 +128,28 @@ let prop_percentile_matches_oracle =
       let idx = max 0 (min (n - 1) (rank - 1)) in
       feq (Stats.percentile t (float_of_int p)) (List.nth sorted idx))
 
+let prop_sort_matches_float_compare =
+  (* Percentiles must be unchanged by the monomorphic in-place quicksort:
+     on all-finite samples it has to order exactly like the old
+     [Array.sort Float.compare] path. Sizes straddle the insertion-sort
+     cutoff (32) and include heavy duplicates to hit every partition case. *)
+  QCheck.Test.make ~count:200 ~name:"percentiles match Array.sort Float.compare oracle"
+    QCheck.(
+      list_of_size (Gen.int_range 1 400)
+        (map (fun i -> float_of_int i /. 4.0) (int_range (-200) 200)))
+    (fun xs ->
+      let t = of_list xs in
+      let oracle = Array.of_list xs in
+      Array.sort Float.compare oracle;
+      let n = Array.length oracle in
+      List.for_all
+        (fun p ->
+          let rank = int_of_float (ceil ((p *. float_of_int n /. 100.0) -. 1e-9)) in
+          let idx = max 0 (min (n - 1) (rank - 1)) in
+          Stats.percentile t p = oracle.(idx))
+        [ 0.0; 10.0; 50.0; 90.0; 99.0; 99.9; 100.0 ]
+      && Stats.values t = oracle)
+
 let prop_mean_bounded =
   QCheck.Test.make ~count:300 ~name:"mean lies between min and max"
     QCheck.(list_of_size (Gen.int_range 1 60) (float_range (-50.0) 50.0))
@@ -150,5 +172,6 @@ let suite =
     Alcotest.test_case "values keep insertion order" `Quick test_values_insertion_order;
     Alcotest.test_case "online accumulator matches direct" `Quick test_online_matches_direct;
     QCheck_alcotest.to_alcotest prop_percentile_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_sort_matches_float_compare;
     QCheck_alcotest.to_alcotest prop_mean_bounded;
   ]
