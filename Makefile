@@ -1,5 +1,6 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke clean
+.PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke \
+	verify-probes-smoke lint clean
 
 all: build
 
@@ -25,9 +26,24 @@ cluster-smoke:
 	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy po2c \
 		-n 4000 --check
 
+# Static timeliness verifier smoke test: bound the worst-case inter-probe
+# gap of every suite kernel (Concord and elided placements), cross-check
+# against Monte-Carlo observation, and exit non-zero on any violation.
+verify-probes-smoke:
+	dune exec bin/concord_sim.exe -- verify-probes --samples 2000 --trials 4 \
+		--json _build/verify-probes-smoke.json
+
+# Determinism lint: the simulation library must not reach for ambient
+# nondeterminism (Random, wall clocks, unordered Hashtbl iteration).
+# Also proves the lint itself still bites, via an --expect-fail fixture.
+lint:
+	dune exec tools/lint.exe -- lib
+	dune exec tools/lint.exe -- --expect-fail tools/fixtures/bad_random.ml
+
 # What CI (and every PR) must keep green.
 check:
-	dune build && dune runtest && $(MAKE) trace-smoke && $(MAKE) cluster-smoke && $(MAKE) bench-json-quick
+	dune build && dune runtest && $(MAKE) lint && $(MAKE) trace-smoke && $(MAKE) cluster-smoke \
+		&& $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe

@@ -117,6 +117,16 @@ let sim_scenario ~n () =
     ();
   (Sim.events_processed sim, nan)
 
+(* Static timeliness verifier over the whole kernel suite: Gapbound +
+   Elide + Monte-Carlo cross-check for both placements of all 24 programs.
+   Counted as placements verified; any soundness violation aborts the
+   bench rather than reporting a timing for a broken verifier. *)
+let verify_scenario ~samples ~trials () =
+  let rows = Repro_instrument.Verify.run_suite ~samples ~trials () in
+  if not (Repro_instrument.Verify.all_ok rows) then
+    failwith "core_bench: verify-probes found an unsound placement";
+  (2 * List.length rows, nan)
+
 let scenarios ~quick =
   let scale n = if quick then n / 5 else n in
   [
@@ -132,6 +142,10 @@ let scenarios ~quick =
       "cluster",
       scale 20_000,
       cluster_scenario ~instances:3 ~rate_rps:3.0e6 ~n_requests:(scale 20_000) );
+    ( "verify-probes",
+      "static",
+      0,
+      verify_scenario ~samples:(scale 10_000) ~trials:(if quick then 2 else 8) );
     ("heap-churn", "micro", 0, heap_scenario ~rounds:(scale 200));
     ("ring-churn", "micro", 0, ring_scenario ~rounds:(scale 200));
     ("sim-spin", "micro", 0, sim_scenario ~n:(scale 500_000));

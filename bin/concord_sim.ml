@@ -571,6 +571,59 @@ let trace_cmd =
       $ seed_arg $ request_arg $ last_arg $ trace_file_arg $ csv_file_arg $ breakdown_flag
       $ check_flag)
 
+(* ---- verify-probes ----------------------------------------------------------- *)
+
+let verify_probes_cmd =
+  let module Verify = Repro_instrument.Verify in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the report as JSON (schema concord-verify-probes/v1); '-' for stdout.")
+  in
+  let samples_arg =
+    Arg.(
+      value
+      & opt int Verify.default_samples
+      & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo lateness samples per placement.")
+  in
+  let trials_arg =
+    Arg.(
+      value
+      & opt int Verify.default_trials
+      & info [ "trials" ] ~docv:"N" ~doc:"Randomized path explorations per placement.")
+  in
+  let target_gap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "target-gap" ] ~docv:"INSTRS"
+          ~doc:"Probe-elision gap target in instructions (default: the placement envelope).")
+  in
+  let action samples trials seed target_gap json =
+    let rows = Verify.run_suite ~samples ~trials ~seed ?target_gap () in
+    (match json with
+    | None -> print_string (Verify.render rows)
+    | Some "-" -> print_string (Verify.to_json rows)
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Verify.to_json rows);
+      close_out oc;
+      Printf.printf "verify-probes report written to %s\n" path);
+    if not (Verify.all_ok rows) then begin
+      prerr_endline "verify-probes: FAILED (static bound violated or certificate broken)";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify-probes"
+       ~doc:
+         "Statically bound the worst-case inter-probe gap of every suite kernel (Concord \
+          and elided placements) and verify the bounds against Monte-Carlo observation; \
+          non-zero exit on any violation.")
+    Term.(const action $ samples_arg $ trials_arg $ seed_arg $ target_gap_arg $ json_arg)
+
 (* ---- overheads --------------------------------------------------------------- *)
 
 let overheads_cmd =
@@ -627,4 +680,5 @@ let () =
             sls_cmd;
             trace_cmd;
             overheads_cmd;
+            verify_probes_cmd;
           ]))

@@ -11,3 +11,7 @@ let ns_of_cycles_f clock cycles = cycles /. clock.ghz
 
 let cycles_of_ns clock ns =
   int_of_float (Float.round (float_of_int ns *. clock.ghz))
+
+let ns_of_cycles_bound clock = function
+  | Some cycles -> Some (ns_of_cycles_f clock (float_of_int cycles))
+  | None -> None

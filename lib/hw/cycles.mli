@@ -24,3 +24,8 @@ val ns_of_cycles_f : clock -> float -> float
 
 val cycles_of_ns : clock -> int -> int
 (** Convert nanoseconds to cycles, rounding to nearest. *)
+
+val ns_of_cycles_bound : clock -> int option -> float option
+(** Convert a static worst-case bound — a finite cycle count or [None]
+    for unbounded — to wall time, preserving unboundedness. Used by the
+    instrumentation verifier's gap bounds. *)

@@ -1,3 +1,5 @@
+module Rng = Repro_engine.Rng
+
 type t = {
   work_instrs : int;
   probes : int;
@@ -23,7 +25,14 @@ let run_instrs st n =
   st.work <- st.work + n;
   st.gap <- st.gap + n
 
-let analyze (p : Ir.program) =
+(* Execute the IR once and histogram the inter-probe gaps. Data-dependent
+   control flow resolves deterministically by default (Branch takes its
+   heavier arm, While runs [Ir.while_trips max_trips] iterations — the
+   [Ir.dynamic_size] convention); pass [~rng] to sample a random feasible
+   path instead (Branch by fair coin, While trip count uniform in
+   [0, while_trips max_trips]), which is how the verifier and the
+   property tests explore paths the deterministic run would miss. *)
+let analyze ?rng (p : Ir.program) =
   let st = { work = 0; probes = 0; gap = 0; gap_counts = Hashtbl.create 64 } in
   let rec exec_block block = List.iter exec_instr block
   and exec_instr = function
@@ -38,12 +47,30 @@ let analyze (p : Ir.program) =
         run_instrs st Ir.loop_branch_instrs;
         exec_block body
       done
+    | Ir.Branch { then_; else_ } ->
+      run_instrs st Ir.loop_branch_instrs;
+      let take_then =
+        match rng with
+        | Some r -> Rng.bool r
+        | None -> Ir.dynamic_size then_ >= Ir.dynamic_size else_
+      in
+      exec_block (if take_then then then_ else else_)
+    | Ir.While { max_trips; body } ->
+      let cap = Ir.while_trips max_trips in
+      let trips =
+        match rng with Some r -> Rng.int r ~bound:(cap + 1) | None -> cap
+      in
+      for _ = 1 to trips do
+        run_instrs st Ir.loop_branch_instrs;
+        exec_block body
+      done
   in
   exec_block p.Ir.entry.Ir.body;
   (* Close the trailing gap so every instruction belongs to one gap. *)
   if st.gap > 0 then record_probe st;
   let gaps =
-    Hashtbl.fold (fun g c acc -> (g, c) :: acc) st.gap_counts []
+    (Hashtbl.fold (fun g c acc -> (g, c) :: acc) st.gap_counts []
+    [@lint.deterministic "order-insensitive: sorted on the next line"])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
     |> Array.of_list
   in
@@ -71,6 +98,8 @@ let ci_overhead ~baseline_instrs t =
       0.0 t.gaps
   in
   (float_of_int t.work_instrs +. cost -. base) /. base
+
+let max_gap_instrs t = Array.fold_left (fun acc (g, _) -> max acc g) 0 t.gaps
 
 let mean_gap_instrs t =
   let total, count =

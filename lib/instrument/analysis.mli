@@ -16,8 +16,14 @@ type t = {
           between consecutive probe executions, ascending by gap *)
 }
 
-val analyze : Ir.program -> t
-(** Literally executes the (instrumented) program's structure. *)
+val analyze : ?rng:Repro_engine.Rng.t -> Ir.program -> t
+(** Literally executes the (instrumented) program's structure. Without
+    [rng], data-dependent control flow resolves deterministically (Branch
+    takes its heavier arm; While runs [Ir.while_trips max_trips]
+    iterations). With [rng], one random feasible path is executed: Branch
+    by fair coin, While trip count uniform in [0, Ir.while_trips
+    max_trips] — repeated randomized runs are how the verifier explores
+    paths the deterministic run would miss. *)
 
 val concord_overhead : baseline_instrs:int -> t -> float
 (** Fractional slowdown of Concord instrumentation vs the un-instrumented
@@ -33,6 +39,10 @@ val ci_overhead : baseline_instrs:int -> t -> float
     but still pay the counter on every iteration. *)
 
 val mean_gap_instrs : t -> float
+
+val max_gap_instrs : t -> int
+(** Longest observed inter-probe gap — what the static {!Gapbound} must
+    dominate. *)
 
 val probe_spacing_ns : t -> clock:Repro_hw.Cycles.clock -> float
 (** Mean probe spacing converted to wall time (1 instruction ≈ 1 cycle) —

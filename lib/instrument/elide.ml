@@ -1,0 +1,93 @@
+(* Probe-elision pass: Pass.run places probes structurally (function
+   entries, back-edges, around external calls); many of them are redundant
+   for the timeliness guarantee — e.g. a loop whose body already probes at
+   every callee entry does not need its back-edge probe too. Starting from
+   an instrumented program, greedily remove probes whose removal keeps the
+   *static* Gapbound at or under a target gap, and emit a certificate the
+   verifier (and `concord-sim verify-probes`) can re-check.
+
+   Probes are identified by a deterministic site index: the entry body is
+   walked first, then each distinct callee in first-encounter order, so a
+   probe inside a function shared by several call sites is one site (it
+   either stays or goes for all callers — matching both how a compiler
+   would patch the text and how Gapbound summarizes calls). *)
+
+type certificate = {
+  program : Ir.program;  (* the elided placement *)
+  target_gap : int;  (* instrs the elision was allowed to reach *)
+  bound_instrs : Gapbound.bound;  (* static bound of the elided placement *)
+  probes_before : int;  (* probe sites in the input placement *)
+  probes_after : int;
+}
+
+(* The largest back-edge gap Pass.run's own unrolling is allowed to
+   create: a body just under [min_loop_body] doubled by unrolling, plus
+   the back-edge. Elision to this target never weakens the guarantee
+   below what placement already tolerates by design. *)
+let default_target_gap = (2 * Pass.default_min_loop_body) + Ir.loop_branch_instrs
+
+(* Rebuild [p], keeping only probe sites for which [keep index] is true.
+   [keep] is invoked exactly once per site, in site-index order. *)
+let map_probes (p : Ir.program) ~keep =
+  let idx = ref 0 in
+  let fns = Hashtbl.create 8 in
+  let rec rebuild_block b = List.filter_map rebuild_instr b
+  and rebuild_instr = function
+    | Ir.Probe ->
+      let i = !idx in
+      incr idx;
+      if keep i then Some Ir.Probe else None
+    | (Ir.Compute _ | Ir.External _) as i -> Some i
+    | Ir.Call f -> Some (Ir.Call (rebuild_func f))
+    | Ir.Loop { trips; body } -> Some (Ir.Loop { trips; body = rebuild_block body })
+    | Ir.Branch { then_; else_ } ->
+      Some (Ir.Branch { then_ = rebuild_block then_; else_ = rebuild_block else_ })
+    | Ir.While { max_trips; body } ->
+      Some (Ir.While { max_trips; body = rebuild_block body })
+  and rebuild_func f =
+    match Hashtbl.find_opt fns f.Ir.fname with
+    | Some f' -> f'
+    | None ->
+      let f' = Ir.func f.Ir.fname (rebuild_block f.Ir.body) in
+      Hashtbl.add fns f.Ir.fname f';
+      f'
+  in
+  let entry = Ir.func p.Ir.entry.Ir.fname (rebuild_block p.Ir.entry.Ir.body) in
+  Ir.program ~name:p.Ir.name ~suite:p.Ir.suite entry
+
+let probe_sites p =
+  let n = ref 0 in
+  let (_ : Ir.program) =
+    map_probes p ~keep:(fun _ ->
+        incr n;
+        true)
+  in
+  !n
+
+let fits ~target = function
+  | Gapbound.Finite n -> n <= target
+  | Gapbound.Unbounded -> false
+
+(* Greedy, in site-index order: tentatively drop each probe and keep the
+   drop iff the whole-program static bound still fits the target. If the
+   input placement already misses the target (long straight-line stretches,
+   or Unbounded from external calls), nothing is elidable: the certificate
+   must not promise a bound the placement never had. *)
+let run ?(target_gap = default_target_gap) (p : Ir.program) =
+  let before = probe_sites p in
+  let removed = Array.make (max 1 before) false in
+  let keep i = not removed.(i) in
+  if before > 0 && fits ~target:target_gap (Gapbound.bound p) then
+    for i = 0 to before - 1 do
+      removed.(i) <- true;
+      if not (fits ~target:target_gap (Gapbound.bound (map_probes p ~keep))) then
+        removed.(i) <- false
+    done;
+  let program = map_probes p ~keep in
+  {
+    program;
+    target_gap;
+    bound_instrs = Gapbound.bound program;
+    probes_before = before;
+    probes_after = probe_sites program;
+  }

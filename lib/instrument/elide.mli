@@ -1,0 +1,35 @@
+(** Certified probe-minimization pass.
+
+    Takes an instrumented program (from {!Pass.run}), greedily removes
+    probe sites whose removal keeps {!Gapbound.bound} at or under a target
+    gap, and returns the elided program together with a certificate
+    — the data `concord-sim verify-probes` and the test suite re-check
+    against dynamic Monte-Carlo observations. *)
+
+type certificate = {
+  program : Ir.program;  (** the elided placement *)
+  target_gap : int;  (** instrs the elision was allowed to reach *)
+  bound_instrs : Gapbound.bound;  (** static bound of the elided placement *)
+  probes_before : int;  (** probe sites before elision *)
+  probes_after : int;  (** probe sites after elision *)
+}
+
+val default_target_gap : int
+(** The largest back-edge gap {!Pass.run}'s unrolling may itself create
+    ([2 * default_min_loop_body + loop_branch_instrs]); eliding to this
+    target never weakens the guarantee below the placement's own design
+    envelope. *)
+
+val run : ?target_gap:int -> Ir.program -> certificate
+(** Elide. If the input placement's bound already exceeds [target_gap]
+    (or is unbounded, e.g. from [External] calls), no probe is removed and
+    the certificate reports the input placement unchanged. *)
+
+val probe_sites : Ir.program -> int
+(** Probe sites, counting a probe inside a shared callee once (unlike
+    {!Pass.count_probes}, which counts it per call site). *)
+
+val map_probes : Ir.program -> keep:(int -> bool) -> Ir.program
+(** Rebuild the program keeping only probe sites whose index passes
+    [keep]; exposed for tests. Site indices walk the entry body first,
+    then each distinct callee in first-encounter order. *)

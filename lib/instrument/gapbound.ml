@@ -1,0 +1,177 @@
+(* Static worst-case inter-probe-gap analysis.
+
+   Analysis.analyze *executes* the IR, so it only sees the gaps of the
+   paths it happens to run. This module proves a bound over ALL feasible
+   paths: every code fragment is summarized by the worst pre-first-probe /
+   post-last-probe / interior-gap / probe-free-pass-through distances over
+   its paths, and summaries compose under sequencing, branching joins, and
+   loop powers. Loops compose by exponentiation-by-squaring of the
+   sequencing monoid, so the analysis is O(|IR| * log trips) — it never
+   unrolls an execution.
+
+   Soundness contract (asserted by test_gapbound.ml): for every program,
+   [bound p] dominates the largest gap any [Analysis.analyze ?rng] run can
+   observe. Two constructs are deliberately conservative:
+   - [External n] is un-instrumented code: no probe can fire inside it, and
+     a static analyzer has no business trusting its modeled length, so it
+     contributes an *unbounded* probe-free stretch.
+   - [While { max_trips = None; _ }] whose body has a probe-free path (no
+     back-edge probe) can chain probe-free iterations forever: Unbounded.
+   Both are reported as [Unbounded] rather than guessed. *)
+
+type bound = Finite of int | Unbounded
+
+let badd a b =
+  match (a, b) with Finite x, Finite y -> Finite (x + y) | _ -> Unbounded
+
+let bmax a b =
+  match (a, b) with
+  | Finite x, Finite y -> Finite (max x y)
+  | _ -> Unbounded
+
+let to_cycles = function Finite n -> Some n | Unbounded -> None
+
+let ns ~clock b = Repro_hw.Cycles.ns_of_cycles_bound clock (to_cycles b)
+
+let to_string = function Finite n -> string_of_int n | Unbounded -> "unbounded"
+
+let dominates b ~gap_instrs =
+  match b with Finite n -> gap_instrs <= n | Unbounded -> true
+
+(* ---- path summaries -------------------------------------------------- *)
+
+(* Each component is [None] when no path of that kind exists:
+   [pre]/[post] need a path executing at least one probe, [inner] a path
+   executing at least two, [thru] a path executing none. *)
+type summary = {
+  pre : bound option;  (* max instrs before the first probe *)
+  post : bound option;  (* max instrs after the last probe *)
+  inner : bound option;  (* max gap strictly between two probes *)
+  thru : bound option;  (* max instrs along probe-free paths *)
+}
+
+let omax a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (bmax x y)
+
+(* Concatenation of path segments: absent on either side means the
+   combined path kind does not exist. *)
+let oadd a b =
+  match (a, b) with Some x, Some y -> Some (badd x y) | _ -> None
+
+let empty = { pre = None; post = None; inner = None; thru = Some (Finite 0) }
+
+let probe =
+  { pre = Some (Finite 0); post = Some (Finite 0); inner = None; thru = None }
+
+let straight n = { pre = None; post = None; inner = None; thru = Some (Finite n) }
+
+(* Un-instrumented code: a probe-free stretch of untrusted length. *)
+let opaque = { pre = None; post = None; inner = None; thru = Some Unbounded }
+
+(* Most conservative summary; used for recursive calls. *)
+let top =
+  {
+    pre = Some Unbounded;
+    post = Some Unbounded;
+    inner = Some Unbounded;
+    thru = Some Unbounded;
+  }
+
+let seq a b =
+  {
+    (* first probe in [a], or [a] probe-free then first probe in [b] *)
+    pre = omax a.pre (oadd a.thru b.pre);
+    (* last probe in [b], or last in [a] with [b] probe-free after it *)
+    post = omax b.post (oadd a.post b.thru);
+    inner = omax (omax a.inner b.inner) (oadd a.post b.pre);
+    thru = oadd a.thru b.thru;
+  }
+
+let join a b =
+  {
+    pre = omax a.pre b.pre;
+    post = omax a.post b.post;
+    inner = omax a.inner b.inner;
+    thru = omax a.thru b.thru;
+  }
+
+(* [power s n]: [s] sequenced with itself [n] times. Sequencing is
+   associative, so square-and-multiply applies. Every component of
+   [power s j] is monotone non-decreasing in [j] (longer chains only add
+   candidate paths), which is what lets a While of at most [n] trips be
+   summarized as [join (power i n) empty] instead of a join over all j. *)
+let rec power s n =
+  if n <= 0 then empty
+  else if n = 1 then s
+  else begin
+    let h = power s (n / 2) in
+    let h2 = seq h h in
+    if n land 1 = 0 then h2 else seq h2 s
+  end
+
+(* Fixpoint of an unbounded loop over one-iteration summary [i]. *)
+let fixpoint i =
+  match i.thru with
+  | None ->
+    (* Every iteration executes a probe: gap structure stabilizes after
+       two iterations (the cross-iteration gap is post + pre). *)
+    join (power i 2) empty
+  | Some _ ->
+    (* A probe-free iteration exists and can repeat without bound
+       (iteration cost is at least the loop branch, i.e. > 0). *)
+    let ub = Option.map (fun (_ : bound) -> Unbounded) in
+    {
+      pre = ub i.pre;
+      post = ub i.post;
+      inner = (match i.pre with Some _ -> Some Unbounded | None -> None);
+      thru = Some Unbounded;
+    }
+
+(* ---- interprocedural summaries --------------------------------------- *)
+
+(* Function summaries memoized by name (names are assumed to identify
+   bodies, as everywhere else in this IR). A function re-entered while its
+   own summary is being computed is recursive: summarized as [top]. *)
+let rec summarize_block fns block =
+  List.fold_left (fun acc i -> seq acc (summarize_instr fns i)) empty block
+
+and summarize_instr fns = function
+  | Ir.Probe -> probe
+  | Ir.Compute n -> straight n
+  | Ir.External _ -> opaque
+  | Ir.Call f -> seq (straight Ir.call_overhead_instrs) (summarize_func fns f)
+  | Ir.Loop { trips; body } ->
+    power (seq (straight Ir.loop_branch_instrs) (summarize_block fns body)) trips
+  | Ir.Branch { then_; else_ } ->
+    seq
+      (straight Ir.loop_branch_instrs)
+      (join (summarize_block fns then_) (summarize_block fns else_))
+  | Ir.While { max_trips; body } ->
+    let i = seq (straight Ir.loop_branch_instrs) (summarize_block fns body) in
+    (match max_trips with Some n -> join (power i n) empty | None -> fixpoint i)
+
+and summarize_func fns (f : Ir.func) =
+  match Hashtbl.find_opt fns f.Ir.fname with
+  | Some (Some s) -> s
+  | Some None -> top
+  | None ->
+    Hashtbl.add fns f.Ir.fname None;
+    let s = summarize_block fns f.Ir.body in
+    Hashtbl.replace fns f.Ir.fname (Some s);
+    s
+
+let summarize (p : Ir.program) = summarize_block (Hashtbl.create 8) p.Ir.entry.Ir.body
+
+(* Program entry and exit delimit gaps exactly like Analysis.analyze: the
+   gap counter starts at zero and the trailing stretch is closed at the
+   end, so entry/exit act as implicit probes and every component of the
+   summary is a realizable gap. *)
+let of_summary s =
+  List.fold_left
+    (fun acc c -> match c with Some b -> bmax acc b | None -> acc)
+    (Finite 0)
+    [ s.inner; s.pre; s.post; s.thru ]
+
+let bound p = of_summary (summarize p)

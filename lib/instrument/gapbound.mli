@@ -1,0 +1,48 @@
+(** Static worst-case inter-probe-gap analysis (the proof half of §4.3).
+
+    {!Analysis.analyze} measures the gaps of one execution;
+    [Gapbound.bound] proves a bound over {e all} feasible paths, so a
+    placement that happens to look fine on the benchmarked path cannot
+    hide an unbounded preemption delay on another. Loops are summarized by
+    exponentiation of a path-summary monoid (never unrolled), calls by
+    memoized per-function summaries. [External] code and unbounded [While]
+    loops without a back-edge probe are reported {!Unbounded}, never
+    guessed. *)
+
+type bound = Finite of int | Unbounded
+
+val bound : Ir.program -> bound
+(** Worst-case instruction distance between consecutive probe executions
+    over all feasible paths of the program (program entry/exit count as
+    implicit probes, matching {!Analysis.analyze}'s gap accounting). *)
+
+val dominates : bound -> gap_instrs:int -> bool
+(** [dominates b ~gap_instrs] — does the static bound cover an observed
+    gap? ([Unbounded] covers everything.) *)
+
+val ns : clock:Repro_hw.Cycles.clock -> bound -> float option
+(** Wall-clock form of a bound (1 instruction ≈ 1 cycle); [None] when
+    unbounded. *)
+
+val to_string : bound -> string
+
+val to_cycles : bound -> int option
+
+(** {2 Path summaries} — exposed for the property tests. *)
+
+type summary = {
+  pre : bound option;
+  post : bound option;
+  inner : bound option;
+  thru : bound option;
+}
+
+val summarize : Ir.program -> summary
+
+val of_summary : summary -> bound
+
+val seq : summary -> summary -> summary
+
+val join : summary -> summary -> summary
+
+val power : summary -> int -> summary

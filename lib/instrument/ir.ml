@@ -1,8 +1,15 @@
+(* The mini IR behind Table 1: straight-line compute, calls, opaque
+   external code, counted loops — and, since the static-verifier PR,
+   data-dependent control flow ([Branch], [While]) so "worst-case path"
+   is a real notion rather than the unique path. *)
+
 type instr =
   | Compute of int
   | Call of func
   | External of int
   | Loop of { trips : int; body : block }
+  | Branch of { then_ : block; else_ : block }
+  | While of { max_trips : int option; body : block }
   | Probe
 
 and block = instr list
@@ -17,6 +24,20 @@ let program ~name ~suite entry = { name; suite; entry }
 let loop_branch_instrs = 2
 let call_overhead_instrs = 4
 
+(* Deterministic trip count assumed for [While { max_trips = None; _ }]
+   when a single concrete execution is needed (dynamic_size, the default
+   Analysis.analyze run). The *static* analyses never use it: an unbounded
+   While is summarized by its fixpoint, not by this constant. *)
+let while_default_trips = 8
+
+let while_trips max_trips = Option.value max_trips ~default:while_default_trips
+
+(* [static_size] is the *inlined* static footprint: a callee's body is
+   counted at every call site (the cost model of a compiler that inlines
+   everything). For the paper's code-size intent — each function's text
+   exists once no matter how many call sites reference it — use
+   [static_footprint]. Both semantics are pinned by test_instrument.ml's
+   "static size call accounting" test. *)
 let rec static_size block = List.fold_left (fun acc i -> acc + static_instr i) 0 block
 
 and static_instr = function
@@ -24,8 +45,38 @@ and static_instr = function
   | Call f -> call_overhead_instrs + static_size f.body
   | External n -> call_overhead_instrs + n
   | Loop { body; _ } -> loop_branch_instrs + static_size body
+  | Branch { then_; else_ } -> loop_branch_instrs + static_size then_ + static_size else_
+  | While { body; _ } -> loop_branch_instrs + static_size body
   | Probe -> 0
 
+(* Code-footprint semantics: entry text plus each *distinct* callee's text
+   once, plus per-site call overhead (the call instruction itself is real
+   text at every site). *)
+let static_footprint (p : program) =
+  let seen = ref [] in
+  let rec block_text b = List.fold_left (fun acc i -> acc + instr_text i) 0 b
+  and instr_text = function
+    | Compute n -> n
+    | External n -> call_overhead_instrs + n
+    | Loop { body; _ } | While { body; _ } -> loop_branch_instrs + block_text body
+    | Branch { then_; else_ } -> loop_branch_instrs + block_text then_ + block_text else_
+    | Probe -> 0
+    | Call f ->
+      let callee =
+        if List.mem f.fname !seen then 0
+        else begin
+          seen := f.fname :: !seen;
+          block_text f.body
+        end
+      in
+      call_overhead_instrs + callee
+  in
+  block_text p.entry.body
+
+(* One concrete execution's instruction count. Data-dependent control flow
+   needs a deterministic convention: a Branch takes its heavier arm and a
+   While runs [while_trips max_trips] iterations — the same convention
+   Analysis.analyze uses when no RNG is supplied, so the two agree. *)
 let rec dynamic_size block = List.fold_left (fun acc i -> acc + dynamic_instr i) 0 block
 
 and dynamic_instr = function
@@ -33,4 +84,8 @@ and dynamic_instr = function
   | Call f -> call_overhead_instrs + dynamic_size f.body
   | External n -> call_overhead_instrs + n
   | Loop { trips; body } -> trips * (loop_branch_instrs + dynamic_size body)
+  | Branch { then_; else_ } ->
+    loop_branch_instrs + max (dynamic_size then_) (dynamic_size else_)
+  | While { max_trips; body } ->
+    while_trips max_trips * (loop_branch_instrs + dynamic_size body)
   | Probe -> 0

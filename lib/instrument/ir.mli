@@ -16,6 +16,11 @@ type instr =
       (** call into un-instrumented code (syscall, libc) running N
           instructions; never preempted inside (§3.1), probed around *)
   | Loop of { trips : int; body : block }  (** counted loop *)
+  | Branch of { then_ : block; else_ : block }
+      (** data-dependent two-way branch (compare + jump, then one arm) *)
+  | While of { max_trips : int option; body : block }
+      (** data-dependent loop: runs some number of iterations up to
+          [max_trips] ([None] = no static bound is known) *)
   | Probe  (** inserted by the pass; never written by hand *)
 
 and block = instr list
@@ -28,13 +33,33 @@ val func : string -> block -> func
 val program : name:string -> suite:string -> func -> program
 
 val static_size : block -> int
-(** Static instruction count of one copy of the block (loop bodies counted
-    once, calls counted as their body's size plus call overhead). *)
+(** Static instruction count of one copy of the block (loop/while bodies
+    and both branch arms counted once, calls counted as their body's size
+    plus call overhead at *every* call site — i.e. the fully-inlined
+    footprint). For code-size semantics that count each distinct callee
+    once, see {!static_footprint}. *)
+
+val static_footprint : program -> int
+(** The paper's static-footprint semantics: the entry body plus each
+    {e distinct} callee's body once (keyed by function name), plus
+    [call_overhead_instrs] per call site. A callee invoked from two sites
+    is not double-counted, unlike {!static_size}. *)
 
 val dynamic_size : block -> int
 (** Dynamic instruction count of executing the block (loops multiplied by
     trip counts). Probes count 0 here: they are accounted separately by
-    {!Analysis} because their cost depends on the mechanism. *)
+    {!Analysis} because their cost depends on the mechanism. Data-dependent
+    control flow resolves deterministically: a [Branch] takes its heavier
+    arm, a [While] runs [while_trips max_trips] iterations. *)
+
+val while_default_trips : int
+(** Trip count assumed for [While { max_trips = None; _ }] by the
+    deterministic execution convention ({!dynamic_size},
+    [Analysis.analyze] without an RNG). Static analyses never use it. *)
+
+val while_trips : int option -> int
+(** [while_trips max_trips] is the deterministic-convention trip count:
+    the bound itself, or {!while_default_trips} when unbounded. *)
 
 val loop_branch_instrs : int
 (** Instructions spent per loop back-edge (compare + branch); what

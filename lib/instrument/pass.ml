@@ -36,6 +36,13 @@ let run ?(min_loop_body = default_min_loop_body) ~unroll (p : Ir.program) =
       let body = instrument_block body in
       if unroll then unroll_loop ~min_body:min_loop_body ~trips body
       else [ Ir.Loop { trips; body = body @ [ Ir.Probe ] } ]
+    | Ir.Branch { then_; else_ } ->
+      [ Ir.Branch { then_ = instrument_block then_; else_ = instrument_block else_ } ]
+    | Ir.While { max_trips; body } ->
+      (* Data-dependent trip count: unrolling would change how many
+         iterations execute, so a While only gets the back-edge probe
+         that bounds the gap across iterations. *)
+      [ Ir.While { max_trips; body = instrument_block body @ [ Ir.Probe ] } ]
   and instrument_func f = Ir.func f.Ir.fname (Ir.Probe :: instrument_block f.Ir.body) in
   Ir.program ~name:p.Ir.name ~suite:p.Ir.suite (instrument_func p.Ir.entry)
 
@@ -47,6 +54,7 @@ let rec count_probes block =
       match i with
       | Ir.Probe -> 1
       | Ir.Call f -> count_probes f.Ir.body
-      | Ir.Loop { body; _ } -> count_probes body
+      | Ir.Loop { body; _ } | Ir.While { body; _ } -> count_probes body
+      | Ir.Branch { then_; else_ } -> count_probes then_ + count_probes else_
       | Ir.Compute _ | Ir.External _ -> 0)
     0 block

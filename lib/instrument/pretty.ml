@@ -13,6 +13,21 @@ let rec render buf ~indent block =
       | Ir.Loop { trips; body } ->
         Buffer.add_string buf (Printf.sprintf "%sloop x%d {\n" pad trips);
         render buf ~indent:(indent + 2) body;
+        Buffer.add_string buf (pad ^ "}\n")
+      | Ir.Branch { then_; else_ } ->
+        Buffer.add_string buf (pad ^ "branch {\n");
+        render buf ~indent:(indent + 2) then_;
+        Buffer.add_string buf (pad ^ "} else {\n");
+        render buf ~indent:(indent + 2) else_;
+        Buffer.add_string buf (pad ^ "}\n")
+      | Ir.While { max_trips; body } ->
+        let header =
+          match max_trips with
+          | Some n -> Printf.sprintf "%swhile x<=%d {\n" pad n
+          | None -> pad ^ "while ? {\n"
+        in
+        Buffer.add_string buf header;
+        render buf ~indent:(indent + 2) body;
         Buffer.add_string buf (pad ^ "}\n"))
     block
 

@@ -52,12 +52,36 @@ let ocean_ncp =
     [ straight ~block:6_500 ~trips:500; tight ~body:150 ~trips:8_000 ]
 
 let volrend =
+  (* Ray caster with an early-termination branch: opaque voxels take the
+     full shading loop, transparent ones a short skip path. The heavy arm
+     dominates the deterministic run; the worst-case-path analysis has to
+     consider both. *)
   mk "volrend" "Splash-2"
-    [ nested ~inner:120 ~inner_trips:40 ~outer_trips:500 ~prologue:1_800 ]
+    [
+      Loop
+        {
+          trips = 500;
+          body =
+            [
+              Compute 1_800;
+              Branch
+                {
+                  then_ = [ Loop { trips = 40; body = [ Compute 120 ] } ];
+                  else_ = [ Compute 2_400 ];
+                };
+            ];
+        };
+    ]
 
 let fmm =
+  (* The tree-walk phase is a data-dependent While: interaction lists are
+     at most 2000 entries long but may terminate early, so its trip count
+     is an upper bound, not a constant. *)
   mk "fmm" "Splash-2"
-    [ tight ~body:45 ~trips:40_000; straight ~block:420 ~trips:2_000 ]
+    [
+      tight ~body:45 ~trips:40_000;
+      While { max_trips = Some 2_000; body = [ Compute 420 ] };
+    ]
 
 let raytrace =
   (* Recursive-descent structure: small functions called everywhere. *)

@@ -1,0 +1,167 @@
+(* The verifier that ties the static and dynamic halves together: for each
+   suite program it takes the Concord placement (Pass.run), the elided
+   placement (Elide.run), and checks
+
+   - soundness: the static Gapbound dominates the largest inter-probe gap
+     observed over the deterministic execution plus [trials] randomized
+     path explorations, and the largest Monte-Carlo lateness sample from
+     Timeliness.simulate stays under the bound's wall-clock form;
+   - overhead: elision never increases Analysis.concord_overhead;
+   - timeliness: the elided placement's p99 lateness stays within the
+     certificate's bound.
+
+   Consumed by `concord-sim verify-probes` (text and JSON), a bench row,
+   and dune runtest (test_gapbound.ml asserts every row is ok). *)
+
+module Rng = Repro_engine.Rng
+module Pool = Repro_engine.Pool
+
+type row = {
+  name : string;
+  suite : string;
+  probes_placed : int;
+  probes_elided : int;
+  bound_placed : Gapbound.bound;
+  bound_elided : Gapbound.bound;
+  max_gap_placed : int;  (* largest observed gap, instrs *)
+  max_gap_elided : int;
+  mc_max_placed_ns : float;  (* largest Monte-Carlo lateness sample *)
+  mc_max_elided_ns : float;
+  overhead_placed : float;
+  overhead_elided : float;
+  p99_placed_ns : float;
+  p99_elided_ns : float;
+  sound_placed : bool;
+  sound_elided : bool;
+  overhead_ok : bool;
+  lateness_ok : bool;
+}
+
+let row_ok r = r.sound_placed && r.sound_elided && r.overhead_ok && r.lateness_ok
+
+let all_ok rows = List.for_all row_ok rows
+
+let default_samples = 20_000
+
+let default_trials = 16
+
+let check_program ?(clock = Repro_hw.Cycles.default) ?(samples = default_samples)
+    ?(trials = default_trials) ?(seed = 42) ?target_gap (p : Ir.program) =
+  let baseline = Ir.dynamic_size p.Ir.entry.Ir.body in
+  let placed = Pass.run ~unroll:true p in
+  let cert = Elide.run ?target_gap placed in
+  let eval prog salt =
+    let det = Analysis.analyze prog in
+    let max_gap = ref (Analysis.max_gap_instrs det) in
+    for t = 1 to trials do
+      let rng = Rng.create ~seed:(seed + (salt * 7919) + t) in
+      max_gap := max !max_gap (Analysis.max_gap_instrs (Analysis.analyze ~rng prog))
+    done;
+    let mc_max =
+      if samples = 0 || Array.length det.Analysis.gaps = 0 then 0.0
+      else begin
+        let rng = Rng.create ~seed:(seed + salt) in
+        Array.fold_left Float.max 0.0 (Timeliness.simulate det ~clock ~rng ~samples)
+      end
+    in
+    (det, !max_gap, mc_max)
+  in
+  let det_placed, max_gap_placed, mc_max_placed_ns = eval placed 1 in
+  let det_elided, max_gap_elided, mc_max_elided_ns = eval cert.Elide.program 2 in
+  let bound_placed = Gapbound.bound placed in
+  let bound_elided = cert.Elide.bound_instrs in
+  let sound bound max_gap mc_max =
+    Gapbound.dominates bound ~gap_instrs:max_gap
+    &&
+    match Gapbound.ns ~clock bound with
+    | None -> true
+    | Some b_ns -> mc_max <= b_ns +. 1e-9
+  in
+  let overhead_placed = Analysis.concord_overhead ~baseline_instrs:baseline det_placed in
+  let overhead_elided = Analysis.concord_overhead ~baseline_instrs:baseline det_elided in
+  let p99_placed_ns = (Timeliness.of_gaps det_placed ~clock).Timeliness.p99_lateness_ns in
+  let p99_elided_ns = (Timeliness.of_gaps det_elided ~clock).Timeliness.p99_lateness_ns in
+  {
+    name = p.Ir.name;
+    suite = p.Ir.suite;
+    probes_placed = cert.Elide.probes_before;
+    probes_elided = cert.Elide.probes_after;
+    bound_placed;
+    bound_elided;
+    max_gap_placed;
+    max_gap_elided;
+    mc_max_placed_ns;
+    mc_max_elided_ns;
+    overhead_placed;
+    overhead_elided;
+    p99_placed_ns;
+    p99_elided_ns;
+    sound_placed = sound bound_placed max_gap_placed mc_max_placed_ns;
+    sound_elided = sound bound_elided max_gap_elided mc_max_elided_ns;
+    overhead_ok = overhead_elided <= overhead_placed +. 1e-12;
+    lateness_ok =
+      (match Gapbound.ns ~clock bound_elided with
+      | None -> true
+      | Some b_ns -> p99_elided_ns <= b_ns +. 1e-9);
+  }
+
+(* Per-program checks are independent pure analyses: fan them across the
+   domain pool like Table1.rows. *)
+let run_suite ?clock ?samples ?trials ?seed ?target_gap () =
+  Pool.parallel_map
+    (fun p -> check_program ?clock ?samples ?trials ?seed ?target_gap p)
+    Programs.all
+
+let elided_count rows =
+  List.length (List.filter (fun r -> r.probes_elided < r.probes_placed) rows)
+
+let render rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %-9s %7s %16s %16s %9s %9s %9s %6s\n" "program" "suite"
+       "probes" "bound(placed)" "bound(elided)" "maxgap" "ovh(pl)" "ovh(el)" "ok");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %-9s %3d->%-3d %16s %16s %9d %8.2f%% %8.2f%% %6s\n" r.name
+           r.suite r.probes_placed r.probes_elided
+           (Gapbound.to_string r.bound_placed)
+           (Gapbound.to_string r.bound_elided)
+           r.max_gap_elided
+           (100.0 *. r.overhead_placed)
+           (100.0 *. r.overhead_elided)
+           (if row_ok r then "ok" else "FAIL")))
+    rows;
+  let elided = elided_count rows in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d/%d programs verified; probes elided on %d; static bound >= max observed gap on \
+        all checked placements\n"
+       (List.length (List.filter row_ok rows))
+       (List.length rows) elided);
+  Buffer.contents buf
+
+let json_bound = function
+  | Gapbound.Finite n -> string_of_int n
+  | Gapbound.Unbounded -> "null"
+
+let to_json rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"concord-verify-probes/v1\",\n  \"programs\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"suite\": \"%s\", \"probes_placed\": %d, \
+            \"probes_elided\": %d, \"bound_placed_instrs\": %s, \"bound_elided_instrs\": \
+            %s, \"max_gap_placed_instrs\": %d, \"max_gap_elided_instrs\": %d, \
+            \"overhead_placed\": %.17g, \"overhead_elided\": %.17g, \"p99_placed_ns\": \
+            %.17g, \"p99_elided_ns\": %.17g, \"ok\": %b}"
+           r.name r.suite r.probes_placed r.probes_elided (json_bound r.bound_placed)
+           (json_bound r.bound_elided) r.max_gap_placed r.max_gap_elided r.overhead_placed
+           r.overhead_elided r.p99_placed_ns r.p99_elided_ns (row_ok r)))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "\n  ],\n  \"ok\": %b\n}\n" (all_ok rows));
+  Buffer.contents buf

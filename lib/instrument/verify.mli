@@ -1,0 +1,62 @@
+(** Suite-wide verifier for probe placements: static {!Gapbound} bounds
+    versus Monte-Carlo observation, for both the Concord placement and the
+    {!Elide}d one. Surfaced as `concord-sim verify-probes`, a bench row,
+    and asserted wholesale in dune runtest. *)
+
+type row = {
+  name : string;
+  suite : string;
+  probes_placed : int;
+  probes_elided : int;
+  bound_placed : Gapbound.bound;
+  bound_elided : Gapbound.bound;
+  max_gap_placed : int;  (** largest observed gap (instrs), deterministic
+                             + randomized path explorations *)
+  max_gap_elided : int;
+  mc_max_placed_ns : float;  (** largest Monte-Carlo lateness sample *)
+  mc_max_elided_ns : float;
+  overhead_placed : float;
+  overhead_elided : float;
+  p99_placed_ns : float;
+  p99_elided_ns : float;
+  sound_placed : bool;  (** static bound dominates every observation *)
+  sound_elided : bool;
+  overhead_ok : bool;  (** elision did not increase Concord overhead *)
+  lateness_ok : bool;  (** elided p99 lateness within the certificate *)
+}
+
+val row_ok : row -> bool
+
+val all_ok : row list -> bool
+
+val elided_count : row list -> int
+(** Programs on which elision removed at least one probe site. *)
+
+val default_samples : int
+
+val default_trials : int
+
+val check_program :
+  ?clock:Repro_hw.Cycles.clock ->
+  ?samples:int ->
+  ?trials:int ->
+  ?seed:int ->
+  ?target_gap:int ->
+  Ir.program ->
+  row
+(** Verify one (un-instrumented) program: instrument, elide, check. *)
+
+val run_suite :
+  ?clock:Repro_hw.Cycles.clock ->
+  ?samples:int ->
+  ?trials:int ->
+  ?seed:int ->
+  ?target_gap:int ->
+  unit ->
+  row list
+(** {!check_program} across all 24 suite kernels (domain-pool parallel). *)
+
+val render : row list -> string
+
+val to_json : row list -> string
+(** Schema [concord-verify-probes/v1]. *)

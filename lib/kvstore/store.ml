@@ -48,9 +48,10 @@ let compact t =
   ignore
     (Skiplist.fold t.memtable ~init:() ~f:(fun () k e -> Hashtbl.replace merged k e));
   let live =
-    Hashtbl.fold
-      (fun k e acc -> match e with Skiplist.Value _ -> (k, e) :: acc | Skiplist.Tombstone -> acc)
-      merged []
+    (Hashtbl.fold
+       (fun k e acc -> match e with Skiplist.Value _ -> (k, e) :: acc | Skiplist.Tombstone -> acc)
+       merged [])
+    [@lint.deterministic "order-insensitive: the array below is sorted before use"]
   in
   let arr = Array.of_list live in
   Array.sort (fun (a, _) (b, _) -> String.compare a b) arr;

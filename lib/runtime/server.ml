@@ -696,11 +696,14 @@ let handle t = function
   | Ev_yield_done { w; epoch } -> on_yield_done t t.workers.(w) ~epoch
 
 let censor_all ?also t ~now_ns =
-  Hashtbl.iter
-    (fun _ req ->
-      Metrics.record_censored t.metrics req ~now_ns;
-      match also with None -> () | Some f -> f req)
-    t.live
+  (Hashtbl.iter
+     (fun _ req ->
+       Metrics.record_censored t.metrics req ~now_ns;
+       match also with None -> () | Some f -> f req)
+     t.live)
+  [@lint.deterministic
+    "hash order is stable for a fixed insertion history (non-randomized Hashtbl); \
+     censored-request accounting is pinned by the golden tests"]
 
 module Instance = struct
   type nonrec 'e t = 'e t

@@ -284,7 +284,10 @@ let handler t (_ : event Sim.t) = function
   | Ev_yield_done { w; epoch } -> on_yield_done t t.workers.(w) ~epoch
   | Ev_end_of_run ->
     let now = Sim.now t.sim in
-    Hashtbl.iter (fun _ req -> Metrics.record_censored t.metrics req ~now_ns:now) t.live;
+    (Hashtbl.iter (fun _ req -> Metrics.record_censored t.metrics req ~now_ns:now) t.live)
+    [@lint.deterministic
+      "hash order is stable for a fixed insertion history (non-randomized Hashtbl); \
+       censored-request accounting is pinned by the golden tests"];
     Sim.stop t.sim
 
 let run ~config ~mix ~arrival ~n_requests ?(warmup_frac = 0.1) ?(drain_cap_ns = 400_000_000)

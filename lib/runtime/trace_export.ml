@@ -116,11 +116,12 @@ let chrome_json_of_iter ~process_name iter =
       "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"args\":{\"name\":\"%s\"}}"
       (escape_json process_name)
     :: metadata ~name:"thread_name" ~tid:0 ~value:"dispatcher"
-    :: (Hashtbl.fold
-          (fun tid () acc ->
-            if tid = 0 then acc
-            else metadata ~name:"thread_name" ~tid ~value:(Printf.sprintf "worker %d" (tid - 1)) :: acc)
-          seen_tids []
+    :: ((Hashtbl.fold
+           (fun tid () acc ->
+             if tid = 0 then acc
+             else metadata ~name:"thread_name" ~tid ~value:(Printf.sprintf "worker %d" (tid - 1)) :: acc)
+           seen_tids []
+        [@lint.deterministic "order-insensitive: the result is sorted on the next line"])
        |> List.sort compare)
   in
   Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ns\"}\n"

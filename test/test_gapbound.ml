@@ -1,0 +1,300 @@
+(* The static timeliness verifier: hand-computed Gapbound values, the
+   suite-wide soundness assertion (static bound >= every Monte-Carlo /
+   randomized-path observation, both placements), the Unbounded negative
+   tests, Elide certificates, and a random-program property sweep. *)
+
+module Ir = Repro_instrument.Ir
+module Pass = Repro_instrument.Pass
+module Analysis = Repro_instrument.Analysis
+module Gapbound = Repro_instrument.Gapbound
+module Elide = Repro_instrument.Elide
+module Verify = Repro_instrument.Verify
+module Programs = Repro_instrument.Programs
+module Rng = Repro_engine.Rng
+
+let prog body = Ir.program ~name:"t" ~suite:"test" (Ir.func "main" body)
+
+let bound_t =
+  Alcotest.testable
+    (fun fmt b -> Format.pp_print_string fmt (Gapbound.to_string b))
+    ( = )
+
+(* --- hand-computed bounds --------------------------------------------- *)
+
+let test_straight_line () =
+  Alcotest.check bound_t "probe-free block" (Gapbound.Finite 10)
+    (Gapbound.bound (prog [ Ir.Compute 10 ]));
+  Alcotest.check bound_t "pre dominates post" (Gapbound.Finite 10)
+    (Gapbound.bound (prog [ Ir.Compute 10; Ir.Probe; Ir.Compute 5 ]))
+
+let test_branch_worst_arm () =
+  let p =
+    prog
+      [
+        Ir.Probe;
+        Ir.Branch { then_ = [ Ir.Compute 100 ]; else_ = [ Ir.Compute 7 ] };
+        Ir.Probe;
+      ]
+  in
+  (* branch cost 2 + heavier arm 100, between the two probes *)
+  Alcotest.check bound_t "heavier arm" (Gapbound.Finite 102) (Gapbound.bound p)
+
+let test_loop_cross_iteration_gap () =
+  let p = prog [ Ir.Loop { trips = 3; body = [ Ir.Compute 5; Ir.Probe ] } ] in
+  (* entry to first probe: branch 2 + 5 = 7; also the cross-iteration gap *)
+  Alcotest.check bound_t "loop" (Gapbound.Finite 7) (Gapbound.bound p)
+
+let test_while_bounded () =
+  let p =
+    prog [ Ir.While { max_trips = Some 5; body = [ Ir.Probe; Ir.Compute 9 ] } ]
+  in
+  (* post 9 of one iteration + branch 2 + pre 0 of the next *)
+  Alcotest.check bound_t "bounded while" (Gapbound.Finite 11) (Gapbound.bound p);
+  let unbounded_probed =
+    prog [ Ir.While { max_trips = None; body = [ Ir.Probe; Ir.Compute 9 ] } ]
+  in
+  Alcotest.check bound_t "unbounded but probed every iteration"
+    (Gapbound.Finite 11)
+    (Gapbound.bound unbounded_probed)
+
+let test_unbounded_while_negative () =
+  (* The issue's negative test: an unbounded While with no back-edge probe
+     must be Unbounded, not guessed from while_default_trips. *)
+  let raw = prog [ Ir.While { max_trips = None; body = [ Ir.Compute 10 ] } ] in
+  Alcotest.check bound_t "un-probed unbounded while" Gapbound.Unbounded
+    (Gapbound.bound raw);
+  (* Pass.run adds the back-edge probe, after which the bound is finite:
+     branch 2 + body 10 up to the probe. *)
+  let instrumented = Pass.run ~unroll:true raw in
+  Alcotest.check bound_t "back-edge probe restores the bound"
+    (Gapbound.Finite 12)
+    (Gapbound.bound instrumented)
+
+let test_external_unbounded () =
+  let p = prog [ Ir.Probe; Ir.External 7; Ir.Probe ] in
+  Alcotest.check bound_t "external code is never trusted" Gapbound.Unbounded
+    (Gapbound.bound p);
+  (* ... and instrumentation cannot fix it: probes bracket, never enter. *)
+  let instrumented = Pass.run ~unroll:true (prog [ Ir.External 7 ]) in
+  Alcotest.check bound_t "instrumented external still unbounded"
+    Gapbound.Unbounded
+    (Gapbound.bound instrumented)
+
+let test_call_summary_shared_callee () =
+  let leaf = Ir.func "leaf" [ Ir.Probe; Ir.Compute 3 ] in
+  let p = prog [ Ir.Call leaf; Ir.Call leaf ] in
+  (* post 3 of the first call + overhead 4 + pre 0 of the second *)
+  Alcotest.check bound_t "interprocedural gap" (Gapbound.Finite 7)
+    (Gapbound.bound p)
+
+(* --- observation helpers ---------------------------------------------- *)
+
+let observed_max_gap ?(trials = 8) ~seed p =
+  let m = ref (Analysis.max_gap_instrs (Analysis.analyze p)) in
+  for t = 1 to trials do
+    let rng = Rng.create ~seed:(seed + t) in
+    m := max !m (Analysis.max_gap_instrs (Analysis.analyze ~rng p))
+  done;
+  !m
+
+(* --- suite-wide verification (the dune-runtest acceptance gate) ------- *)
+
+let test_suite_sound_and_certified () =
+  let rows = Verify.run_suite ~samples:4_000 ~trials:4 () in
+  Alcotest.(check int) "24 programs" 24 (List.length rows);
+  List.iter
+    (fun (r : Verify.row) ->
+      if not r.Verify.sound_placed then
+        Alcotest.failf "%s: placed bound %s < observed max gap %d" r.Verify.name
+          (Gapbound.to_string r.Verify.bound_placed)
+          r.Verify.max_gap_placed;
+      if not r.Verify.sound_elided then
+        Alcotest.failf "%s: elided bound %s < observed max gap %d" r.Verify.name
+          (Gapbound.to_string r.Verify.bound_elided)
+          r.Verify.max_gap_elided;
+      if not r.Verify.overhead_ok then
+        Alcotest.failf "%s: elision raised overhead %.4f -> %.4f" r.Verify.name
+          r.Verify.overhead_placed r.Verify.overhead_elided;
+      if not r.Verify.lateness_ok then
+        Alcotest.failf "%s: elided p99 lateness %.1fns beyond certificate"
+          r.Verify.name r.Verify.p99_elided_ns)
+    rows;
+  (* Elision must bite on at least two suite programs, and where it bites
+     it must strictly reduce both the probe count and the overhead. *)
+  let bitten =
+    List.filter
+      (fun (r : Verify.row) -> r.Verify.probes_elided < r.Verify.probes_placed)
+      rows
+  in
+  if List.length bitten < 2 then
+    Alcotest.failf "probes elided on only %d/24 programs" (List.length bitten);
+  let strictly_cheaper =
+    List.filter
+      (fun (r : Verify.row) -> r.Verify.overhead_elided < r.Verify.overhead_placed)
+      bitten
+  in
+  if List.length strictly_cheaper < 2 then
+    Alcotest.failf "elision reduced overhead strictly on only %d programs"
+      (List.length strictly_cheaper)
+
+(* --- Elide certificates ----------------------------------------------- *)
+
+let test_elide_certificate_consistency () =
+  List.iter
+    (fun p ->
+      let placed = Pass.run ~unroll:true p in
+      let cert = Elide.run placed in
+      Alcotest.(check int)
+        (p.Ir.name ^ ": probes_before")
+        (Elide.probe_sites placed) cert.Elide.probes_before;
+      Alcotest.(check int)
+        (p.Ir.name ^ ": probes_after")
+        (Elide.probe_sites cert.Elide.program)
+        cert.Elide.probes_after;
+      Alcotest.check bound_t
+        (p.Ir.name ^ ": certified bound")
+        (Gapbound.bound cert.Elide.program)
+        cert.Elide.bound_instrs;
+      (* A finite certificate must honour its target. *)
+      (match cert.Elide.bound_instrs with
+      | Gapbound.Finite b when cert.Elide.probes_after < cert.Elide.probes_before ->
+        if b > cert.Elide.target_gap then
+          Alcotest.failf "%s: certified bound %d exceeds target %d" p.Ir.name b
+            cert.Elide.target_gap
+      | _ -> ());
+      if cert.Elide.probes_after > cert.Elide.probes_before then
+        Alcotest.failf "%s: elision added probes" p.Ir.name)
+    Programs.all
+
+let test_elide_reduces_raytrace () =
+  (* Call-heavy kernels carry a probe at every leaf entry; with the
+     back-edge probe bounding the gap, the entry probes are redundant. *)
+  let placed = Pass.run ~unroll:true (Option.get (Programs.by_name "raytrace")) in
+  let cert = Elide.run placed in
+  Alcotest.(check bool) "raytrace elides" true
+    (cert.Elide.probes_after < cert.Elide.probes_before);
+  let b = observed_max_gap ~seed:7 cert.Elide.program in
+  Alcotest.(check bool) "still sound" true
+    (Gapbound.dominates cert.Elide.bound_instrs ~gap_instrs:b)
+
+let test_elide_never_elides_past_target () =
+  (* ocean-cp's straight-line stretches already exceed the target gap:
+     nothing is elidable, and the certificate reports the placement as-is. *)
+  let placed = Pass.run ~unroll:true (Option.get (Programs.by_name "ocean-cp")) in
+  let cert = Elide.run placed in
+  Alcotest.(check int) "no elision" cert.Elide.probes_before cert.Elide.probes_after
+
+let test_map_probes_roundtrip () =
+  let placed = Pass.run ~unroll:true (Option.get (Programs.by_name "lu-c")) in
+  let keep_all = Elide.map_probes placed ~keep:(fun _ -> true) in
+  Alcotest.(check int) "keep all" (Elide.probe_sites placed)
+    (Elide.probe_sites keep_all);
+  let none = Elide.map_probes placed ~keep:(fun _ -> false) in
+  Alcotest.(check int) "drop all" 0 (Elide.probe_sites none)
+
+(* --- random-program property sweep (satellite) ------------------------ *)
+
+let fresh_name =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    Printf.sprintf "f%d" !c
+
+let rec gen_block rng ~depth =
+  let n = 1 + Rng.int rng ~bound:4 in
+  List.init n (fun _ -> gen_instr rng ~depth)
+
+and gen_instr rng ~depth =
+  let pick = Rng.int rng ~bound:(if depth = 0 then 3 else 10) in
+  match pick with
+  | 0 -> Ir.Compute (1 + Rng.int rng ~bound:60)
+  | 1 -> Ir.Probe
+  | 2 -> Ir.External (Rng.int rng ~bound:40)
+  | 3 | 4 ->
+    Ir.Loop { trips = 1 + Rng.int rng ~bound:6; body = gen_block rng ~depth:(depth - 1) }
+  | 5 | 6 ->
+    Ir.Branch
+      {
+        then_ = gen_block rng ~depth:(depth - 1);
+        else_ = gen_block rng ~depth:(depth - 1);
+      }
+  | 7 ->
+    Ir.While
+      { max_trips = Some (Rng.int rng ~bound:6); body = gen_block rng ~depth:(depth - 1) }
+  | 8 -> Ir.While { max_trips = None; body = gen_block rng ~depth:(depth - 1) }
+  | _ -> Ir.Call (Ir.func (fresh_name ()) (gen_block rng ~depth:(depth - 1)))
+
+let gen_program rng i =
+  Ir.program ~name:(Printf.sprintf "rand%d" i) ~suite:"prop"
+    (Ir.func "main" (gen_block rng ~depth:3))
+
+let n_random_programs = 220
+
+let test_property_static_dominates_dynamic () =
+  let rng = Rng.create ~seed:2024 in
+  for i = 1 to n_random_programs do
+    let p = gen_program rng i in
+    let check label q =
+      let b = Gapbound.bound q in
+      let g = observed_max_gap ~trials:6 ~seed:(i * 31) q in
+      if not (Gapbound.dominates b ~gap_instrs:g) then
+        Alcotest.failf "program %d (%s): static %s < observed %d\n%s" i label
+          (Gapbound.to_string b) g
+          (Repro_instrument.Pretty.program_to_string q)
+    in
+    (* raw, instrumented, and elided placements must all be dominated *)
+    check "raw" p;
+    let placed = Pass.run ~unroll:true p in
+    check "instrumented" placed;
+    check "elided" (Elide.run placed).Elide.program
+  done
+
+let test_property_elide_certificate () =
+  let rng = Rng.create ~seed:77 in
+  for i = 1 to 60 do
+    let p = gen_program rng i in
+    let cert = Elide.run (Pass.run ~unroll:true p) in
+    Alcotest.check bound_t
+      (Printf.sprintf "program %d certificate" i)
+      (Gapbound.bound cert.Elide.program)
+      cert.Elide.bound_instrs
+  done
+
+(* --- summary/JSON surfaces -------------------------------------------- *)
+
+let test_render_and_json () =
+  let rows = Verify.run_suite ~samples:500 ~trials:1 () in
+  let text = Verify.render rows in
+  Alcotest.(check bool) "render mentions raytrace" true
+    (Astring_contains.contains text "raytrace");
+  let json = Verify.to_json rows in
+  Alcotest.(check bool) "json schema tag" true
+    (Astring_contains.contains json "concord-verify-probes/v1");
+  Alcotest.(check bool) "json ok flag" true
+    (Astring_contains.contains json "\"ok\": true")
+
+let suite =
+  [
+    Alcotest.test_case "straight-line bounds" `Quick test_straight_line;
+    Alcotest.test_case "branch takes the worst arm" `Quick test_branch_worst_arm;
+    Alcotest.test_case "loop cross-iteration gap" `Quick test_loop_cross_iteration_gap;
+    Alcotest.test_case "bounded while" `Quick test_while_bounded;
+    Alcotest.test_case "un-probed unbounded while is Unbounded" `Quick
+      test_unbounded_while_negative;
+    Alcotest.test_case "external code is Unbounded" `Quick test_external_unbounded;
+    Alcotest.test_case "interprocedural call summaries" `Quick
+      test_call_summary_shared_callee;
+    Alcotest.test_case "suite: static bound sound + certificates hold" `Slow
+      test_suite_sound_and_certified;
+    Alcotest.test_case "elide certificates are consistent" `Quick
+      test_elide_certificate_consistency;
+    Alcotest.test_case "elide bites on raytrace" `Quick test_elide_reduces_raytrace;
+    Alcotest.test_case "elide refuses an out-of-target placement" `Quick
+      test_elide_never_elides_past_target;
+    Alcotest.test_case "map_probes round-trips" `Quick test_map_probes_roundtrip;
+    Alcotest.test_case "property: static >= dynamic on 220 random programs" `Slow
+      test_property_static_dominates_dynamic;
+    Alcotest.test_case "property: certificates on random programs" `Quick
+      test_property_elide_certificate;
+    Alcotest.test_case "verify render + json" `Quick test_render_and_json;
+  ]

@@ -126,10 +126,36 @@ let test_heap_churn_zero_alloc () =
     Alcotest.failf "Heap churn allocated %.0f bytes over %d add+pop pairs; expected 0" net
       iters
 
+(* Branching-IR overhead pin: volrend (Branch) and fmm (While) exercise
+   the new control-flow constructors on the deterministic Table-1 path;
+   their overhead and p99 lateness must stay bit-identical. *)
+let test_golden_branching_overhead () =
+  let module Ir = Repro_instrument.Ir in
+  let module Pass = Repro_instrument.Pass in
+  let module Analysis = Repro_instrument.Analysis in
+  let module Timeliness = Repro_instrument.Timeliness in
+  let clock = Repro_hw.Cycles.default in
+  let pin name expected =
+    let p = Option.get (Repro_instrument.Programs.by_name name) in
+    let baseline = Ir.dynamic_size p.Ir.entry.Ir.body in
+    let a = Analysis.analyze (Pass.run ~unroll:true p) in
+    let t = Timeliness.of_gaps a ~clock in
+    let got =
+      Printf.sprintf "overhead=%.17g p99=%.17g"
+        (Analysis.concord_overhead ~baseline_instrs:baseline a)
+        t.Timeliness.p99_lateness_ns
+    in
+    Alcotest.(check string) ("branching/" ^ name) expected got
+  in
+  pin "volrend" "overhead=0.0062842609216038304 p99=990.5799999999997";
+  pin "fmm" "overhead=-0.0014676945668135096 p99=204.24999999999994"
+
 let suite =
   [
     Alcotest.test_case "standalone metrics bit-identical to seed" `Quick
       test_golden_standalone;
+    Alcotest.test_case "branching-IR overhead bit-identical" `Quick
+      test_golden_branching_overhead;
     Alcotest.test_case "cluster metrics bit-identical to seed" `Quick test_golden_cluster;
     Alcotest.test_case "Sim.run allocates zero words/event" `Quick test_sim_run_zero_alloc;
     Alcotest.test_case "Heap add+pop allocates zero words/op" `Quick

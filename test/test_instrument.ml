@@ -24,6 +24,41 @@ let test_call_sizes () =
   let p = [ Ir.Call leaf ] in
   Alcotest.(check int) "call includes overhead" (Ir.call_overhead_instrs + 7) (Ir.dynamic_size p)
 
+let test_branch_while_sizes () =
+  let b = [ Ir.Branch { then_ = [ Ir.Compute 10 ]; else_ = [ Ir.Compute 4 ] } ] in
+  (* static: branch cost + both arms; dynamic: branch cost + heavier arm *)
+  Alcotest.(check int) "branch static" (2 + 10 + 4) (Ir.static_size b);
+  Alcotest.(check int) "branch dynamic" (2 + 10) (Ir.dynamic_size b);
+  let w = [ Ir.While { max_trips = Some 5; body = [ Ir.Compute 3 ] } ] in
+  Alcotest.(check int) "while static" (2 + 3) (Ir.static_size w);
+  Alcotest.(check int) "while dynamic" (5 * (2 + 3)) (Ir.dynamic_size w);
+  let unk = [ Ir.While { max_trips = None; body = [ Ir.Compute 3 ] } ] in
+  Alcotest.(check int)
+    "unbounded while runs while_default_trips deterministically"
+    (Ir.while_default_trips * (2 + 3))
+    (Ir.dynamic_size unk)
+
+(* Pins the call-accounting semantics of the two static measures (the
+   audit this PR's issue asked for): [static_size] is the fully-inlined
+   footprint — a callee's body is charged once per call site — while
+   [static_footprint] models the paper's static binary footprint, where a
+   shared callee's text exists once no matter how many sites call it. *)
+let test_static_call_accounting () =
+  let leaf = Ir.func "leaf" [ Ir.Compute 10 ] in
+  let p = prog [ Ir.Call leaf; Ir.Compute 1; Ir.Call leaf ] in
+  Alcotest.(check int) "static_size inlines per call site"
+    ((2 * (Ir.call_overhead_instrs + 10)) + 1)
+    (Ir.static_size p.Ir.entry.Ir.body);
+  Alcotest.(check int) "static_footprint counts shared text once"
+    ((2 * Ir.call_overhead_instrs) + 10 + 1)
+    (Ir.static_footprint p);
+  (* Distinct callees with the same shape still count separately. *)
+  let leaf2 = Ir.func "leaf2" [ Ir.Compute 10 ] in
+  let q = prog [ Ir.Call leaf; Ir.Call leaf2 ] in
+  Alcotest.(check int) "distinct callees both counted"
+    ((2 * Ir.call_overhead_instrs) + 10 + 10)
+    (Ir.static_footprint q)
+
 (* --- probe placement ---------------------------------------------------- *)
 
 let test_probe_at_function_entry () =
@@ -226,10 +261,93 @@ let test_pretty_printer_shows_probes () =
   Alcotest.(check bool) "probes visible" true (Astring_contains.contains text "probe");
   Alcotest.(check bool) "external visible" true (Astring_contains.contains text "external 9")
 
+(* Golden rendering of one program through the whole pipeline: raw control
+   flow (branch/while syntax), the Concord placement, and the elided
+   placement. Pins both the Pretty syntax for the new constructors and the
+   pass/elision behavior on a concrete program. *)
+let test_pretty_instrumented_and_elided_golden () =
+  let p =
+    prog
+      [
+        Ir.Compute 10;
+        Ir.Branch { then_ = [ Ir.Compute 6 ]; else_ = [ Ir.Compute 4 ] };
+        Ir.While { max_trips = Some 3; body = [ Ir.Compute 30 ] };
+        Ir.While { max_trips = None; body = [ Ir.Compute 5 ] };
+      ]
+  in
+  let placed = Pass.run ~unroll:true p in
+  let cert = Repro_instrument.Elide.run placed in
+  let raw =
+    "program t (test)\n\
+    \  compute 10\n\
+    \  branch {\n\
+    \    compute 6\n\
+    \  } else {\n\
+    \    compute 4\n\
+    \  }\n\
+    \  while x<=3 {\n\
+    \    compute 30\n\
+    \  }\n\
+    \  while ? {\n\
+    \    compute 5\n\
+    \  }\n"
+  in
+  let instrumented =
+    "program t (test)\n\
+    \  probe\n\
+    \  compute 10\n\
+    \  branch {\n\
+    \    compute 6\n\
+    \  } else {\n\
+    \    compute 4\n\
+    \  }\n\
+    \  while x<=3 {\n\
+    \    compute 30\n\
+    \    probe\n\
+    \  }\n\
+    \  while ? {\n\
+    \    compute 5\n\
+    \    probe\n\
+    \  }\n"
+  in
+  (* Elision keeps exactly one probe: the unbounded while's back-edge one,
+     without which the bound is Unbounded. Everything executed at most once
+     fits the 402-instr target without help. *)
+  let elided =
+    "program t (test)\n\
+    \  compute 10\n\
+    \  branch {\n\
+    \    compute 6\n\
+    \  } else {\n\
+    \    compute 4\n\
+    \  }\n\
+    \  while x<=3 {\n\
+    \    compute 30\n\
+    \  }\n\
+    \  while ? {\n\
+    \    compute 5\n\
+    \    probe\n\
+    \  }\n"
+  in
+  Alcotest.(check string) "raw golden" raw (Repro_instrument.Pretty.program_to_string p);
+  Alcotest.(check string) "instrumented golden" instrumented
+    (Repro_instrument.Pretty.program_to_string placed);
+  Alcotest.(check string) "elided golden" elided
+    (Repro_instrument.Pretty.program_to_string cert.Repro_instrument.Elide.program);
+  Alcotest.(check int) "3 -> 1 probe sites" 1 cert.Repro_instrument.Elide.probes_after;
+  Alcotest.check
+    (Alcotest.testable
+       (fun fmt b -> Format.pp_print_string fmt (Repro_instrument.Gapbound.to_string b))
+       ( = ))
+    "certified bound" (Repro_instrument.Gapbound.Finite 121)
+    cert.Repro_instrument.Elide.bound_instrs
+
 let pretty_suite =
   [
     Alcotest.test_case "pretty printer golden" `Quick test_pretty_printer_golden;
     Alcotest.test_case "pretty printer shows probes" `Quick test_pretty_printer_shows_probes;
+    Alcotest.test_case "instrumented + elided golden" `Quick
+      test_pretty_instrumented_and_elided_golden;
   ]
 
 let suite = suite @ pretty_suite

@@ -22,6 +22,7 @@ let () =
       ("kvstore", Test_kvstore.suite);
       ("kvstore.wal", Test_wal.suite);
       ("instrument", Test_instrument.suite);
+      ("instrument.gapbound", Test_gapbound.suite);
       ("extensions", Test_extensions.suite);
       ("cluster", Test_cluster.suite);
       ("edge-cases", Test_edge_cases.suite);

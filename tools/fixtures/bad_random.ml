@@ -1,0 +1,15 @@
+(* Lint self-test fixture: every definition here must trip tools/lint.ml.
+   Never built (tools/dune marks fixtures/ data-only); `make lint` runs
+   the linter over this file with --expect-fail to prove the checks bite. *)
+
+let jitter () = Random.int 100
+
+let now_s () = Unix.gettimeofday ()
+
+let cpu_s () = Sys.time ()
+
+let bucket x = Hashtbl.hash x mod 64
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl

@@ -1,0 +1,181 @@
+(* Determinism lint for the simulation library.
+
+   The whole repo's credibility rests on bit-reproducible runs: every
+   experiment, golden test and bench row assumes that a (seed, config)
+   pair names one exact execution. This lint walks the parsetree of every
+   .ml under the given paths (stdlib + compiler-libs only, no ppx) and
+   fails on ambient nondeterminism:
+
+   - Random.*                     use Repro_engine.Rng, threaded explicitly
+   - Sys.time / Unix.gettimeofday wall clocks (bench code outside lib/ may
+     / Unix.time                  time itself; simulation code never)
+   - Hashtbl.hash                 hash values differ across OCaml versions
+   - Hashtbl.iter / Hashtbl.fold  iteration order follows the hash; results
+                                  that depend on it differ across runs
+
+   Unordered iteration is sometimes fine — when the consumer sorts, or the
+   operation commutes (censoring every in-flight request). Such sites
+   carry an explicit waiver:
+
+     (Hashtbl.iter f t) [@lint.deterministic "order-insensitive: ..."]
+
+   which suppresses only the Hashtbl checks within the annotated
+   expression. Random and wall clocks have no waiver.
+
+   Usage:  lint PATH...              scan, exit 1 on any finding
+           lint --expect-fail FILE   exit 0 iff the file DOES trip the
+                                     lint (proves the lint still bites) *)
+
+let waiver_attr = "lint.deterministic"
+
+type finding = { file : string; line : int; col : int; msg : string }
+
+let findings : finding list ref = ref []
+
+let report ~loc msg =
+  let pos = loc.Location.loc_start in
+  findings :=
+    {
+      file = pos.Lexing.pos_fname;
+      line = pos.Lexing.pos_lnum;
+      col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+      msg;
+    }
+    :: !findings
+
+(* Root module and member of a (possibly Stdlib.-prefixed) path. *)
+let rec root_member (li : Longident.t) =
+  match li with
+  | Longident.Lident _ -> None
+  | Longident.Ldot (Longident.Lident "Stdlib", _) -> None
+  | Longident.Ldot (Longident.Lident m, x) -> Some (m, x)
+  | Longident.Ldot (Longident.Ldot (Longident.Lident "Stdlib", m), x) -> Some (m, x)
+  | Longident.Ldot (p, _) -> root_member p
+  | Longident.Lapply (_, p) -> root_member p
+
+let check_ident ~allow_hashtbl ~loc (li : Longident.t) =
+  match root_member li with
+  | Some ("Random", fn) ->
+    report ~loc
+      (Printf.sprintf
+         "Random.%s is ambient nondeterminism; thread a Repro_engine.Rng explicitly" fn)
+  | Some ("Sys", "time") ->
+    report ~loc "Sys.time reads a wall clock; simulated time must come from Sim.now"
+  | Some ("Unix", ("gettimeofday" | "time")) ->
+    report ~loc "Unix wall clocks are nondeterministic; simulated time must come from Sim.now"
+  | Some ("Hashtbl", "hash") ->
+    report ~loc "Hashtbl.hash varies across OCaml versions; derive an explicit key instead"
+  | Some ("Hashtbl", (("iter" | "fold") as fn)) when not allow_hashtbl ->
+    report ~loc
+      (Printf.sprintf
+         "Hashtbl.%s iterates in hash order; sort the result or waive with [@%s \"reason\"]"
+         fn waiver_attr)
+  | _ -> ()
+
+let has_waiver attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt waiver_attr)
+    attrs
+
+(* The iterator threads "inside a waiver" through a mutable flag saved and
+   restored around each subtree that carries the attribute. *)
+let allow_hashtbl = ref false
+
+let with_waiver attrs f =
+  if has_waiver attrs then begin
+    let saved = !allow_hashtbl in
+    allow_hashtbl := true;
+    f ();
+    allow_hashtbl := saved
+  end
+  else f ()
+
+let iterator =
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    with_waiver e.pexp_attributes (fun () ->
+        (match e.pexp_desc with
+        | Parsetree.Pexp_ident { txt; loc } ->
+          check_ident ~allow_hashtbl:!allow_hashtbl ~loc txt
+        | _ -> ());
+        default_iterator.expr it e)
+  in
+  let value_binding it (vb : Parsetree.value_binding) =
+    with_waiver vb.pvb_attributes (fun () -> default_iterator.value_binding it vb)
+  in
+  let structure_item it (si : Parsetree.structure_item) =
+    match si.pstr_desc with
+    | Parsetree.Pstr_attribute a when String.equal a.attr_name.txt waiver_attr ->
+      (* floating [@@@lint.deterministic] waives the rest of the file —
+         deliberately unsupported: waivers must be site-local *)
+      report ~loc:si.pstr_loc "file-wide lint waivers are not allowed; annotate each site"
+    | _ -> default_iterator.structure_item it si
+  in
+  { default_iterator with expr; value_binding; structure_item }
+
+let lint_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lb = Lexing.from_channel ic in
+      Location.init lb path;
+      match Parse.implementation lb with
+      | ast ->
+        allow_hashtbl := false;
+        iterator.Ast_iterator.structure iterator ast
+      | exception e ->
+        findings :=
+          { file = path; line = 1; col = 0; msg = "parse error: " ^ Printexc.to_string e }
+          :: !findings)
+
+let rec collect path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if String.equal entry "_build" || String.length entry > 0 && entry.[0] = '.' then acc
+        else collect (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let expect_fail = ref false in
+  let paths = ref [] in
+  Arg.parse
+    [
+      ( "--expect-fail",
+        Arg.Set expect_fail,
+        " succeed only if the given files DO trip the lint (self-test)" );
+    ]
+    (fun p -> paths := p :: !paths)
+    "lint [--expect-fail] PATH...";
+  if !paths = [] then begin
+    prerr_endline "lint: no paths given";
+    exit 2
+  end;
+  let files = List.concat_map (fun p -> List.rev (collect p [])) (List.rev !paths) in
+  List.iter lint_file files;
+  let found = List.rev !findings in
+  if !expect_fail then
+    if found = [] then begin
+      Printf.eprintf "lint: expected findings in %s but found none — the lint is blind\n"
+        (String.concat " " (List.rev !paths));
+      exit 1
+    end
+    else
+      Printf.printf "lint: fixture tripped %d finding(s), as expected\n" (List.length found)
+  else begin
+    List.iter
+      (fun f -> Printf.printf "%s:%d:%d: %s\n" f.file f.line f.col f.msg)
+      found;
+    if found <> [] then begin
+      Printf.printf "lint: %d finding(s) in %d file(s)\n" (List.length found)
+        (List.length files);
+      exit 1
+    end
+    else Printf.printf "lint: %d files clean\n" (List.length files)
+  end
