@@ -1,6 +1,6 @@
 # Tier-1 verification in one command.
 .PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke \
-	verify-probes-smoke lint clean
+	verify-probes-smoke policy-smoke lint clean
 
 all: build
 
@@ -33,6 +33,18 @@ verify-probes-smoke:
 	dune exec bin/concord_sim.exe -- verify-probes --samples 2000 --trials 4 \
 		--json _build/verify-probes-smoke.json
 
+# Policy-frontier smoke test: every central-queue policy spec must run a
+# short standalone simulation with --check's conservation invariants
+# intact (all arrivals completed or censored, non-zero goodput), and
+# gittins/srpt-noisy must also survive under the cluster layer.
+policy-smoke:
+	for p in fcfs srpt srpt-noisy:1.0 gittins locality-fcfs; do \
+		dune exec bin/concord_sim.exe -- run --system concord --workload ycsb-a \
+			--policy $$p -n 2000 --rate 150 --check || exit 1; \
+	done
+	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy po2c \
+		--policy gittins -n 4000 --check
+
 # Determinism lint: the simulation library must not reach for ambient
 # nondeterminism (Random, wall clocks, unordered Hashtbl iteration).
 # Also proves the lint itself still bites, via an --expect-fail fixture.
@@ -43,7 +55,7 @@ lint:
 # What CI (and every PR) must keep green.
 check:
 	dune build && dune runtest && $(MAKE) lint && $(MAKE) trace-smoke && $(MAKE) cluster-smoke \
-		&& $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
+		&& $(MAKE) policy-smoke && $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe

@@ -50,11 +50,19 @@ let config_of_system name =
   | Some make -> make ()
   | None -> invalid_arg ("core_bench: unknown system " ^ name)
 
-let server_scenario ~system ~rate_rps ~n_requests () =
+let server_scenario ?policy ~system ~rate_rps ~n_requests () =
+  let config = config_of_system system in
+  let config =
+    match policy with
+    | None -> config
+    | Some spec -> (
+      match Repro_runtime.Policy.of_spec spec ~mix:Repro_workload.Presets.usr with
+      | Ok kind -> { config with Repro_runtime.Config.policy = kind }
+      | Error e -> invalid_arg ("core_bench: " ^ e))
+  in
   let events = ref 0 in
   let summary, (_ : Repro_engine.Stats.t) =
-    Repro_runtime.Server.run_detailed ~config:(config_of_system system)
-      ~mix:Repro_workload.Presets.usr
+    Repro_runtime.Server.run_detailed ~config ~mix:Repro_workload.Presets.usr
       ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
       ~n_requests ~events_out:events ()
   in
@@ -117,6 +125,55 @@ let sim_scenario ~n () =
     ();
   (Sim.events_processed sim, nan)
 
+(* O(1) dispatcher-steal pin: the work-conserving dispatcher's
+   has_not_started/pop_not_started probes must not depend on the central
+   backlog. All pushed requests have started, so the FCFS fresh sublist
+   stays empty and both probes answer without touching the main list; the
+   pre-fix implementation scanned it, making the probe ~256x dearer at
+   backlog 32768 than at 128. Aborts the bench on a super-constant
+   regression instead of silently reporting a slow number. *)
+let policy_backlog_scenario ~iters () =
+  let module Policy = Repro_runtime.Policy in
+  let module Request = Repro_runtime.Request in
+  let profile =
+    {
+      Repro_workload.Mix.class_id = 0;
+      service_ns = 1_000;
+      lock_windows = [||];
+      probe_spacing_ns = 0.0;
+    }
+  in
+  let fill n =
+    let q = Policy.create Policy.Fcfs in
+    for i = 0 to n - 1 do
+      let r = Request.create ~id:i ~arrival_ns:0 ~profile in
+      r.Request.started <- true;
+      Policy.push_preempted q r
+    done;
+    q
+  in
+  let per_op n =
+    let q = fill n in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      if Policy.has_not_started q then failwith "core_bench: started-only queue claims fresh work";
+      if Policy.pop_not_started q <> None then
+        failwith "core_bench: started-only queue yielded a steal candidate"
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  let small = per_op 128 in
+  let big = per_op 32_768 in
+  (* Absolute floor guards against timer noise when both are ~ns; a linear
+     scan of 32k nodes costs ~10 us/op, far past both bounds. *)
+  if big > 8.0 *. small && big > 2e-7 then
+    failwith
+      (Printf.sprintf
+         "core_bench: steal-probe per-op grew %.1fx from backlog 128 to 32768 (%.1f ns -> \
+          %.1f ns); expected O(1)"
+         (big /. small) (small *. 1e9) (big *. 1e9));
+  (4 * iters, nan)
+
 (* Static timeliness verifier over the whole kernel suite: Gapbound +
    Elide + Monte-Carlo cross-check for both placements of all 24 programs.
    Counted as placements verified; any soundness violation aborts the
@@ -133,11 +190,37 @@ let scenarios ~quick =
     ( "sq-shinjuku",
       "server",
       scale 30_000,
-      server_scenario ~system:"shinjuku" ~rate_rps:1.0e6 ~n_requests:(scale 30_000) );
+      fun () -> server_scenario ~system:"shinjuku" ~rate_rps:1.0e6 ~n_requests:(scale 30_000) () );
     ( "jbsq-concord",
       "server",
       scale 30_000,
-      server_scenario ~system:"concord" ~rate_rps:1.0e6 ~n_requests:(scale 30_000) );
+      fun () -> server_scenario ~system:"concord" ~rate_rps:1.0e6 ~n_requests:(scale 30_000) () );
+    ( "policy-srpt",
+      "server",
+      scale 20_000,
+      server_scenario ~policy:"srpt" ~system:"concord" ~rate_rps:1.0e6
+        ~n_requests:(scale 20_000) );
+    ( "policy-srpt-noisy",
+      "server",
+      scale 20_000,
+      server_scenario ~policy:"srpt-noisy:1" ~system:"concord" ~rate_rps:1.0e6
+        ~n_requests:(scale 20_000) );
+    ( "policy-gittins",
+      "server",
+      scale 20_000,
+      server_scenario ~policy:"gittins" ~system:"concord" ~rate_rps:1.0e6
+        ~n_requests:(scale 20_000) );
+    ( "policy-locality",
+      "server",
+      scale 20_000,
+      server_scenario ~policy:"locality-fcfs" ~system:"concord" ~rate_rps:1.0e6
+        ~n_requests:(scale 20_000) );
+    ( "adaptive-quantum",
+      "server",
+      scale 20_000,
+      fun () ->
+        server_scenario ~system:"concord-adaptive" ~rate_rps:1.0e6 ~n_requests:(scale 20_000) ()
+    );
     ( "cluster-po2c-3x",
       "cluster",
       scale 20_000,
@@ -146,6 +229,7 @@ let scenarios ~quick =
       "static",
       0,
       verify_scenario ~samples:(scale 10_000) ~trials:(if quick then 2 else 8) );
+    ("policy-backlog", "micro", 0, policy_backlog_scenario ~iters:(scale 500_000));
     ("heap-churn", "micro", 0, heap_scenario ~rounds:(scale 200));
     ("ring-churn", "micro", 0, ring_scenario ~rounds:(scale 200));
     ("sim-spin", "micro", 0, sim_scenario ~n:(scale 500_000));

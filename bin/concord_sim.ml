@@ -83,7 +83,16 @@ let requests_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
-let resolve ~system ~workload ~quantum ~workers =
+let central_policy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "policy"; "p" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf "Central-queue scheduling policy: %s (overrides the preset's)."
+             Concord.Policy.spec_syntax))
+
+let resolve ?policy ~system ~workload ~quantum ~workers () =
   match Concord.configure ~system ?n_workers:workers ~quantum_us:quantum () with
   | Error e ->
     prerr_endline e;
@@ -93,7 +102,15 @@ let resolve ~system ~workload ~quantum ~workers =
     | Error e ->
       prerr_endline e;
       exit 1
-    | Ok mix -> (config, mix))
+    | Ok mix -> (
+      match policy with
+      | None -> (config, mix)
+      | Some spec -> (
+        match Concord.with_policy config ~spec ~mix with
+        | Error e ->
+          prerr_endline e;
+          exit 1
+        | Ok config -> (config, mix))))
 
 (* ---- sweep ----------------------------------------------------------- *)
 
@@ -101,8 +118,8 @@ let sweep_cmd =
   let points_arg =
     Arg.(value & opt int 10 & info [ "points" ] ~docv:"N" ~doc:"Sweep points.")
   in
-  let action system workload quantum workers points n_requests seed =
-    let config, mix = resolve ~system ~workload ~quantum ~workers in
+  let action system workload quantum workers policy points n_requests seed =
+    let config, mix = resolve ?policy ~system ~workload ~quantum ~workers () in
     let sweep = Concord.sweep ~config ~mix ~points ~n_requests ~seed () in
     Printf.printf "%s on %s\n" (Concord.Config.describe config) sweep.Concord.Sweep.workload;
     print_endline Concord.Metrics.summary_header;
@@ -116,8 +133,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Run a load sweep and report the SLO crossing.")
     Term.(
-      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ points_arg
-      $ requests_arg $ seed_arg)
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg
+      $ central_policy_arg $ points_arg $ requests_arg $ seed_arg)
 
 (* ---- run -------------------------------------------------------------- *)
 
@@ -140,8 +157,17 @@ let run_cmd =
       value & flag
       & info [ "breakdown" ] ~doc:"Print the per-request latency-breakdown percentile table.")
   in
-  let action system workload quantum workers rate n_requests seed trace_file breakdown =
-    let config, mix = resolve ~system ~workload ~quantum ~workers in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the summary: every arrival completed or censored, non-zero goodput. \
+             Non-zero exit on failure.")
+  in
+  let action system workload quantum workers policy rate n_requests seed trace_file breakdown
+      check =
+    let config, mix = resolve ?policy ~system ~workload ~quantum ~workers () in
     let tracer =
       if trace_file <> None || breakdown then
         Some (Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ())
@@ -178,12 +204,33 @@ let run_cmd =
                  tracer);
             Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
           trace_file)
-      tracer
+      tracer;
+    if check then begin
+      let failures = ref 0 in
+      if s.Concord.Metrics.completed + s.Concord.Metrics.censored <> n_requests then begin
+        Printf.eprintf "check: %d completed + %d censored <> %d arrivals\n"
+          s.Concord.Metrics.completed s.Concord.Metrics.censored n_requests;
+        incr failures
+      end;
+      if s.Concord.Metrics.completed = 0 then begin
+        prerr_endline "check: nothing completed";
+        incr failures
+      end;
+      if not (s.Concord.Metrics.goodput_rps > 0.0) then begin
+        Printf.eprintf "check: non-positive goodput %f\n" s.Concord.Metrics.goodput_rps;
+        incr failures
+      end;
+      if !failures > 0 then exit 1
+      else
+        Printf.printf "check: conservation holds (%d completed, %d censored)\n"
+          s.Concord.Metrics.completed s.Concord.Metrics.censored
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one load point and print a detailed summary.")
     Term.(
-      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ rate_arg
-      $ requests_arg $ seed_arg $ trace_file_arg $ breakdown_flag)
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg
+      $ central_policy_arg $ rate_arg $ requests_arg $ seed_arg $ trace_file_arg
+      $ breakdown_flag $ check_flag)
 
 (* ---- replicate (6) ----------------------------------------------------- *)
 
@@ -198,7 +245,7 @@ let replicate_cmd =
       & info [ "rate"; "r" ] ~docv:"KRPS" ~doc:"Total offered load in kRps.")
   in
   let action system workload quantum workers instances rate n_requests seed =
-    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let config, mix = resolve ~system ~workload ~quantum ~workers () in
     let s =
       Repro_cluster.Replication.run ~instances ~config ~mix ~rate_rps:(rate *. 1e3)
         ~n_requests ~seed ()
@@ -221,18 +268,19 @@ let replicate_cmd =
 let cluster_cmd =
   let module Cluster = Repro_cluster.Cluster in
   let module Lb_policy = Repro_cluster.Lb_policy in
-  let policy_conv =
-    let parse s = Result.map_error (fun e -> `Msg e) (Lb_policy.of_string s) in
-    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Lb_policy.name p))
-  in
+  (* One flag, two disjoint namespaces: a spec that names an LB policy sets
+     the balancer, anything else is treated as a central-queue policy for
+     every instance.  [--policy po2c --policy gittins] sets both. *)
   let policy_arg =
     Arg.(
-      value
-      & opt policy_conv Lb_policy.Po2c
+      value & opt_all string []
       & info [ "policy"; "p" ] ~docv:"POLICY"
           ~doc:
-            (Printf.sprintf "Inter-server load-balancing policy: %s."
-               (String.concat ", " Lb_policy.all_names)))
+            (Printf.sprintf
+               "Inter-server load-balancing policy (%s, default po2c) or per-instance \
+                central-queue policy (%s); repeatable to set both."
+               (String.concat ", " Lb_policy.all_names)
+               Concord.Policy.spec_syntax))
   in
   let instances_arg =
     Arg.(value & opt int 4 & info [ "instances" ] ~docv:"K" ~doc:"Server instances in the rack.")
@@ -293,9 +341,22 @@ let cluster_cmd =
       & opt (some int) None
       & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Domains for the sweep fan-out (with --sweep).")
   in
-  let action system workload quantum workers policy instances rtt stragglers rate n_requests
+  let action system workload quantum workers policies instances rtt stragglers rate n_requests
       seed trace_file breakdown check sweep points jobs =
-    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let config, mix = resolve ~system ~workload ~quantum ~workers () in
+    let policy, config =
+      List.fold_left
+        (fun (lb, config) spec ->
+          match Lb_policy.of_string spec with
+          | Ok p -> (p, config)
+          | Error lb_err -> (
+            match Concord.with_policy config ~spec ~mix with
+            | Ok config -> (lb, config)
+            | Error policy_err ->
+              Printf.eprintf "%s\n%s\n" lb_err policy_err;
+              exit 1))
+        (Lb_policy.Po2c, config) policies
+    in
     let cluster =
       try Cluster.homogeneous ~policy ~rtt_cycles:rtt ~stragglers ~instances config
       with Invalid_argument e ->
@@ -400,6 +461,96 @@ let cluster_cmd =
       $ instances_arg $ rtt_arg $ straggler_arg $ rate_arg $ requests_arg $ seed_arg
       $ trace_file_arg $ breakdown_flag $ check_flag $ sweep_flag $ points_arg $ jobs_arg)
 
+(* ---- frontier ---------------------------------------------------------- *)
+
+let frontier_cmd =
+  let systems_arg =
+    Arg.(
+      value
+      & opt (list string) [ "concord"; "concord-uipi"; "shinjuku" ]
+      & info [ "systems" ] ~docv:"A,B,..."
+          ~doc:"Comma-separated mechanism presets forming the configuration axis.")
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt (list string)
+          [ "fcfs"; "srpt"; "srpt-noisy:0.5"; "srpt-noisy:1"; "srpt-noisy:2"; "gittins" ]
+      & info [ "policies" ] ~docv:"P,..."
+          ~doc:
+            (Printf.sprintf "Comma-separated central-queue policy specs (%s)."
+               Concord.Policy.spec_syntax))
+  in
+  let p_shorts_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.5; 0.9; 0.99; 0.999 ]
+      & info [ "p-short" ] ~docv:"P,..."
+          ~doc:"Short-request probabilities of the bimodal dispersion axis.")
+  in
+  let short_arg =
+    Arg.(
+      value & opt float 0.6
+      & info [ "short-us" ] ~docv:"US" ~doc:"Short mode service time (us); kvstore GET = 0.6.")
+  in
+  let long_arg =
+    Arg.(
+      value & opt float 500.0
+      & info [ "long-us" ] ~docv:"US" ~doc:"Long mode service time (us); kvstore SCAN = 500.")
+  in
+  let utils_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.85 ]
+      & info [ "util" ] ~docv:"U,..." ~doc:"Utilization fractions of ideal capacity.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Domains for the cell fan-out.")
+  in
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the heat-table.")
+  in
+  let action systems policies p_shorts short_us long_us utils quantum workers n_requests seed
+      jobs csv =
+    let configs =
+      List.map
+        (fun system ->
+          match Concord.configure ~system ?n_workers:workers ~quantum_us:quantum () with
+          | Ok c -> c
+          | Error e ->
+            prerr_endline e;
+            exit 1)
+        systems
+    in
+    let workloads =
+      Concord.Sweep.dispersion_axis ~short_ns:(short_us *. 1e3) ~long_ns:(long_us *. 1e3)
+        ~p_shorts
+    in
+    let points =
+      try
+        Concord.Sweep.run_frontier ~configs ~policies ~workloads ~utils ~n_requests ~seed
+          ?domains:jobs ()
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 1
+    in
+    if csv then print_string (Concord.Sweep.frontier_csv points)
+    else print_string (Concord.Sweep.render_frontier points)
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:
+         "Cross mechanisms x central-queue policies x service-time dispersion at fixed \
+          utilization (the policy-frontier study).")
+    Term.(
+      const action $ systems_arg $ policies_arg $ p_shorts_arg $ short_arg $ long_arg
+      $ utils_arg $ quantum_arg $ workers_arg
+      $ Arg.(value & opt int 40_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals per cell.")
+      $ seed_arg $ jobs_arg $ csv_flag)
+
 (* ---- sls (6) -------------------------------------------------------------- *)
 
 let sls_cmd =
@@ -494,7 +645,7 @@ let trace_cmd =
   in
   let action system workload quantum workers rate n_requests seed request last trace_file
       csv_file breakdown check =
-    let config, mix = resolve ~system ~workload ~quantum ~workers in
+    let config, mix = resolve ~system ~workload ~quantum ~workers () in
     let tracer =
       Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ()
     in
@@ -675,6 +826,7 @@ let () =
             table1_cmd;
             sweep_cmd;
             run_cmd;
+            frontier_cmd;
             cluster_cmd;
             replicate_cmd;
             sls_cmd;

@@ -43,6 +43,17 @@ let workload name =
            (String.concat ", "
               (List.map fst Presets.all @ [ "leveldb"; "leveldb-zippydb" ]))))
 
+let with_policy config ~spec ~mix =
+  match Policy.of_spec spec ~mix with
+  | Error _ as e -> e
+  | Ok kind ->
+    Ok
+      {
+        config with
+        Config.policy = kind;
+        name = Printf.sprintf "%s [%s]" config.Config.name (Policy.kind_name kind);
+      }
+
 let run ~config ~mix ~rate_rps ?(n_requests = 60_000) ?(seed = 42) ?tracer () =
   Repro_runtime.Server.run ~config ~mix
     ~arrival:(Arrival.Poisson { rate_rps })

@@ -50,6 +50,11 @@ val workload : string -> (Mix.t, string) result
 (** Paper workloads by name: the {!Presets} names plus the LevelDB-backed
     ["leveldb"] (50/50 GET/SCAN) and ["leveldb-zippydb"]. *)
 
+val with_policy : Config.t -> spec:string -> mix:Mix.t -> (Config.t, string) result
+(** Override the configuration's central-queue policy from a CLI spec
+    (see {!Policy.spec_syntax}). Needs the workload because ["gittins"]
+    fits its index table to the mix's empirical service distribution. *)
+
 val run :
   config:Config.t ->
   mix:Mix.t ->

@@ -69,3 +69,145 @@ let default_rates ~mix ~n_workers ?(points = 10) ?(max_util = 0.95) () =
 
 let p999_series t =
   List.map (fun p -> (p.rate_rps, p.summary.Repro_runtime.Metrics.p999_slowdown)) t.points
+
+(* ---- policy frontier -------------------------------------------------- *)
+
+type frontier_point = {
+  config_name : string;
+  policy_spec : string;
+  workload : string;
+  squared_cv : float;
+  util : float;
+  rate_rps : float;
+  summary : Repro_runtime.Metrics.summary;
+}
+
+let squared_cv_of_dist d =
+  let module Sd = Repro_workload.Service_dist in
+  match Sd.second_moment d with
+  | None -> Float.nan
+  | Some m2 ->
+    let m = Sd.mean_ns d in
+    (m2 /. (m *. m)) -. 1.0
+
+let dispersion_axis ~short_ns ~long_ns ~p_shorts =
+  List.map
+    (fun p_short ->
+      let d = Repro_workload.Service_dist.Bimodal { p_short; short_ns; long_ns } in
+      let mix =
+        Mix.of_dist ~name:(Printf.sprintf "Bimodal(p=%g)" p_short) d
+      in
+      (squared_cv_of_dist d, mix))
+    p_shorts
+
+let run_frontier ~configs ~policies ~workloads ?(utils = [ 0.7 ]) ?(n_requests = 60_000)
+    ?(seed = 42) ?domains () =
+  let cells =
+    List.concat_map
+      (fun config ->
+        List.concat_map
+          (fun spec ->
+            List.concat_map
+              (fun (cv2, mix) -> List.map (fun util -> (config, spec, cv2, mix, util)) utils)
+              workloads)
+          policies)
+      configs
+  in
+  let run_cell ((config : Repro_runtime.Config.t), spec, cv2, (mix : Mix.t), util) =
+    let policy =
+      match Repro_runtime.Policy.of_spec spec ~mix with
+      | Ok kind -> kind
+      | Error e -> invalid_arg ("Sweep.run_frontier: " ^ e)
+    in
+    let rate_rps =
+      util *. float_of_int config.Repro_runtime.Config.n_workers /. Mix.mean_service_ns mix
+      *. 1e9
+    in
+    let summary =
+      Repro_runtime.Server.run
+        ~config:{ config with Repro_runtime.Config.policy }
+        ~mix
+        ~arrival:(Arrival.Poisson { rate_rps })
+        ~n_requests ~seed ()
+    in
+    {
+      config_name = config.Repro_runtime.Config.name;
+      policy_spec = spec;
+      workload = mix.Mix.name;
+      squared_cv = cv2;
+      util;
+      rate_rps;
+      summary;
+    }
+  in
+  (* Same argument as [run]: each cell is a self-seeded independent
+     simulation (and ["gittins"] refits its index table inside the cell
+     from the cell's own mix), so the fan-out is bit-identical to the
+     sequential map for pure synthetic mixes. *)
+  let map_cells =
+    if List.for_all (fun (_, m) -> m.Mix.parallel_safe) workloads then
+      Repro_engine.Pool.parallel_map ?domains
+    else List.map
+  in
+  map_cells run_cell cells
+
+let frontier_csv points =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "config,policy,workload,squared_cv,util,rate_rps,p50,p99,p999,mean,goodput_rps,preemptions\n";
+  List.iter
+    (fun p ->
+      let s = p.summary in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%s,%.4f,%.3f,%.1f,%.4f,%.4f,%.4f,%.4f,%.1f,%d\n" p.config_name
+           p.policy_spec p.workload p.squared_cv p.util p.rate_rps
+           s.Repro_runtime.Metrics.p50_slowdown s.Repro_runtime.Metrics.p99_slowdown
+           s.Repro_runtime.Metrics.p999_slowdown s.Repro_runtime.Metrics.mean_slowdown
+           s.Repro_runtime.Metrics.goodput_rps s.Repro_runtime.Metrics.preemptions))
+    points;
+  Buffer.contents b
+
+(* One block per utilization: rows are config x policy, columns the CV^2
+   axis, each cell "p99 (p99.9)" slowdown. *)
+let render_frontier points =
+  let b = Buffer.create 4096 in
+  let utils = List.sort_uniq compare (List.map (fun p -> p.util) points) in
+  let cvs = List.sort_uniq compare (List.map (fun p -> p.squared_cv) points) in
+  let rows =
+    List.sort_uniq compare (List.map (fun p -> (p.config_name, p.policy_spec)) points)
+  in
+  let col_w = 18 in
+  List.iter
+    (fun util ->
+      Buffer.add_string b
+        (Printf.sprintf "p99 (p99.9) slowdown at %.0f%% utilization\n" (100.0 *. util));
+      Buffer.add_string b (Printf.sprintf "%-22s %-16s" "config" "policy");
+      List.iter
+        (fun cv -> Buffer.add_string b (Printf.sprintf "%*s" col_w (Printf.sprintf "CV2=%.1f" cv)))
+        cvs;
+      Buffer.add_char b '\n';
+      List.iter
+        (fun (config_name, policy_spec) ->
+          Buffer.add_string b (Printf.sprintf "%-22s %-16s" config_name policy_spec);
+          List.iter
+            (fun cv ->
+              match
+                List.find_opt
+                  (fun p ->
+                    p.util = util && p.squared_cv = cv
+                    && p.config_name = config_name
+                    && p.policy_spec = policy_spec)
+                  points
+              with
+              | Some p ->
+                Buffer.add_string b
+                  (Printf.sprintf "%*s" col_w
+                     (Printf.sprintf "%.1f (%.1f)" p.summary.Repro_runtime.Metrics.p99_slowdown
+                        p.summary.Repro_runtime.Metrics.p999_slowdown))
+              | None -> Buffer.add_string b (Printf.sprintf "%*s" col_w "-"))
+            cvs;
+          Buffer.add_char b '\n')
+        rows;
+      Buffer.add_char b '\n')
+    utils;
+  Buffer.contents b

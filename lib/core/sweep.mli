@@ -59,3 +59,54 @@ val default_rates :
 
 val p999_series : t -> (float * float) list
 (** (offered load, p99.9 slowdown) pairs. *)
+
+(** {2 Policy frontier}
+
+    The policy-extension study (§3.1 "what if the central queue were
+    smarter?"): cross mechanism configurations with central-queue policy
+    specs and a service-time dispersion axis, at fixed utilization. *)
+
+type frontier_point = {
+  config_name : string;  (** mechanism configuration (pre-override name) *)
+  policy_spec : string;  (** {!Repro_runtime.Policy.spec_syntax} spec *)
+  workload : string;
+  squared_cv : float;  (** squared coefficient of variation of service time *)
+  util : float;  (** offered load as a fraction of ideal worker capacity *)
+  rate_rps : float;
+  summary : Repro_runtime.Metrics.summary;
+}
+
+val squared_cv_of_dist : Repro_workload.Service_dist.t -> float
+(** E[S^2]/E[S]^2 - 1; nan when the distribution has no closed-form second
+    moment (traces). *)
+
+val dispersion_axis :
+  short_ns:float -> long_ns:float -> p_shorts:float list -> (float * Repro_workload.Mix.t) list
+(** Bimodal mixes with fixed mode locations and varying short-request
+    probability — the knob that moves CV^2 while keeping both modes
+    recognisable (the kvstore GET/SCAN shape). Returns (CV^2, mix) pairs. *)
+
+val run_frontier :
+  configs:Repro_runtime.Config.t list ->
+  policies:string list ->
+  workloads:(float * Repro_workload.Mix.t) list ->
+  ?utils:float list ->
+  ?n_requests:int ->
+  ?seed:int ->
+  ?domains:int ->
+  unit ->
+  frontier_point list
+(** Run every cell of configs x policies x workloads x utils (utils
+    default [0.7]). Each cell resolves its policy spec against the cell's
+    own mix (["gittins"] fits there), derives the offered rate from the
+    configuration's worker count and the mix's mean service time, and runs
+    one standalone load point. Cells fan across [domains] with
+    bit-identical results when every mix is [parallel_safe].
+
+    Raises [Invalid_argument] on a malformed policy spec. *)
+
+val frontier_csv : frontier_point list -> string
+
+val render_frontier : frontier_point list -> string
+(** Aligned "p99 (p99.9)" heat-table: one block per utilization, one row
+    per config x policy, one column per CV^2. *)

@@ -1,35 +1,91 @@
 module Heap = Repro_engine.Heap
+module Gittins = Repro_workload.Gittins
 
-type kind = Fcfs | Srpt | Locality_fcfs
+type kind =
+  | Fcfs
+  | Srpt
+  | Srpt_noisy of { sigma : float }
+  | Gittins of Gittins.t
+  | Locality_fcfs
 
 let kind_name = function
   | Fcfs -> "fcfs"
   | Srpt -> "srpt"
+  | Srpt_noisy { sigma } -> Printf.sprintf "srpt-noisy:%g" sigma
+  | Gittins _ -> "gittins"
   | Locality_fcfs -> "locality-fcfs"
 
 (* Doubly-linked queue with O(1) push/pop and in-place removal, used by the
-   list-ordered policies. *)
+   list-ordered policies. Nodes are threaded onto a second intrusive list
+   of never-started requests, so the work-conserving dispatcher's
+   "anything stealable?" check is O(1) instead of a full-queue scan under
+   backlog. Membership is decided by [req.started] at push time, which is
+   sound because the server only flips [started] after removing a request
+   from the central queue. *)
 module Dlq = struct
-  type node = { req : Request.t; mutable prev : node option; mutable next : node option }
-  type t = { mutable head : node option; mutable tail : node option; mutable size : int }
+  type node = {
+    req : Request.t;
+    mutable prev : node option;
+    mutable next : node option;
+    mutable fprev : node option; (* fresh-sublist links *)
+    mutable fnext : node option;
+    mutable in_fresh : bool;
+  }
 
-  let create () = { head = None; tail = None; size = 0 }
+  type t = {
+    mutable head : node option;
+    mutable tail : node option;
+    mutable size : int;
+    mutable fhead : node option;
+    mutable ftail : node option;
+    mutable n_fresh : int;
+  }
+
+  let create () =
+    { head = None; tail = None; size = 0; fhead = None; ftail = None; n_fresh = 0 }
 
   let push_tail t req =
-    let node = { req; prev = t.tail; next = None } in
+    let fresh = not req.Request.started in
+    let node =
+      { req; prev = t.tail; next = None; fprev = t.ftail; fnext = None; in_fresh = fresh }
+    in
     (match t.tail with None -> t.head <- Some node | Some tl -> tl.next <- Some node);
     t.tail <- Some node;
-    t.size <- t.size + 1
+    t.size <- t.size + 1;
+    if fresh then begin
+      (match t.ftail with None -> t.fhead <- Some node | Some ftl -> ftl.fnext <- Some node);
+      t.ftail <- Some node;
+      t.n_fresh <- t.n_fresh + 1
+    end
+    else node.fprev <- None
 
   let remove t node =
     (match node.prev with None -> t.head <- node.next | Some p -> p.next <- node.next);
     (match node.next with None -> t.tail <- node.prev | Some n -> n.prev <- node.prev);
     node.prev <- None;
     node.next <- None;
-    t.size <- t.size - 1
+    t.size <- t.size - 1;
+    if node.in_fresh then begin
+      (match node.fprev with None -> t.fhead <- node.fnext | Some p -> p.fnext <- node.fnext);
+      (match node.fnext with None -> t.ftail <- node.fprev | Some n -> n.fprev <- node.fprev);
+      node.fprev <- None;
+      node.fnext <- None;
+      node.in_fresh <- false;
+      t.n_fresh <- t.n_fresh - 1
+    end
 
   let pop_head t =
     match t.head with
+    | None -> None
+    | Some node ->
+      remove t node;
+      Some node.req
+
+  (* Both lists append at the tail, so the fresh sublist preserves main-list
+     (arrival) order: popping its head is exactly the first not-started
+     request the old full scan would have found. *)
+  let pop_fresh_head t =
+    match t.fhead with
     | None -> None
     | Some node ->
       remove t node;
@@ -60,37 +116,78 @@ end
    dispatcher's pick stays O(1) like the real system's. *)
 let locality_scan_limit = 8
 
+(* Rank-ordered policies share one two-heap structure: [fresh] holds
+   never-executed requests, [started] the preempted ones, each keyed by the
+   policy's rank (lower = served sooner, in ns of equivalent remaining
+   work). Keeping the heaps separate is what gives pop_not_started /
+   has_not_started their O(1) answers for the stealing dispatcher. *)
 type t =
   | List_queue of { kind : kind; q : Dlq.t }
-  | Srpt_queue of {
-      fresh : Request.t Heap.t; (* never executed; keyed by service time *)
-      started : Request.t Heap.t; (* preempted; keyed by remaining work *)
+  | Rank_queue of {
+      kind : kind;
+      fresh : Request.t Heap.t;
+      started : Request.t Heap.t;
+      fresh_key : Request.t -> int;
+      started_key : Request.t -> int;
     }
+
+(* Remaining work according to the (possibly noisy) estimate; clamped at 1
+   so an underestimated request that outlives its estimate becomes
+   highest-priority and runs to completion — the standard noisy-SRPT
+   behaviour. With exact estimates this equals [Request.remaining_ns]
+   (which is >= 1 for any queued request), so [Srpt_noisy {sigma = 0.}]
+   is bit-identical to [Srpt]. *)
+let estimated_remaining (r : Request.t) = max 1 (r.Request.estimate_ns - r.Request.done_ns)
 
 let create = function
   | Fcfs -> List_queue { kind = Fcfs; q = Dlq.create () }
   | Locality_fcfs -> List_queue { kind = Locality_fcfs; q = Dlq.create () }
-  | Srpt -> Srpt_queue { fresh = Heap.create (); started = Heap.create () }
+  | Srpt ->
+    Rank_queue
+      {
+        kind = Srpt;
+        fresh = Heap.create ();
+        started = Heap.create ();
+        fresh_key = (fun r -> r.Request.service_ns);
+        started_key = Request.remaining_ns;
+      }
+  | Srpt_noisy _ as kind ->
+    Rank_queue
+      {
+        kind;
+        fresh = Heap.create ();
+        started = Heap.create ();
+        fresh_key = (fun r -> r.Request.estimate_ns);
+        started_key = estimated_remaining;
+      }
+  | Gittins table as kind ->
+    let rank0 = Gittins.rank0_ns table in
+    Rank_queue
+      {
+        kind;
+        fresh = Heap.create ();
+        started = Heap.create ();
+        fresh_key = (fun _ -> rank0);
+        started_key = (fun r -> Gittins.rank_ns table ~age_ns:r.Request.done_ns);
+      }
 
-let kind = function
-  | List_queue { kind; _ } -> kind
-  | Srpt_queue _ -> Srpt
+let kind = function List_queue { kind; _ } | Rank_queue { kind; _ } -> kind
 
 let length = function
   | List_queue { q; _ } -> q.Dlq.size
-  | Srpt_queue { fresh; started } -> Heap.length fresh + Heap.length started
+  | Rank_queue { fresh; started; _ } -> Heap.length fresh + Heap.length started
 
 let is_empty t = length t = 0
 
 let push_new t req =
   match t with
   | List_queue { q; _ } -> Dlq.push_tail q req
-  | Srpt_queue { fresh; _ } -> Heap.add fresh ~key:req.Request.service_ns req
+  | Rank_queue { fresh; fresh_key; _ } -> Heap.add fresh ~key:(fresh_key req) req
 
 let push_preempted t req =
   match t with
   | List_queue { q; _ } -> Dlq.push_tail q req
-  | Srpt_queue { started; _ } -> Heap.add started ~key:(Request.remaining_ns req) req
+  | Rank_queue { started; started_key; _ } -> Heap.add started ~key:(started_key req) req
 
 let pop t ~worker =
   match t with
@@ -105,7 +202,7 @@ let pop t ~worker =
     | None -> Dlq.pop_head q
   end
   | List_queue { q; _ } -> Dlq.pop_head q
-  | Srpt_queue { fresh; started } ->
+  | Rank_queue { fresh; started; _ } ->
     (* Unsafe heap accessors: no (key, value) tuple or nested option per
        pop. Ties between the two heaps go to [fresh], as before. *)
     let no_fresh = Heap.is_empty fresh and no_started = Heap.is_empty started in
@@ -118,26 +215,42 @@ let pop t ~worker =
 
 let pop_not_started t =
   match t with
-  | List_queue { q; _ } -> begin
-    let node = Dlq.find q ~limit:max_int ~pred:(fun r -> not r.Request.started) in
-    match node with
-    | Some node ->
-      Dlq.remove q node;
-      Some node.Dlq.req
-    | None -> None
-  end
-  | Srpt_queue { fresh; _ } ->
+  | List_queue { q; _ } -> Dlq.pop_fresh_head q
+  | Rank_queue { fresh; _ } ->
     if Heap.is_empty fresh then None else Some (Heap.pop_unsafe fresh)
 
 let has_not_started t =
   match t with
-  | List_queue { q; _ } ->
-    Dlq.find q ~limit:max_int ~pred:(fun r -> not r.Request.started) <> None
-  | Srpt_queue { fresh; _ } -> not (Heap.is_empty fresh)
+  | List_queue { q; _ } -> q.Dlq.n_fresh > 0
+  | Rank_queue { fresh; _ } -> not (Heap.is_empty fresh)
 
 let iter t ~f =
   match t with
   | List_queue { q; _ } -> Dlq.iter q ~f
-  | Srpt_queue { fresh; started } ->
+  | Rank_queue { fresh; started; _ } ->
     Heap.iter fresh ~f:(fun ~key:_ r -> f r);
     Heap.iter started ~f:(fun ~key:_ r -> f r)
+
+(* ---- spec parsing ----------------------------------------------------- *)
+
+let spec_syntax = "fcfs | srpt | srpt-noisy[:SIGMA] | gittins | locality-fcfs"
+
+let of_spec spec ~mix =
+  let fail () =
+    Error (Printf.sprintf "unknown policy %S (expected %s)" spec spec_syntax)
+  in
+  match spec with
+  | "fcfs" -> Ok Fcfs
+  | "srpt" -> Ok Srpt
+  | "srpt-noisy" -> Ok (Srpt_noisy { sigma = 1.0 })
+  | "gittins" -> Ok (Gittins (Gittins.of_mix mix))
+  | "locality-fcfs" -> Ok Locality_fcfs
+  | _ -> (
+    match String.index_opt spec ':' with
+    | Some i when String.sub spec 0 i = "srpt-noisy" -> (
+      let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match float_of_string_opt arg with
+      | Some sigma when Float.is_finite sigma && sigma >= 0.0 ->
+        Ok (Srpt_noisy { sigma })
+      | _ -> Error (Printf.sprintf "bad srpt-noisy sigma %S (need a float >= 0)" arg))
+    | _ -> fail ())

@@ -5,6 +5,7 @@ type t = {
   service_ns : int;
   lock_windows : (int * int) array;
   probe_spacing_ns : float;
+  mutable estimate_ns : int;
   mutable done_ns : int;
   mutable started : bool;
   mutable dispatcher_owned : bool;
@@ -21,6 +22,7 @@ let create ~id ~arrival_ns ~(profile : Repro_workload.Mix.profile) =
     service_ns = profile.service_ns;
     lock_windows = profile.lock_windows;
     probe_spacing_ns = profile.probe_spacing_ns;
+    estimate_ns = profile.service_ns;
     done_ns = 0;
     started = false;
     dispatcher_owned = false;

@@ -14,6 +14,11 @@ type t = {
       (** sorted, disjoint [start, stop) windows of progress during which
           safety-first preemption is deferred (§3.1) *)
   probe_spacing_ns : float;  (** 0 = cost-model default *)
+  mutable estimate_ns : int;
+      (** the scheduler's size estimate; defaults to [service_ns] (exact
+          demand) and is perturbed once at arrival by the server when the
+          policy is {!Policy.Srpt_noisy} — policies order by this, never by
+          the true size *)
   mutable done_ns : int;  (** completed progress *)
   mutable started : bool;
   mutable dispatcher_owned : bool;

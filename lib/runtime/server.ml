@@ -93,6 +93,13 @@ type 'e t = {
          [Tracing.kind], so untraced runs never allocate the payload *)
   on_complete : (Request.t -> unit) option;
   mutable finished : int; (* completions, all owners *)
+  (* size-estimate noise: sigma of the log-normal multiplier applied once
+     at arrival when the policy is Srpt_noisy; 0.0 = exact demand and no
+     draws, so non-noisy configs consume identical RNG streams *)
+  estimate_sigma : float;
+  est_rng : Rng.t; (* split from mech_rng only when estimate_sigma > 0 *)
+  adaptive : Config.adaptive option;
+  class_ewma : float array; (* per-class EWMA of completed service (ns); [||] unless adaptive *)
   (* cached cost-model conversions (ns), pre-scaled by [speed] *)
   quantum_ns : int;
   cswitch_ns : int;
@@ -159,6 +166,33 @@ let resolve_stop t (req : Request.t) ~seg_start_ns ~seg_start_progress ~mult ~co
 let probe_spacing t (req : Request.t) =
   if req.Request.probe_spacing_ns > 0.0 then req.Request.probe_spacing_ns
   else t.default_spacing_ns
+
+(* Adaptive preemption quantum (LibPreemptible-style): the base quantum is
+   shrunk by central-queue backlog — q * w / (w + backlog), so the quantum
+   has halved once [backlog_window] requests queue — and capped per class
+   at twice the class's observed mean service time, then clamped to the
+   configured floor. With [adaptive_quantum = None] this is exactly the
+   fixed [quantum_ns], preserving bit-identical behaviour. *)
+let effective_quantum_ns t (req : Request.t) =
+  match t.adaptive with
+  | None -> t.quantum_ns
+  | Some { Config.min_quantum_ns; backlog_window } ->
+    let backlog = Policy.length t.central in
+    let q =
+      if backlog = 0 then t.quantum_ns
+      else
+        int_of_float
+          (float_of_int t.quantum_ns
+          *. float_of_int backlog_window
+          /. float_of_int (backlog_window + backlog))
+    in
+    let c = req.Request.class_id in
+    let q =
+      if c >= 0 && c < Array.length t.class_ewma && t.class_ewma.(c) > 0.0 then
+        min q (int_of_float (2.0 *. t.class_ewma.(c)))
+      else q
+    in
+    max min_quantum_ns q
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher                                                          *)
@@ -328,7 +362,7 @@ and try_steal t =
     let stop =
       resolve_stop t req ~seg_start_ns:now ~seg_start_progress ~mult
         ~completion_at:(now + remaining_wall)
-        ~candidate:(now + t.quantum_ns + lateness)
+        ~candidate:(now + effective_quantum_ns t req + lateness)
     in
     let send, sstop_progress =
       match stop with
@@ -345,6 +379,13 @@ let complete_request t (req : Request.t) ~worker =
   if t.tracing then trace t ~request:req.Request.id (Tracing.Completed { worker });
   req.Request.completion_ns <- Sim.now t.sim;
   req.Request.done_ns <- req.Request.service_ns;
+  (let c = req.Request.class_id in
+   if c >= 0 && c < Array.length t.class_ewma then begin
+     (* per-class service EWMA feeding the adaptive quantum cap *)
+     let s = float_of_int req.Request.service_ns in
+     let prev = t.class_ewma.(c) in
+     t.class_ewma.(c) <- (if prev = 0.0 then s else prev +. (0.05 *. (s -. prev)))
+   end);
   Hashtbl.remove t.live req.Request.id;
   Metrics.record_completion t.metrics req;
   t.finished <- t.finished + 1;
@@ -406,7 +447,8 @@ let begin_exec t (w : worker) =
     Sim.schedule_at t.sim ~time:w.completion_at
       (t.lift (Ev_worker_complete { w = w.wid; epoch = w.epoch }));
     if Mechanism.preemptive t.config.mechanism then
-      Sim.schedule_after t.sim ~delay:t.quantum_ns
+      Sim.schedule_after t.sim
+        ~delay:(effective_quantum_ns t req)
         (t.lift (Ev_quantum { w = w.wid; epoch = w.epoch }));
     if w.gap_open_ns >= 0 then begin
       (* cnext measurement: idle time excluding the context switch itself *)
@@ -621,6 +663,16 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
     if speed_factor = 1.0 then n else int_of_float (ceil (float_of_int n *. speed_factor))
   in
   let ns cycles = scale (Costs.ns_of costs cycles) in
+  let estimate_sigma =
+    match config.Config.policy with
+    | Policy.Srpt_noisy { sigma } -> sigma
+    | Policy.Fcfs | Policy.Srpt | Policy.Gittins _ | Policy.Locality_fcfs -> 0.0
+  in
+  (* Estimates get their own stream, split off only when the policy
+     actually draws them, so every other configuration's mech_rng stream is
+     untouched (bit-identity with the pre-estimate code, and sigma = 0 is
+     exactly Srpt). *)
+  let est_rng = if estimate_sigma > 0.0 then Rng.split rng else rng in
   (* Never dispatched: pads vacated ring slots and the idle [cur_op]. *)
   let dummy_op = Op_completion (-1) in
   {
@@ -629,6 +681,13 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
     lifted_op_done = lift Ev_disp_op_done;
     config;
     mech_rng = rng;
+    estimate_sigma;
+    est_rng;
+    adaptive = config.Config.adaptive_quantum;
+    class_ewma =
+      (match config.Config.adaptive_quantum with
+      | Some _ -> Array.make (max 1 n_classes) 0.0
+      | None -> [||]);
     central = Policy.create config.Config.policy;
     workers =
       Array.init config.Config.n_workers (fun wid ->
@@ -678,6 +737,16 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
 (* Hand an externally created request to this instance's ingress path, as
    if it had just landed in the NIC queue. *)
 let inject t (req : Request.t) =
+  (* The size estimate a noisy-SRPT scheduler would get from a predictor:
+     drawn once at arrival, multiplicatively log-normal around the true
+     size (median-unbiased), and never refined afterwards. *)
+  if t.estimate_sigma > 0.0 then
+    req.Request.estimate_ns <-
+      max 1
+        (int_of_float
+           (Float.round
+              (float_of_int req.Request.service_ns
+              *. Rng.lognormal t.est_rng ~mu:0.0 ~sigma:t.estimate_sigma)));
   Hashtbl.replace t.live req.Request.id req;
   if t.tracing then
     trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });

@@ -1,0 +1,43 @@
+(** Discretized Gittins index tables.
+
+    The Gittins index of a request at age [a] (attained service) is
+
+    {v G(a) = sup_d P(S - a <= d | S > a) / E[min(S - a, d) | S > a] v}
+
+    and serving the largest index minimizes mean delay for unknown service
+    times drawn i.i.d. from the distribution (Scully & Harchol-Balter).
+    This module precomputes [rank(a) = 1/G(a)] — "equivalent remaining
+    work" in nanoseconds — on a log-spaced age grid, so {!Repro_runtime}'s
+    policy heaps can key on it exactly like SRPT keys on remaining work.
+
+    Discretization: one shared grid of ages/horizons (0 then log-spaced up
+    to the 0.99999-quantile); the supremum is evaluated at grid horizons
+    with trapezoid-rule costs; ranks are linearly interpolated between grid
+    ages and clamped beyond the last. [Fixed] distributions degenerate to
+    SRPT ([rank(a) = s - a]); [Exponential] to a constant rank (FCFS among
+    started requests). *)
+
+type t
+
+val of_cdf : ?grid:int -> cdf:(float -> float) -> max_ns:float -> unit -> t
+(** Build a table from an arbitrary CDF evaluated on a [grid]-point
+    (default 192) log-spaced grid covering [0, max_ns]. *)
+
+val of_dist : ?grid:int -> Service_dist.t -> t
+(** Table from a distribution's analytic {!Service_dist.cdf}; the grid
+    extends to the 0.99999-quantile (found by doubling search). *)
+
+val of_mix : ?grid:int -> ?samples:int -> ?seed:int -> Mix.t -> t
+(** Empirical table: draw [samples] (default 8192) service times from the
+    mix with a dedicated [Rng] stream seeded by [seed] (default a fixed
+    constant, so tables are reproducible), and use their empirical CDF.
+    Stateful (kvstore-backed) mixes advance their store state by those
+    draws; build the table before starting the simulation proper. *)
+
+val rank_ns : t -> age_ns:int -> int
+(** Rank (ns of equivalent remaining work) at the given attained service.
+    Allocation-free; interpolated between grid ages. *)
+
+val rank0_ns : t -> int
+(** [rank_ns t ~age_ns:0], precomputed — the key every never-executed
+    request shares, making fresh requests FIFO among themselves. *)

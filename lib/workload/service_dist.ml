@@ -1,13 +1,35 @@
 module Rng = Repro_engine.Rng
 
+(* [cum.(i)] accumulates weights left to right with the exact float
+   additions [Rng.categorical] would perform, so the binary search below
+   picks bit-identical indices to the linear scan it replaced. *)
+type discrete = {
+  entries : (float * float) array;
+  cum : float array;
+  total : float;
+}
+
 type t =
   | Fixed of float
   | Bimodal of { p_short : float; short_ns : float; long_ns : float }
   | Exponential of { mean_ns : float }
   | Lognormal of { mu : float; sigma : float }
   | Pareto of { scale_ns : float; shape : float }
-  | Discrete of (float * float) array
+  | Discrete of discrete
   | Trace of float array
+
+let discrete entries =
+  let n = Array.length entries in
+  if n = 0 then invalid_arg "Service_dist.discrete: no entries";
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w, _ = entries.(i) in
+    if w <= 0.0 then invalid_arg "Service_dist.discrete: weights must be positive";
+    acc := !acc +. w;
+    cum.(i) <- !acc
+  done;
+  Discrete { entries = Array.copy entries; cum; total = !acc }
 
 let sample t rng =
   match t with
@@ -17,9 +39,22 @@ let sample t rng =
   | Exponential { mean_ns } -> Rng.exponential rng ~mean:mean_ns
   | Lognormal { mu; sigma } -> Rng.lognormal rng ~mu ~sigma
   | Pareto { scale_ns; shape } -> Rng.pareto rng ~scale:scale_ns ~shape
-  | Discrete entries ->
-    let weights = Array.map fst entries in
-    snd entries.(Rng.categorical rng ~weights)
+  | Discrete { entries; cum; total } ->
+    (* Smallest [i] below n - 1 with [x < cum.(i)]; the untaken last slot
+       doubles as the float-roundoff fallback, exactly like the linear
+       scan in [Rng.categorical]. The search closure captures [x] so the
+       recursion passes only ints — threading the float through the calls
+       would re-box it at every level, making the per-sample allocation
+       grow with log n instead of staying constant. *)
+    let x = Rng.float rng *. total in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) lsr 1 in
+        if x < Array.unsafe_get cum mid then search lo mid else search (mid + 1) hi
+      end
+    in
+    snd entries.(search 0 (Array.length cum - 1))
   | Trace samples ->
     if Array.length samples = 0 then invalid_arg "Service_dist.sample: empty trace";
     samples.(Rng.int rng ~bound:(Array.length samples))
@@ -33,8 +68,7 @@ let mean_ns = function
   | Pareto { scale_ns; shape } ->
     if shape <= 1.0 then invalid_arg "Service_dist.mean_ns: Pareto with shape <= 1"
     else shape *. scale_ns /. (shape -. 1.0)
-  | Discrete entries ->
-    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 entries in
+  | Discrete { entries; total; _ } ->
     Array.fold_left (fun acc (w, s) -> acc +. (w /. total *. s)) 0.0 entries
   | Trace samples ->
     if Array.length samples = 0 then invalid_arg "Service_dist.mean_ns: empty trace";
@@ -49,8 +83,7 @@ let second_moment = function
   | Pareto { scale_ns; shape } ->
     if shape <= 2.0 then None
     else Some (shape *. scale_ns *. scale_ns /. (shape -. 2.0))
-  | Discrete entries ->
-    let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 entries in
+  | Discrete { entries; total; _ } ->
     Some (Array.fold_left (fun acc (w, s) -> acc +. (w /. total *. s *. s)) 0.0 entries)
   | Trace samples ->
     if Array.length samples = 0 then None
@@ -66,6 +99,40 @@ let squared_cv t =
     let m = mean_ns t in
     if m = 0.0 then None else Some ((m2 -. (m *. m)) /. (m *. m))
 
+(* Standard normal CDF via the Abramowitz & Stegun 26.2.17 polynomial
+   (|error| < 7.5e-8) — the stdlib has no erf, and table construction is
+   the only consumer. *)
+let normal_cdf x =
+  let t = 1.0 /. (1.0 +. (0.2316419 *. Float.abs x)) in
+  let d = 0.3989422804014327 *. exp (-.x *. x /. 2.0) in
+  let poly =
+    t
+    *. (0.319381530
+       +. (t *. (-0.356563782 +. (t *. (1.781477937 +. (t *. (-1.821255978 +. (t *. 1.330274429))))))))
+  in
+  let p = d *. poly in
+  if x >= 0.0 then 1.0 -. p else p
+
+let cdf t x =
+  match t with
+  | Fixed s -> if x >= s then 1.0 else 0.0
+  | Bimodal { p_short; short_ns; long_ns } ->
+    (if x >= short_ns then p_short else 0.0)
+    +. (if x >= long_ns then 1.0 -. p_short else 0.0)
+  | Exponential { mean_ns } -> if x <= 0.0 then 0.0 else 1.0 -. exp (-.x /. mean_ns)
+  | Lognormal { mu; sigma } ->
+    if x <= 0.0 then 0.0 else normal_cdf ((log x -. mu) /. sigma)
+  | Pareto { scale_ns; shape } ->
+    if x < scale_ns then 0.0 else 1.0 -. ((scale_ns /. x) ** shape)
+  | Discrete { entries; total; _ } ->
+    Array.fold_left (fun acc (w, s) -> if s <= x then acc +. w else acc) 0.0 entries
+    /. total
+  | Trace samples ->
+    let n = Array.length samples in
+    if n = 0 then invalid_arg "Service_dist.cdf: empty trace";
+    let c = Array.fold_left (fun acc s -> if s <= x then acc + 1 else acc) 0 samples in
+    float_of_int c /. float_of_int n
+
 let name = function
   | Fixed s -> Printf.sprintf "Fixed(%.3gus)" (s /. 1e3)
   | Bimodal { p_short; short_ns; long_ns } ->
@@ -76,7 +143,7 @@ let name = function
   | Lognormal { mu; sigma } -> Printf.sprintf "Lognormal(mu=%g, sigma=%g)" mu sigma
   | Pareto { scale_ns; shape } ->
     Printf.sprintf "Pareto(scale=%.3gus, shape=%g)" (scale_ns /. 1e3) shape
-  | Discrete entries -> Printf.sprintf "Discrete(%d classes)" (Array.length entries)
+  | Discrete { entries; _ } -> Printf.sprintf "Discrete(%d classes)" (Array.length entries)
   | Trace samples -> Printf.sprintf "Trace(%d samples)" (Array.length samples)
 
 let scale t f =
@@ -87,5 +154,5 @@ let scale t f =
   | Exponential { mean_ns } -> Exponential { mean_ns = mean_ns *. f }
   | Lognormal { mu; sigma } -> Lognormal { mu = mu +. log f; sigma }
   | Pareto p -> Pareto { p with scale_ns = p.scale_ns *. f }
-  | Discrete entries -> Discrete (Array.map (fun (w, s) -> (w, s *. f)) entries)
+  | Discrete { entries; _ } -> discrete (Array.map (fun (w, s) -> (w, s *. f)) entries)
   | Trace samples -> Trace (Array.map (fun s -> s *. f) samples)

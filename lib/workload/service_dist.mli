@@ -3,6 +3,15 @@
     All times are nanoseconds of *un-instrumented* service time — the
     denominator of the paper's slowdown metric. *)
 
+type discrete = private {
+  entries : (float * float) array;  (** [(weight, service_ns)] pairs *)
+  cum : float array;  (** running weight sums, precomputed at construction *)
+  total : float;  (** sum of all weights *)
+}
+(** Payload of {!Discrete}: built once by {!discrete} so sampling is a
+    single uniform draw plus a binary search over [cum] — no per-sample
+    allocation on the simulation hot path. *)
+
 type t =
   | Fixed of float  (** every request takes exactly this long *)
   | Bimodal of { p_short : float; short_ns : float; long_ns : float }
@@ -10,9 +19,14 @@ type t =
   | Exponential of { mean_ns : float }
   | Lognormal of { mu : float; sigma : float }  (** parameters of the underlying normal *)
   | Pareto of { scale_ns : float; shape : float }
-  | Discrete of (float * float) array
-      (** [(weight, service_ns)] pairs; weights need not sum to 1 *)
+  | Discrete of discrete  (** build with {!discrete} *)
   | Trace of float array  (** empirical: sampled uniformly with replacement *)
+
+val discrete : (float * float) array -> t
+(** [discrete entries] builds a {!Discrete} distribution from
+    [(weight, service_ns)] pairs (weights positive, need not sum to 1).
+    Sampling draws indices bit-identically to
+    [Rng.categorical ~weights:(Array.map fst entries)]. *)
 
 val sample : t -> Repro_engine.Rng.t -> float
 (** Draw one service time (ns, > 0). *)
@@ -20,10 +34,19 @@ val sample : t -> Repro_engine.Rng.t -> float
 val mean_ns : t -> float
 (** Analytic mean ([Pareto] with shape <= 1 has none and raises). *)
 
+val second_moment : t -> float option
+(** E[S²] when finite. *)
+
 val squared_cv : t -> float option
 (** Squared coefficient of variation (variance / mean²), when finite.
     The paper's "dispersion": ≈0 for Fixed, ≈1 for Exponential, large for
     the bimodal tails. *)
+
+val cdf : t -> float -> float
+(** [cdf t x] is P(S <= x). Exact for every variant except [Lognormal],
+    which uses the Abramowitz–Stegun normal-CDF polynomial (|error| <
+    7.5e-8). Used by {!Gittins} to build index tables; [Trace] is a full
+    scan per call, so not for hot paths. *)
 
 val name : t -> string
 (** Short human-readable description for reports. *)

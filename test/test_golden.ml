@@ -20,24 +20,26 @@ let fingerprint (s : Repro_runtime.Metrics.summary) =
   Printf.sprintf "p50=%.17g p99=%.17g goodput=%.17g" s.Repro_runtime.Metrics.p50_slowdown
     s.Repro_runtime.Metrics.p99_slowdown s.Repro_runtime.Metrics.goodput_rps
 
-(* Captured from the seed tree (commit 0621362); the perf PR and everything
-   after it must reproduce these exactly. Regenerate (only for a change
-   that *intends* to alter behaviour) by printing [fingerprint] from the
-   runs below. *)
+(* Captured after the arrival-gap rounding fix (Arrival.next_gap_ns now
+   rounds to nearest instead of truncating, an intended behaviour change
+   that shifts every Poisson gap by up to half a nanosecond); everything
+   after that fix must reproduce these exactly. Regenerate (only for a
+   change that *intends* to alter behaviour) by printing [fingerprint]
+   from the runs below. *)
 let golden_standalone =
   [
-    ("shinjuku", "p50=4.2160000000000002 p99=13.904 goodput=1234181.0557321883");
-    ("coop-sq", "p50=2.4620000000000002 p99=8.5700000000000003 goodput=1278638.8463267903");
-    ("concord", "p50=2.476 p99=11.132 goodput=1277452.815860854");
-    ("concord-uipi", "p50=3.714 p99=12.646000000000001 goodput=1268848.5692675009");
+    ("shinjuku", "p50=3.8999999999999999 p99=12.882 goodput=1234854.1705827552");
+    ("coop-sq", "p50=2.5339999999999998 p99=8.4960000000000004 goodput=1277862.7319853301");
+    ("concord", "p50=2.504 p99=11.438000000000001 goodput=1276836.6230792475");
+    ("concord-uipi", "p50=3.8319999999999999 p99=13.1 goodput=1270668.6611458466");
   ]
 
 let golden_cluster =
   [
-    ("shinjuku", "p50=2.0259999999999998 p99=3.8279999999999998 goodput=2696050.2863305258");
-    ("coop-sq", "p50=1.99 p99=3.456 goodput=2826056.2385191466");
-    ("concord", "p50=2.048 p99=3.694 goodput=2823092.478236048");
-    ("concord-uipi", "p50=2.1259999999999999 p99=4.5519999999999996 goodput=2800190.8278193772");
+    ("shinjuku", "p50=2.1019999999999999 p99=4.1980000000000004 goodput=2696481.0921747116");
+    ("coop-sq", "p50=1.978 p99=3.452 goodput=2822989.1691315542");
+    ("concord", "p50=2.024 p99=3.6419999999999999 goodput=2818762.9389048791");
+    ("concord-uipi", "p50=2.0819999999999999 p99=4.0720000000000001 goodput=2798078.2384128473");
   ]
 
 let test_golden_standalone () =
@@ -126,6 +128,43 @@ let test_heap_churn_zero_alloc () =
     Alcotest.failf "Heap churn allocated %.0f bytes over %d add+pop pairs; expected 0" net
       iters
 
+(* Discrete sampling must cost O(log n) time and O(1) allocation in the
+   entry count: the per-sample bytes at 4096 entries may not exceed the
+   4-entry figure plus slack. The pre-fix implementation rebuilt the
+   cumulative-weight array per draw (O(n) bytes); a float-argument
+   recursion re-boxes per level (O(log n) bytes); both fail this. A small
+   constant per draw (Rng boxing) is expected and cancels out. *)
+let test_discrete_sample_alloc_size_independent () =
+  let module Service_dist = Repro_workload.Service_dist in
+  let module Rng = Repro_engine.Rng in
+  let draws = 100_000 in
+  let per_sample_bytes n =
+    let d =
+      Service_dist.discrete (Array.init n (fun i -> (1.0 +. float_of_int (i mod 7), 1.0)))
+    in
+    let rng = Rng.create ~seed:21 in
+    let burn = ref 0.0 in
+    for _ = 1 to draws do
+      burn := !burn +. Service_dist.sample d rng
+    done;
+    (* warmed *)
+    let overhead = probe_overhead () in
+    let a0 = Gc.allocated_bytes () in
+    for _ = 1 to draws do
+      burn := !burn +. Service_dist.sample d rng
+    done;
+    let a1 = Gc.allocated_bytes () in
+    ignore (Sys.opaque_identity !burn);
+    (a1 -. a0 -. overhead) /. float_of_int draws
+  in
+  let small = per_sample_bytes 4 in
+  let big = per_sample_bytes 4096 in
+  if big > small +. 8.0 then
+    Alcotest.failf
+      "Discrete sample allocation grew with entry count: %.1f B/sample at n=4 vs %.1f at \
+       n=4096"
+      small big
+
 (* Branching-IR overhead pin: volrend (Branch) and fmm (While) exercise
    the new control-flow constructors on the deterministic Table-1 path;
    their overhead and p99 lateness must stay bit-identical. *)
@@ -160,4 +199,6 @@ let suite =
     Alcotest.test_case "Sim.run allocates zero words/event" `Quick test_sim_run_zero_alloc;
     Alcotest.test_case "Heap add+pop allocates zero words/op" `Quick
       test_heap_churn_zero_alloc;
+    Alcotest.test_case "Discrete sampling allocation independent of entry count" `Quick
+      test_discrete_sample_alloc_size_independent;
   ]

@@ -15,6 +15,7 @@ let () =
       ("workload", Test_workload.suite);
       ("workload.trace-io", Test_trace_io.suite);
       ("runtime.units", Test_runtime_units.suite);
+      ("runtime.policy", Test_policy.suite);
       ("runtime.server", Test_server.suite);
       ("runtime.oracle", Test_oracle.suite);
       ("runtime.tracing", Test_tracing.suite);

@@ -1,0 +1,174 @@
+(* Policy-frontier tests: spec parsing, the noisy-SRPT noise model, the
+   Gittins degeneracy theorems, the SRPT-beats-FCFS mean-delay property,
+   and the adaptive preemption quanta. *)
+
+module Policy = Repro_runtime.Policy
+module Config = Repro_runtime.Config
+module Systems = Repro_runtime.Systems
+module Server = Repro_runtime.Server
+module Metrics = Repro_runtime.Metrics
+module Gittins = Repro_workload.Gittins
+module Service_dist = Repro_workload.Service_dist
+module Mix = Repro_workload.Mix
+module Arrival = Repro_workload.Arrival
+module Presets = Repro_workload.Presets
+
+(* --- spec parsing ------------------------------------------------------- *)
+
+let test_of_spec_valid () =
+  let parse spec =
+    match Policy.of_spec spec ~mix:Presets.usr with
+    | Ok kind -> Policy.kind_name kind
+    | Error e -> Alcotest.failf "of_spec %S: %s" spec e
+  in
+  Alcotest.(check string) "fcfs" "fcfs" (parse "fcfs");
+  Alcotest.(check string) "srpt" "srpt" (parse "srpt");
+  Alcotest.(check string) "bare srpt-noisy defaults sigma 1" "srpt-noisy:1" (parse "srpt-noisy");
+  Alcotest.(check string) "srpt-noisy:0.5" "srpt-noisy:0.5" (parse "srpt-noisy:0.5");
+  Alcotest.(check string) "srpt-noisy:0 is legal" "srpt-noisy:0" (parse "srpt-noisy:0");
+  Alcotest.(check string) "gittins" "gittins" (parse "gittins");
+  Alcotest.(check string) "locality-fcfs" "locality-fcfs" (parse "locality-fcfs")
+
+let test_of_spec_invalid () =
+  let rejects spec =
+    match Policy.of_spec spec ~mix:Presets.usr with
+    | Ok _ -> Alcotest.failf "of_spec %S should have failed" spec
+    | Error _ -> ()
+  in
+  rejects "foo";
+  rejects "srpt-noisy:-1";
+  rejects "srpt-noisy:abc";
+  rejects "srpt-noisy:nan";
+  rejects "gittins:3"
+
+(* --- noisy SRPT --------------------------------------------------------- *)
+
+let fingerprint (s : Metrics.summary) =
+  Printf.sprintf "p50=%.17g p99=%.17g goodput=%.17g preempt=%d" s.Metrics.p50_slowdown
+    s.Metrics.p99_slowdown s.Metrics.goodput_rps s.Metrics.preemptions
+
+let run_concord_with kind ~seed =
+  let config = Systems.concord () in
+  let config = { config with Config.policy = kind } in
+  Server.run ~config ~mix:Presets.usr
+    ~arrival:(Arrival.Poisson { rate_rps = 2.0e6 })
+    ~n_requests:2_000 ~seed ()
+
+(* sigma = 0 draws no estimate noise AND must not perturb any existing RNG
+   stream: the run is bit-identical to exact SRPT, not merely close. *)
+let test_noisy_sigma_zero_identical () =
+  let exact = run_concord_with Policy.Srpt ~seed:42 in
+  let noisy = run_concord_with (Policy.Srpt_noisy { sigma = 0.0 }) ~seed:42 in
+  Alcotest.(check string) "sigma=0 == srpt" (fingerprint exact) (fingerprint noisy)
+
+let test_noisy_sigma_two_differs () =
+  let exact = run_concord_with Policy.Srpt ~seed:42 in
+  let noisy = run_concord_with (Policy.Srpt_noisy { sigma = 2.0 }) ~seed:42 in
+  Alcotest.(check bool) "sigma=2 perturbs the schedule" true
+    (fingerprint exact <> fingerprint noisy)
+
+(* --- SRPT vs FCFS mean delay -------------------------------------------- *)
+
+(* On a high-dispersion mix at high load, SRPT must not lose to FCFS on
+   mean sojourn (the classic optimality result, up to preemption overhead
+   and quantum granularity). YCSB-A's 50/50 bimodal keeps every seed's
+   long-request population large enough that the comparison is stable
+   per seed; rarer-long mixes (p_short = 0.99) need cross-seed averaging
+   because a handful of 500 us requests dominates the mean. Checked per
+   seed with a 1% overhead allowance. *)
+let test_srpt_mean_sojourn_beats_fcfs () =
+  let mix = Presets.ycsb_a in
+  let util = 0.85 in
+  let config = Systems.concord () in
+  let rate_rps =
+    util *. float_of_int config.Config.n_workers /. Mix.mean_service_ns mix *. 1e9
+  in
+  List.iter
+    (fun seed ->
+      let run kind =
+        Server.run
+          ~config:{ config with Config.policy = kind }
+          ~mix
+          ~arrival:(Arrival.Poisson { rate_rps })
+          ~n_requests:8_000 ~seed ()
+      in
+      let fcfs = run Policy.Fcfs in
+      let srpt = run Policy.Srpt in
+      if srpt.Metrics.mean_sojourn_ns > 1.01 *. fcfs.Metrics.mean_sojourn_ns then
+        Alcotest.failf "seed %d: SRPT mean sojourn %.0f ns > FCFS %.0f ns" seed
+          srpt.Metrics.mean_sojourn_ns fcfs.Metrics.mean_sojourn_ns)
+    [ 1; 2; 3 ]
+
+(* --- Gittins degeneracies ------------------------------------------------ *)
+
+(* Deterministic sizes: the Gittins rank must collapse to SRPT's remaining
+   work, rank(a) ~ s - a, up to the 192-point log-grid discretization
+   (~2-3% near age 0, where the grid is coarsest relative to s). *)
+let test_gittins_fixed_is_srpt () =
+  let s = 10_000.0 in
+  let t = Gittins.of_dist (Service_dist.Fixed s) in
+  let check ~age expected =
+    let got = float_of_int (Gittins.rank_ns t ~age_ns:age) in
+    if Float.abs (got -. expected) /. expected > 0.05 then
+      Alcotest.failf "rank(age=%d) = %.0f, want ~%.0f" age got expected
+  in
+  check ~age:0 s;
+  check ~age:5_000 (s /. 2.0);
+  Alcotest.(check int) "rank0 precompute agrees" (Gittins.rank_ns t ~age_ns:0)
+    (Gittins.rank0_ns t)
+
+(* Memoryless sizes: attained service carries no information, so the rank
+   must be (near-)constant in age — Gittins degenerates to FCFS among
+   started requests. *)
+let test_gittins_exponential_is_flat () =
+  let mean = 5_000.0 in
+  let t = Gittins.of_dist (Service_dist.Exponential { mean_ns = mean }) in
+  let r0 = float_of_int (Gittins.rank_ns t ~age_ns:0) in
+  List.iter
+    (fun age ->
+      let r = float_of_int (Gittins.rank_ns t ~age_ns:age) in
+      if Float.abs (r -. r0) /. r0 > 0.05 then
+        Alcotest.failf "rank(age=%d) = %.0f drifted from rank(0) = %.0f" age r r0)
+    [ 500; 2_500; 10_000; 25_000 ]
+
+(* --- adaptive preemption quanta ----------------------------------------- *)
+
+(* Under backlog the adaptive quantum must shrink below the 5 us default —
+   visible as strictly more preemptions than fixed-quantum Concord on the
+   same trace — while still completing the run. *)
+let test_adaptive_quantum_preempts_more () =
+  let config_of name =
+    match Systems.by_name name with
+    | Some make -> make ()
+    | None -> Alcotest.failf "unknown system %s" name
+  in
+  let run config =
+    Server.run ~config ~mix:Presets.ycsb_a
+      ~arrival:(Arrival.Poisson { rate_rps = 2.35e5 })
+      ~n_requests:3_000 ()
+  in
+  let fixed = run (config_of "concord") in
+  let adaptive = run (config_of "concord-adaptive") in
+  Alcotest.(check bool) "adaptive run completes" true
+    (adaptive.Metrics.completed > 0 && adaptive.Metrics.goodput_rps > 0.0);
+  if adaptive.Metrics.preemptions <= fixed.Metrics.preemptions then
+    Alcotest.failf "adaptive preemptions %d <= fixed %d" adaptive.Metrics.preemptions
+      fixed.Metrics.preemptions
+
+let suite =
+  [
+    Alcotest.test_case "of_spec accepts the frontier" `Quick test_of_spec_valid;
+    Alcotest.test_case "of_spec rejects malformed specs" `Quick test_of_spec_invalid;
+    Alcotest.test_case "srpt-noisy sigma=0 bit-identical to srpt" `Quick
+      test_noisy_sigma_zero_identical;
+    Alcotest.test_case "srpt-noisy sigma=2 perturbs the schedule" `Quick
+      test_noisy_sigma_two_differs;
+    Alcotest.test_case "SRPT mean sojourn beats FCFS on high dispersion" `Slow
+      test_srpt_mean_sojourn_beats_fcfs;
+    Alcotest.test_case "gittins degenerates to SRPT for Fixed" `Quick
+      test_gittins_fixed_is_srpt;
+    Alcotest.test_case "gittins rank flat for Exponential" `Quick
+      test_gittins_exponential_is_flat;
+    Alcotest.test_case "adaptive quantum preempts more under backlog" `Slow
+      test_adaptive_quantum_preempts_more;
+  ]

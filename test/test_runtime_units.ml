@@ -110,10 +110,25 @@ let test_pop_not_started () =
   Alcotest.(check int) "started request still queued" 1 (Policy.length q)
 
 let prop_policy_conserves =
+  let gittins =
+    Policy.Gittins
+      (Repro_workload.Gittins.of_dist
+         (Repro_workload.Service_dist.Exponential { mean_ns = 5_000.0 }))
+  in
   QCheck.Test.make ~count:200 ~name:"every policy pops each pushed request exactly once"
-    QCheck.(pair (int_range 0 2) (list_of_size (Gen.int_range 0 30) (int_range 1 10_000)))
+    QCheck.(pair (int_range 0 4) (list_of_size (Gen.int_range 0 30) (int_range 1 10_000)))
     (fun (kind_idx, services) ->
-      let kind = List.nth [ Policy.Fcfs; Policy.Srpt; Policy.Locality_fcfs ] kind_idx in
+      let kind =
+        List.nth
+          [
+            Policy.Fcfs;
+            Policy.Srpt;
+            Policy.Locality_fcfs;
+            Policy.Srpt_noisy { sigma = 1.0 };
+            gittins;
+          ]
+          kind_idx
+      in
       let q = Policy.create kind in
       List.iteri (fun id s -> Policy.push_new q (request ~id ~service_ns:s ())) services;
       let popped = ids q ~worker:0 in

@@ -35,8 +35,37 @@ let test_bimodal_values_and_mean () =
   Alcotest.(check bool) "MC mean within 2%" true (Float.abs (m -. 1090.0) /. 1090.0 < 0.02)
 
 let test_discrete_mean () =
-  let d = Service_dist.Discrete [| (1.0, 10.0); (3.0, 20.0) |] in
+  let d = Service_dist.discrete [| (1.0, 10.0); (3.0, 20.0) |] in
   Alcotest.(check (float 1e-9)) "weighted mean" 17.5 (Service_dist.mean_ns d)
+
+(* The binary search over precomputed cumulative weights must pick
+   bit-identical indices to the left-to-right linear scan it replaced
+   ([Rng.categorical]'s algorithm), including the last-slot roundoff
+   fallback. Mirror two same-seed streams through both algorithms. *)
+let test_discrete_matches_linear_scan () =
+  let entries =
+    Array.init 97 (fun i -> (1.0 +. float_of_int (i * 13 mod 7), float_of_int (10 + i)))
+  in
+  let d = Service_dist.discrete entries in
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 entries in
+  let n = Array.length entries in
+  let rng_fast = Rng.create ~seed:12 in
+  let rng_ref = Rng.create ~seed:12 in
+  let linear_pick () =
+    let x = Rng.float rng_ref *. total in
+    let rec go i acc =
+      if i >= n - 1 then n - 1
+      else
+        let acc = acc +. fst entries.(i) in
+        if x < acc then i else go (i + 1) acc
+    in
+    snd entries.(go 0 0.0)
+  in
+  for i = 1 to 50_000 do
+    let got = Service_dist.sample d rng_fast in
+    let want = linear_pick () in
+    if got <> want then Alcotest.failf "draw %d: binary search %f, linear scan %f" i got want
+  done
 
 let test_exponential_mc_mean () =
   let d = Service_dist.Exponential { mean_ns = 5_000.0 } in
@@ -102,6 +131,24 @@ let test_poisson_rate () =
   done;
   let mean = float_of_int !total /. float_of_int n in
   Alcotest.(check bool) "mean gap ~1000ns" true (Float.abs (mean -. 1000.0) < 20.0)
+
+(* Integer gaps must be an unbiased rounding of the underlying exponential
+   stream: mirror two same-seed streams, one through [next_gap_ns] and one
+   through the raw [Rng.exponential] draws, and compare realized means.
+   The old floor-truncation sat ~0.5 ns low — at 1M rps that inflates the
+   realized rate by ~0.05%, visible in saturation sweeps. *)
+let test_poisson_gap_rounding_unbiased () =
+  let a = Arrival.Poisson { rate_rps = 1.0e6 } in
+  let rng_int = Rng.create ~seed:11 in
+  let rng_real = Rng.create ~seed:11 in
+  let n = 200_000 in
+  let sum_int = ref 0.0 and sum_real = ref 0.0 in
+  for i = 0 to n - 1 do
+    sum_int := !sum_int +. float_of_int (Arrival.next_gap_ns a rng_int ~index:i);
+    sum_real := !sum_real +. Rng.exponential rng_real ~mean:1000.0
+  done;
+  let bias = (!sum_int -. !sum_real) /. float_of_int n in
+  Alcotest.(check bool) "per-gap rounding bias under 0.1 ns" true (Float.abs bias < 0.1)
 
 let test_uniform_gaps () =
   let a = Arrival.Uniform { rate_rps = 2.0e6 } in
@@ -185,6 +232,8 @@ let suite =
     Alcotest.test_case "fixed distribution" `Quick test_fixed;
     Alcotest.test_case "bimodal values and mean" `Slow test_bimodal_values_and_mean;
     Alcotest.test_case "discrete weighted mean" `Quick test_discrete_mean;
+    Alcotest.test_case "discrete search matches linear scan" `Slow
+      test_discrete_matches_linear_scan;
     Alcotest.test_case "exponential MC mean" `Slow test_exponential_mc_mean;
     Alcotest.test_case "lognormal analytic vs MC mean" `Slow test_lognormal_mean;
     Alcotest.test_case "squared CV" `Quick test_squared_cv;
@@ -192,6 +241,7 @@ let suite =
     Alcotest.test_case "trace distribution" `Quick test_trace;
     QCheck_alcotest.to_alcotest prop_samples_positive;
     Alcotest.test_case "poisson rate" `Slow test_poisson_rate;
+    Alcotest.test_case "poisson gap rounding unbiased" `Slow test_poisson_gap_rounding_unbiased;
     Alcotest.test_case "uniform gaps" `Quick test_uniform_gaps;
     Alcotest.test_case "burst pattern" `Quick test_burst_pattern;
     Alcotest.test_case "with_rate" `Quick test_with_rate;
