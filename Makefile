@@ -1,6 +1,6 @@
 # Tier-1 verification in one command.
 .PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke \
-	verify-probes-smoke policy-smoke lint clean
+	verify-probes-smoke policy-smoke hedge-smoke lint clean
 
 all: build
 
@@ -45,6 +45,19 @@ policy-smoke:
 	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy po2c \
 		--policy gittins -n 4000 --check
 
+# Tail-tolerance smoke test: every hedge policy spec (plus cross-server
+# stealing) must survive a short straggler-rack run with the cluster
+# conservation invariants intact — including the hedge-leg accounting
+# (routed legs = arrivals + duplicates, exactly one leg per arrival
+# completes or is censored).
+hedge-smoke:
+	for h in fixed:30000 pct:99 adaptive:0.1; do \
+		dune exec bin/concord_sim.exe -- cluster --instances 3 --policy po2c \
+			--rtt-cycles 5000 --straggler 0:4 --hedge $$h -n 4000 --check || exit 1; \
+	done
+	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy random \
+		--straggler 0:4 --steal -n 4000 --check
+
 # Determinism lint: the simulation library must not reach for ambient
 # nondeterminism (Random, wall clocks, unordered Hashtbl iteration).
 # Also proves the lint itself still bites, via an --expect-fail fixture.
@@ -55,7 +68,8 @@ lint:
 # What CI (and every PR) must keep green.
 check:
 	dune build && dune runtest && $(MAKE) lint && $(MAKE) trace-smoke && $(MAKE) cluster-smoke \
-		&& $(MAKE) policy-smoke && $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
+		&& $(MAKE) policy-smoke && $(MAKE) hedge-smoke && $(MAKE) verify-probes-smoke \
+		&& $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe

@@ -68,9 +68,11 @@ let server_scenario ?policy ~system ~rate_rps ~n_requests () =
   in
   (!events, summary.Repro_runtime.Metrics.p99_slowdown)
 
-let cluster_scenario ~instances ~rate_rps ~n_requests () =
+let cluster_scenario ?(hedge = Repro_cluster.Hedge.Off) ?(stragglers = []) ~instances
+    ~rate_rps ~n_requests () =
   let cluster =
-    Repro_cluster.Cluster.homogeneous ~policy:Repro_cluster.Lb_policy.Po2c ~instances
+    Repro_cluster.Cluster.homogeneous ~policy:Repro_cluster.Lb_policy.Po2c ~hedge
+      ~stragglers ~instances
       (config_of_system "concord")
   in
   let events = ref 0 in
@@ -224,7 +226,20 @@ let scenarios ~quick =
     ( "cluster-po2c-3x",
       "cluster",
       scale 20_000,
-      cluster_scenario ~instances:3 ~rate_rps:3.0e6 ~n_requests:(scale 20_000) );
+      fun () -> cluster_scenario ~instances:3 ~rate_rps:3.0e6 ~n_requests:(scale 20_000) ()
+    );
+    (* Duplicate-and-cancel under load: a 4x straggler plus percentile
+       hedging exercises the Hedge_fire/Cancel/zombie-leg machinery, the
+       event-rate cost of tail tolerance. *)
+    ( "cluster-hedged-3x",
+      "cluster",
+      scale 20_000,
+      fun () ->
+        cluster_scenario
+          ~hedge:(Repro_cluster.Hedge.Percentile { pct = 99.0 })
+          ~stragglers:[ (0, 4.0) ] ~instances:3 ~rate_rps:2.0e6
+          ~n_requests:(scale 20_000) ()
+    );
     ( "verify-probes",
       "static",
       0,

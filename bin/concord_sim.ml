@@ -22,8 +22,8 @@ let list_cmd =
     List.iter (fun n -> Printf.printf "  %s\n" n) Concord.Systems.all_names;
     print_endline "workloads:";
     List.iter (fun (n, _) -> Printf.printf "  %s\n" n) Concord.Presets.all;
-    print_endline "  leveldb";
-    print_endline "  leveldb-zippydb"
+    print_endline "  leveldb[:zipf=A]";
+    print_endline "  leveldb-zippydb[:zipf=A]"
   in
   Cmd.v (Cmd.info "list" ~doc:"List available figures, systems and workloads.")
     Term.(const action $ const ())
@@ -327,6 +327,41 @@ let cluster_cmd =
       & info [ "check" ]
           ~doc:"Validate conservation invariants on the summary; non-zero exit on failure.")
   in
+  let hedge_arg =
+    Arg.(
+      value & opt string "off"
+      & info [ "hedge" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf
+               "Balancer-side request hedging (%s): duplicate a slow request onto the \
+                shortest-view other server; first completion wins, the loser is cancelled."
+               (String.concat ", " Repro_cluster.Hedge.all_names)))
+  in
+  let cancel_cost_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cancel-cost-cycles" ] ~docv:"CYCLES"
+          ~doc:
+            "Dispatcher cost of revoking a cancelled duplicate at the server (default: one \
+             requeue op).")
+  in
+  let steal_flag =
+    Arg.(
+      value & flag
+      & info [ "steal" ]
+          ~doc:
+            "Rack-level work stealing: a server whose balancer view drains to zero probes \
+             the fullest peer for one not-yet-started request.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrival" ] ~docv:"SPEC"
+          ~doc:
+            "Arrival process: poisson | uniform | burst:N | diurnal:AMP:PERIOD_S | \
+             mmpp:FACTOR:CYCLE:DUTY (single-point runs only).")
+  in
   let sweep_flag =
     Arg.(
       value & flag
@@ -341,8 +376,9 @@ let cluster_cmd =
       & opt (some int) None
       & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Domains for the sweep fan-out (with --sweep).")
   in
-  let action system workload quantum workers policies instances rtt stragglers rate n_requests
-      seed trace_file breakdown check sweep points jobs =
+  let action system workload quantum workers policies instances rtt stragglers hedge_spec
+      cancel_cost steal arrival_spec rate n_requests seed trace_file breakdown check sweep
+      points jobs =
     let config, mix = resolve ~system ~workload ~quantum ~workers () in
     let policy, config =
       List.fold_left
@@ -357,8 +393,17 @@ let cluster_cmd =
               exit 1))
         (Lb_policy.Po2c, config) policies
     in
+    let hedge =
+      match Repro_cluster.Hedge.of_string hedge_spec with
+      | Ok h -> h
+      | Error e ->
+        prerr_endline e;
+        exit 1
+    in
     let cluster =
-      try Cluster.homogeneous ~policy ~rtt_cycles:rtt ~stragglers ~instances config
+      try
+        Cluster.homogeneous ~policy ~rtt_cycles:rtt ~hedge ?cancel_cost_cycles:cancel_cost
+          ~steal ~stragglers ~instances config
       with Invalid_argument e ->
         prerr_endline e;
         exit 1
@@ -375,13 +420,16 @@ let cluster_cmd =
       match rate with Some k -> k *. 1e3 | None -> 0.75 *. capacity_rps
     in
     let describe () =
-      Printf.printf "rack: %d x { %s }, policy %s, rtt %d cycles%s\n" instances
+      Printf.printf "rack: %d x { %s }, policy %s, rtt %d cycles%s%s%s\n" instances
         (Concord.Config.describe config) (Lb_policy.name policy) rtt
         (if stragglers = [] then ""
          else
            ", stragglers "
            ^ String.concat ","
                (List.map (fun (i, f) -> Printf.sprintf "%d:%.2gx" i f) stragglers))
+        (if hedge = Repro_cluster.Hedge.Off then ""
+         else ", hedge " ^ Repro_cluster.Hedge.name hedge)
+        (if steal then ", stealing" else "")
     in
     if sweep then begin
       let rates =
@@ -407,17 +455,25 @@ let cluster_cmd =
           Some (Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ())
         else None
       in
-      let s =
-        Cluster.run ~cluster ~mix
-          ~arrival:(Concord.Arrival.Poisson { rate_rps })
-          ~n_requests ~seed ?tracer ()
+      let arrival =
+        match Concord.Arrival.of_spec arrival_spec ~rate_rps with
+        | Ok a -> a
+        | Error e ->
+          prerr_endline e;
+          exit 1
       in
+      let s = Cluster.run ~cluster ~mix ~arrival ~n_requests ~seed ?tracer () in
       describe ();
       Printf.printf "workload: %s, offered %.1f kRps total (%.0f%% of rack capacity)\n"
         mix.Concord.Mix.name (rate_rps /. 1e3)
         (100. *. rate_rps /. capacity_rps);
       print_endline Concord.Metrics.summary_header;
       print_endline (Concord.Metrics.summary_row s.Cluster.cluster);
+      Array.iter
+        (fun (name, count, p999) ->
+          if count > 0 then
+            Printf.printf "  class %-10s n=%-8d p99.9 slowdown=%.2f\n" name count p999)
+        s.Cluster.cluster.Concord.Metrics.per_class;
       Array.iteri
         (fun i (ps : Concord.Metrics.summary) ->
           Printf.printf "  instance %d (routed %d):\n    %s\n" i s.Cluster.routed.(i)
@@ -426,6 +482,16 @@ let cluster_cmd =
       if s.Cluster.lb_held > 0 || s.Cluster.lb_unrouted > 0 then
         Printf.printf "balancer: %d arrivals held for a JBSQ credit, %d never routed\n"
           s.Cluster.lb_held s.Cluster.lb_unrouted;
+      if s.Cluster.hedge <> Repro_cluster.Hedge.Off then
+        Printf.printf
+          "hedging (%s): %d duplicates (%.1f%% of arrivals), %d wins, %d cancels, %.1f us \
+           wasted\n"
+          (Repro_cluster.Hedge.name s.Cluster.hedge)
+          s.Cluster.hedges
+          (100. *. float_of_int s.Cluster.hedges /. float_of_int (max 1 s.Cluster.requests))
+          s.Cluster.hedge_wins s.Cluster.hedge_cancels
+          (float_of_int s.Cluster.hedge_wasted_ns /. 1e3);
+      if s.Cluster.steal then Printf.printf "stealing: %d migrations\n" s.Cluster.steals;
       Option.iter
         (fun tracer ->
           let cswitch =
@@ -458,8 +524,9 @@ let cluster_cmd =
        ~doc:"Run a rack of server instances behind an inter-server load balancer.")
     Term.(
       const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ policy_arg
-      $ instances_arg $ rtt_arg $ straggler_arg $ rate_arg $ requests_arg $ seed_arg
-      $ trace_file_arg $ breakdown_flag $ check_flag $ sweep_flag $ points_arg $ jobs_arg)
+      $ instances_arg $ rtt_arg $ straggler_arg $ hedge_arg $ cancel_cost_arg $ steal_flag
+      $ arrival_arg $ rate_arg $ requests_arg $ seed_arg $ trace_file_arg $ breakdown_flag
+      $ check_flag $ sweep_flag $ points_arg $ jobs_arg)
 
 (* ---- frontier ---------------------------------------------------------- *)
 
@@ -548,6 +615,86 @@ let frontier_cmd =
     Term.(
       const action $ systems_arg $ policies_arg $ p_shorts_arg $ short_arg $ long_arg
       $ utils_arg $ quantum_arg $ workers_arg
+      $ Arg.(value & opt int 40_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals per cell.")
+      $ seed_arg $ jobs_arg $ csv_flag)
+
+(* ---- hedge-study ------------------------------------------------------- *)
+
+let hedge_study_cmd =
+  let rtts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 0; 1_000; 5_000; 20_000 ]
+      & info [ "rtts" ] ~docv:"C,..."
+          ~doc:"Comma-separated inter-server RTTs in cycles (the staleness axis).")
+  in
+  let hedges_arg =
+    Arg.(
+      value
+      & opt (list string) [ "off"; "fixed:20000"; "pct:99"; "adaptive:0.05" ]
+      & info [ "hedges" ] ~docv:"H,..."
+          ~doc:
+            (Printf.sprintf "Comma-separated hedge specs (%s)."
+               (String.concat ", " Repro_cluster.Hedge.all_names)))
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt (list string) [ "po2c"; "jsq" ]
+      & info [ "policies" ] ~docv:"P,..."
+          ~doc:
+            (Printf.sprintf "Comma-separated LB routing policies (%s)."
+               (String.concat ", " Repro_cluster.Lb_policy.all_names)))
+  in
+  let steal_flag =
+    Arg.(value & flag & info [ "steal" ] ~doc:"Enable rack-level work stealing in every cell.")
+  in
+  let instances_arg =
+    Arg.(value & opt int 3 & info [ "instances" ] ~docv:"K" ~doc:"Server instances per rack.")
+  in
+  let util_arg =
+    Arg.(
+      value & opt float 0.7
+      & info [ "util" ] ~docv:"U" ~doc:"Utilization fraction of ideal rack capacity.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Domains for the cell fan-out.")
+  in
+  let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the table.") in
+  let straggler_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' int float) []
+      & info [ "straggler" ] ~docv:"IDX:FACTOR"
+          ~doc:
+            "Make instance IDX a straggler in every cell — the asymmetry hedging and \
+             stealing exist to absorb (repeatable).")
+  in
+  let action system workload quantum workers rtts hedges policies steal stragglers instances
+      util n_requests seed jobs csv =
+    let config, mix = resolve ~system ~workload ~quantum ~workers () in
+    let points =
+      try
+        Concord.Sweep.run_hedge_study ~config ~mix ~rtts ~hedges ~policies ~steal ~stragglers
+          ~instances ~util ~n_requests ~seed ?domains:jobs ()
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 1
+    in
+    if csv then print_string (Concord.Sweep.hedge_csv points)
+    else print_string (Concord.Sweep.render_hedge points)
+  in
+  Cmd.v
+    (Cmd.info "hedge-study"
+       ~doc:
+         "Cross inter-server RTT x hedge policy x LB routing policy at fixed utilization \
+          (the tail-tolerance study).")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ rtts_arg
+      $ hedges_arg $ policies_arg $ steal_flag $ straggler_arg $ instances_arg $ util_arg
       $ Arg.(value & opt int 40_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals per cell.")
       $ seed_arg $ jobs_arg $ csv_flag)
 
@@ -828,6 +975,7 @@ let () =
             run_cmd;
             frontier_cmd;
             cluster_cmd;
+            hedge_study_cmd;
             replicate_cmd;
             sls_cmd;
             trace_cmd;

@@ -19,19 +19,27 @@ let spec ?(speed_factor = 1.0) config =
 type t = {
   policy : Lb_policy.t;
   rtt_cycles : int;
+  hedge : Hedge.t;
+  cancel_cost_cycles : int option;
+  steal : bool;
   specs : instance_spec array;
 }
 
-let make ?(policy = Lb_policy.Po2c) ?(rtt_cycles = 0) specs =
+let make ?(policy = Lb_policy.Po2c) ?(rtt_cycles = 0) ?(hedge = Hedge.Off)
+    ?cancel_cost_cycles ?(steal = false) specs =
   if Array.length specs < 1 then invalid_arg "Cluster.make: need at least one instance";
   if rtt_cycles < 0 then invalid_arg "Cluster.make: rtt_cycles must be >= 0";
+  (match cancel_cost_cycles with
+  | Some c when c < 0 -> invalid_arg "Cluster.make: cancel_cost_cycles must be >= 0"
+  | _ -> ());
   Array.iter (fun s -> ignore (spec ~speed_factor:s.speed_factor s.config)) specs;
   (match policy with
   | Lb_policy.Jbsq n when n < 1 -> invalid_arg "Cluster.make: jbsq bound must be >= 1"
   | _ -> ());
-  { policy; rtt_cycles; specs }
+  { policy; rtt_cycles; hedge; cancel_cost_cycles; steal; specs }
 
-let homogeneous ?policy ?rtt_cycles ?(stragglers = []) ~instances config =
+let homogeneous ?policy ?rtt_cycles ?hedge ?cancel_cost_cycles ?steal ?(stragglers = [])
+    ~instances config =
   if instances < 1 then invalid_arg "Cluster.homogeneous: need at least one instance";
   let specs = Array.init instances (fun _ -> spec config) in
   List.iter
@@ -40,7 +48,7 @@ let homogeneous ?policy ?rtt_cycles ?(stragglers = []) ~instances config =
         invalid_arg "Cluster.homogeneous: straggler index out of range";
       specs.(i) <- spec ~speed_factor:f config)
     stragglers;
-  make ?policy ?rtt_cycles specs
+  make ?policy ?rtt_cycles ?hedge ?cancel_cost_cycles ?steal specs
 
 type summary = {
   policy : Lb_policy.t;
@@ -53,6 +61,14 @@ type summary = {
   routed : int array;
   lb_held : int;
   lb_unrouted : int;
+  lb_censored : int;
+  hedge : Hedge.t;
+  steal : bool;
+  hedges : int;
+  hedge_wins : int;
+  hedge_cancels : int;
+  hedge_wasted_ns : int;
+  steals : int;
 }
 
 (* The shared-clock event type: the balancer's own steps plus every
@@ -61,6 +77,12 @@ type ev =
   | Arrive
   | Deliver of { inst : int; req : Request.t }
   | Credit of { inst : int }
+  | Hedge_fire of { req : Request.t; primary : int }
+      (* the hedge delay elapsed with [req] still incomplete: consider
+         duplicating it onto a second server *)
+  | Cancel of { req : Request.t } (* revocation reaching the loser's server *)
+  | Steal_probe of { victim : int; thief : int }
+  | Steal_nack of { victim : int; thief : int }
   | End_of_run
   | Inst of { inst : int; ev : Server.event }
 
@@ -104,10 +126,57 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
   let arrived = ref 0 in
   let finished = ref 0 in
   let instances = ref [||] in
+  (* --- tail-tolerance state --------------------------------------- *)
+  let hedge_on = cluster.hedge <> Hedge.Off && n_inst > 1 in
+  let estimator = Hedge.make_estimator () in
+  let hedges = ref 0 in
+  let hedge_wins = ref 0 in
+  let hedge_cancels = ref 0 in
+  let hedge_wasted_ns = ref 0 in
+  let steals = ref 0 in
+  let lb_censored = ref 0 in
+  (* Duplicate legs get ids past the arrival sequence so every leg is
+     globally unique in traces, [in_net] and the instances' live tables. *)
+  let next_leg_id = ref n_requests in
+  (* origin id -> (primary leg, duplicate leg), for pairs with no completed
+     leg yet; the first completion wins and revokes the other. *)
+  let hedged : (int, Request.t * Request.t) Hashtbl.t = Hashtbl.create 64 in
+  (* Revoked legs whose discard has not yet been observed; whatever is left
+     at the end of the run still counts as wasted work. *)
+  let zombies : (int, Request.t) Hashtbl.t = Hashtbl.create 64 in
+  (* leg id -> instance currently responsible for it (updated on dispatch
+     and on steal-forwarding), so a revocation can chase a moved leg. *)
+  let leg_inst : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let steal_pending = Array.make n_inst false in
   let rec do_credit i =
     views.(i) <- views.(i) - 1;
     (* A credit may free a slot the rack-level JBSQ bound was waiting on. *)
-    drain_pending ()
+    drain_pending ();
+    maybe_steal i
+  and maybe_steal thief =
+    (* An idle-looking server (empty view, nothing parked at the balancer)
+       probes the fullest-looking peer for surplus work — RackSched-style
+       rack-level stealing over the same stale views the LB uses. The view
+       transfer is optimistic; a nack rolls it back one credit RTT later. *)
+    if
+      cluster.steal
+      && (not steal_pending.(thief))
+      && views.(thief) <= 0
+      && Queue.is_empty pending
+    then begin
+      let victim = ref (-1) in
+      for j = 0 to n_inst - 1 do
+        if j <> thief && views.(j) >= 2 && (!victim < 0 || views.(j) > views.(!victim)) then
+          victim := j
+      done;
+      if !victim >= 0 then begin
+        let v = !victim in
+        views.(v) <- views.(v) - 1;
+        views.(thief) <- views.(thief) + 1;
+        steal_pending.(thief) <- true;
+        Sim.schedule_after sim ~delay:one_way_ns (Steal_probe { victim = v; thief })
+      end
+    end
   and drain_pending () =
     if not (Queue.is_empty pending) then begin
       match Lb_policy.choose cluster.policy lb_state ~views with
@@ -116,6 +185,15 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
         dispatch j (Queue.pop pending);
         drain_pending ()
     end
+  and send_to i (req : Request.t) =
+    views.(i) <- views.(i) + 1;
+    routed.(i) <- routed.(i) + 1;
+    if hedge_on then Hashtbl.replace leg_inst req.Request.id i;
+    if one_way_ns = 0 then Server.Instance.inject !instances.(i) req
+    else begin
+      Hashtbl.replace in_net req.Request.id (i, req);
+      Sim.schedule_after sim ~delay:one_way_ns (Deliver { inst = i; req })
+    end
   and dispatch i req =
     (match on_decision with
     | None -> ()
@@ -123,20 +201,54 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
       f ~views:(Array.copy views)
         ~lengths:(Array.map Server.Instance.inflight !instances)
         ~chosen:i);
-    views.(i) <- views.(i) + 1;
-    routed.(i) <- routed.(i) + 1;
-    if one_way_ns = 0 then Server.Instance.inject !instances.(i) req
-    else begin
-      Hashtbl.replace in_net req.Request.id (i, req);
-      Sim.schedule_after sim ~delay:one_way_ns (Deliver { inst = i; req })
+    send_to i req;
+    if hedge_on then begin
+      let estimate_ns = req.Request.estimate_ns in
+      match
+        (* A duplicate's unqueued completion: forward wire leg, its own
+           service, and the completion's return leg. *)
+        Hedge.delay_ns cluster.hedge estimator ~estimate_ns
+          ~lead_ns:((2 * one_way_ns) + estimate_ns)
+      with
+      | None -> ()
+      | Some d -> Sim.schedule_after sim ~delay:d (Hedge_fire { req; primary = i })
     end
   in
   let on_complete i (req : Request.t) =
+    if hedge_on then begin
+      Hedge.observe estimator ~sojourn_ns:(Request.sojourn_ns req)
+        ~service_ns:req.Request.service_ns;
+      match Hashtbl.find_opt hedged (Request.origin_id req) with
+      | None -> ()
+      | Some (primary, dup) ->
+        (* First completion wins; revoke the loser. The cancel rides the
+           forward wire leg to whichever server holds the loser now. *)
+        Hashtbl.remove hedged (Request.origin_id req);
+        let loser = if req == dup then primary else dup in
+        if req == dup then incr hedge_wins;
+        loser.Request.cancelled <- true;
+        incr hedge_cancels;
+        Hashtbl.replace zombies loser.Request.id loser;
+        Sim.schedule_after sim ~delay:one_way_ns (Cancel { req = loser })
+    end;
     Metrics.record_completion agg req;
     incr finished;
-    if cluster.rtt_cycles = 0 then do_credit i
+    (* Both wire legs gate on the same ns-level condition: with a zero-ns
+       credit leg the view updates synchronously, exactly like delivery
+       does with a zero-ns forward leg. (Gating on [rtt_cycles = 0] here
+       desynchronized views whenever a small rtt_cycles rounded to 0 ns.) *)
+    if credit_ns = 0 then do_credit i
     else Sim.schedule_after sim ~delay:credit_ns (Credit { inst = i });
     if !finished >= n_requests then Sim.stop sim
+  in
+  let on_cancelled i (req : Request.t) =
+    Hashtbl.remove zombies req.Request.id;
+    hedge_wasted_ns := !hedge_wasted_ns + req.Request.done_ns;
+    (* A discarded leg never completes, so its send must be balanced by an
+       explicit credit. Always scheduled (even at zero RTT): the discard
+       can fire from deep inside the instance's dispatcher machinery, where
+       re-entering it synchronously is not safe. *)
+    Sim.schedule_after sim ~delay:credit_ns (Credit { inst = i })
   in
   instances :=
     Array.init n_inst (fun i ->
@@ -144,7 +256,10 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
         Server.Instance.create ~sim
           ~lift:(fun e -> Inst { inst = i; ev = e })
           ~config:s.config ~warmup_before ~n_classes ~rng:mech_rngs.(i)
-          ~speed_factor:s.speed_factor ?tracer ~on_complete:(on_complete i) ());
+          ~speed_factor:s.speed_factor ?cancel_cost_cycles:cluster.cancel_cost_cycles ?tracer
+          ~on_complete:(on_complete i)
+          ?on_cancelled:(if hedge_on then Some (on_cancelled i) else None)
+          ());
   let handler _ = function
     | Arrive ->
       let now = Sim.now sim in
@@ -174,24 +289,86 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
       Hashtbl.remove in_net req.Request.id;
       Server.Instance.inject !instances.(inst) req
     | Credit { inst } -> do_credit inst
+    | Hedge_fire { req; primary } ->
+      if
+        hedge_on
+        && (not (Request.is_complete req))
+        && (not req.Request.cancelled)
+        && Hedge.within_budget cluster.hedge ~hedges:!hedges ~primaries:!arrived
+      then begin
+        (* Duplicate onto the shortest-view server other than the primary
+           (deterministic: no extra RNG draws perturbing the LB stream). *)
+        let target = ref (-1) in
+        for j = 0 to n_inst - 1 do
+          if j <> primary && (!target < 0 || views.(j) < views.(!target)) then target := j
+        done;
+        let bound_ok =
+          match cluster.policy with
+          | Lb_policy.Jbsq b -> views.(!target) < b
+          | Lb_policy.Random | Lb_policy.Round_robin | Lb_policy.Jsq | Lb_policy.Po2c -> true
+        in
+        if bound_ok then begin
+          let dup = Request.hedge_dup req ~id:!next_leg_id in
+          incr next_leg_id;
+          incr hedges;
+          Hashtbl.replace hedged req.Request.id (req, dup);
+          send_to !target dup
+        end
+      end
+    | Cancel { req } -> (
+      match Hashtbl.find_opt leg_inst req.Request.id with
+      | Some j -> Server.Instance.cancel !instances.(j) req
+      | None -> ())
+    | Steal_probe { victim; thief } -> (
+      match Server.Instance.surrender !instances.(victim) with
+      | Some req ->
+        incr steals;
+        steal_pending.(thief) <- false;
+        if hedge_on then Hashtbl.replace leg_inst req.Request.id thief;
+        (* Forward victim -> thief: one more hop on the wire. *)
+        if one_way_ns = 0 then Server.Instance.inject !instances.(thief) req
+        else begin
+          Hashtbl.replace in_net req.Request.id (thief, req);
+          Sim.schedule_after sim ~delay:one_way_ns (Deliver { inst = thief; req })
+        end
+      | None ->
+        (* Nothing stealable (everything queued has already run): the nack
+           returns after the credit leg and rolls the view transfer back. *)
+        Sim.schedule_after sim ~delay:credit_ns (Steal_nack { victim; thief }))
+    | Steal_nack { victim; thief } ->
+      views.(victim) <- views.(victim) + 1;
+      views.(thief) <- views.(thief) - 1;
+      steal_pending.(thief) <- false
     | Inst { inst; ev } -> Server.Instance.handle !instances.(inst) ev
     | End_of_run ->
       let now_ns = Sim.now sim in
+      (* Unresolved hedge pairs: neither leg completed. Exactly one leg per
+         arrival may enter the censored population, so revoke the duplicate
+         before the census (waste accounting happens after the run, where
+         it also covers cleanly-stopped runs). *)
+      if hedge_on then
+        (Hashtbl.iter (fun _ ((_, dup) : Request.t * Request.t) -> dup.Request.cancelled <- true) hedged)
+        [@lint.deterministic
+          "flag-setting only; independent of iteration order"];
       Array.iter
         (fun inst ->
           Server.Instance.censor_all inst ~now_ns
             ~also:(fun req -> Metrics.record_censored agg req ~now_ns))
         !instances;
       (Hashtbl.iter
-         (fun _ (_, req) ->
-           Metrics.record_censored agg req ~now_ns;
-           Metrics.record_censored lb_metrics req ~now_ns)
+         (fun _ ((_, req) : int * Request.t) ->
+           if not req.Request.cancelled then begin
+             incr lb_censored;
+             Metrics.record_censored agg req ~now_ns;
+             Metrics.record_censored lb_metrics req ~now_ns
+           end)
          in_net)
       [@lint.deterministic
         "hash order is stable for a fixed insertion history (non-randomized Hashtbl); \
          censored-request accounting is pinned by the golden tests"];
       Queue.iter
         (fun req ->
+          incr lb_censored;
           Metrics.record_censored agg req ~now_ns;
           Metrics.record_censored lb_metrics req ~now_ns)
         pending;
@@ -200,6 +377,23 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
   Sim.schedule_at sim ~time:0 Arrive;
   Sim.run sim ~handler ();
   (match events_out with Some r -> r := Sim.events_processed sim | None -> ());
+  (* Wasted-work closeout: duplicates of pairs the run ended around, plus
+     revoked legs whose discard the servers never got to observe. Their
+     partial progress is hedging overhead the duplicate-rate alone hides. *)
+  if hedge_on then begin
+    (Hashtbl.iter
+       (fun _ ((_, dup) : Request.t * Request.t) ->
+         dup.Request.cancelled <- true;
+         incr hedge_cancels;
+         hedge_wasted_ns := !hedge_wasted_ns + dup.Request.done_ns)
+       hedged)
+    [@lint.deterministic "counter accumulation; independent of iteration order"];
+    (Hashtbl.iter
+       (fun _ (zombie : Request.t) ->
+         hedge_wasted_ns := !hedge_wasted_ns + zombie.Request.done_ns)
+       zombies)
+    [@lint.deterministic "counter accumulation; independent of iteration order"]
+  end;
   let span_ns = max 1 (Sim.now sim) in
   let instances = !instances in
   let class_names = Array.map (fun (c : Mix.class_def) -> c.name) mix.Mix.classes in
@@ -269,6 +463,14 @@ let run_detailed ~cluster ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
       routed;
       lb_held = !lb_held;
       lb_unrouted = Queue.length pending;
+      lb_censored = !lb_censored;
+      hedge = cluster.hedge;
+      steal = cluster.steal;
+      hedges = !hedges;
+      hedge_wins = !hedge_wins;
+      hedge_cancels = !hedge_cancels;
+      hedge_wasted_ns = !hedge_wasted_ns;
+      steals = !steals;
     },
     merged )
 
@@ -291,10 +493,14 @@ let check_invariants s =
     Error
       (Printf.sprintf "completed (%d) + censored (%d) != requests (%d)"
          s.cluster.Metrics.completed s.cluster.Metrics.censored s.requests)
-  else if routed_sum + s.lb_unrouted <> s.requests then
+  else if routed_sum + s.lb_unrouted <> s.requests + s.hedges then
     Error
-      (Printf.sprintf "routed (%d) + unrouted (%d) != requests (%d)" routed_sum s.lb_unrouted
-         s.requests)
+      (Printf.sprintf "routed (%d) + unrouted (%d) != requests (%d) + hedges (%d)" routed_sum
+         s.lb_unrouted s.requests s.hedges)
+  else if s.hedge_cancels > s.hedges || s.hedge_wins > s.hedges then
+    Error
+      (Printf.sprintf "hedge accounting: wins (%d) / cancels (%d) exceed hedges (%d)"
+         s.hedge_wins s.hedge_cancels s.hedges)
   else if s.cluster.Metrics.goodput_rps > s.cluster.Metrics.offered_rps *. 1.05 then
     Error
       (Printf.sprintf "goodput %.1f exceeds offered %.1f" s.cluster.Metrics.goodput_rps

@@ -37,14 +37,30 @@ type t = {
       (** inter-server round trip, in cycles of the first instance's cost
           model: requests take rtt/2 from balancer to server, completion
           credits take the remaining rtt/2 back *)
+  hedge : Hedge.t;
+      (** balancer-side request hedging: when a dispatched request is still
+          incomplete after the policy's delay, a duplicate leg is sent to
+          the shortest-view other server; the first completion wins and the
+          loser is revoked through {!Repro_runtime.Server.Instance.cancel}
+          (duplicate-and-cancel, Tail at Scale §"Hedged requests") *)
+  cancel_cost_cycles : int option;
+      (** dispatcher cost of executing one revocation at the server;
+          [None] = the server default (one requeue op) *)
+  steal : bool;
+      (** rack-level work stealing: a server whose view drains to zero
+          probes the fullest-view peer for one not-yet-started request *)
   specs : instance_spec array;
 }
 
-val make : ?policy:Lb_policy.t -> ?rtt_cycles:int -> instance_spec array -> t
-(** Defaults: [Po2c], [rtt_cycles = 0]. Validates every spec eagerly. *)
+val make :
+  ?policy:Lb_policy.t -> ?rtt_cycles:int -> ?hedge:Hedge.t ->
+  ?cancel_cost_cycles:int -> ?steal:bool -> instance_spec array -> t
+(** Defaults: [Po2c], [rtt_cycles = 0], hedging {!Hedge.Off}, no stealing.
+    Validates every spec eagerly. *)
 
 val homogeneous :
-  ?policy:Lb_policy.t -> ?rtt_cycles:int -> ?stragglers:(int * float) list ->
+  ?policy:Lb_policy.t -> ?rtt_cycles:int -> ?hedge:Hedge.t ->
+  ?cancel_cost_cycles:int -> ?steal:bool -> ?stragglers:(int * float) list ->
   instances:int -> Config.t -> t
 (** [instances] identical servers; [stragglers] then overrides the listed
     indices' speed factors, e.g. [[ (2, 3.0) ]] makes server 2 a 3x
@@ -68,6 +84,19 @@ type summary = {
       (** arrivals that waited at the balancer for a JBSQ(n) credit *)
   lb_unrouted : int;
       (** requests still parked at the balancer at end of run (censored) *)
+  lb_censored : int;
+      (** requests censored while still balancer-side (parked or on the
+          wire) — they enter both the rack accumulator and [lb_metrics],
+          never any instance *)
+  hedge : Hedge.t;
+  steal : bool;
+  hedges : int;  (** duplicate legs dispatched *)
+  hedge_wins : int;  (** hedged requests whose duplicate finished first *)
+  hedge_cancels : int;  (** losing legs revoked (includes end-of-run) *)
+  hedge_wasted_ns : int;
+      (** service-ns of partial work executed by losing legs before their
+          discard — the true cost of hedging beyond the duplicate rate *)
+  steals : int;  (** requests migrated between servers by work stealing *)
 }
 
 val run :
@@ -116,5 +145,7 @@ val check_invariants : summary -> (unit, string) result
 (** Conservation and sanity checks used by [make cluster-smoke] and tests:
     per-instance completions sum to the cluster count, every arrival is
     either completed, censored, or parked; routed + unrouted covers all
-    arrivals; goodput does not exceed offered load (5 % measurement
+    arrivals plus hedge duplicates (exactly one leg per arrival completes
+    or is censored — losing legs are discarded without entering either
+    population); goodput does not exceed offered load (5 % measurement
     tolerance). *)

@@ -68,7 +68,11 @@ let choose t state ~views =
       Some
         (if views.(a) < views.(b) then a
          else if views.(b) < views.(a) then b
-         else min a b)
+           (* On a tie keep the first sample: [a] is already uniform over all
+              servers, so tied routing stays unbiased. (Resolving with
+              [min a b] skewed every lightly-loaded rack toward low-index
+              servers.) *)
+         else a)
     | Jbsq bound ->
       let best = ref (-1) in
       Array.iteri

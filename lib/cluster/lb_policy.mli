@@ -38,5 +38,6 @@ val make_state : rng:Repro_engine.Rng.t -> state
 val choose : t -> state -> views:int array -> int option
 (** Index of the server the next request should join, or [None] when the
     policy refuses to place it now (only possible for [Jbsq _]). [views]
-    must be non-empty. Deterministic given [state]'s RNG stream; ties break
-    toward the lowest index. *)
+    must be non-empty. Deterministic given [state]'s RNG stream. [Jsq] and
+    [Jbsq _] break ties toward the lowest index; [Po2c] keeps its first
+    sample on a tie, which is uniform over servers. *)

@@ -26,22 +26,46 @@ let configure ?(system = "concord") ?n_workers ?(quantum_us = 5.0) () =
     if quantum_ns < 1 then Error "quantum must be positive"
     else Ok (make ?n_workers ~quantum_ns ())
 
+(* Kvstore workloads accept a ":zipf=ALPHA" suffix that skews key
+   popularity (hot shards): "leveldb:zipf=0.99" is YCSB's default skew. *)
+let split_zipf name =
+  match String.index_opt name ':' with
+  | None -> Ok (name, None)
+  | Some i -> (
+    let base = String.sub name 0 i in
+    let opt = String.sub name (i + 1) (String.length name - i - 1) in
+    match String.length opt > 5 && String.sub opt 0 5 = "zipf=" with
+    | false -> Error (Printf.sprintf "unknown workload option %S (expected zipf=ALPHA)" opt)
+    | true -> (
+      let v = String.sub opt 5 (String.length opt - 5) in
+      match float_of_string_opt v with
+      | Some alpha when alpha > 0.0 -> Ok (base, Some alpha)
+      | _ -> Error (Printf.sprintf "zipf alpha must be a positive float, got %S" v)))
+
 let workload name =
-  match name with
-  | "leveldb" ->
-    let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
-    Ok (Repro_kvstore.Kv_workload.get_scan_mix store ~seed:7)
-  | "leveldb-zippydb" ->
-    let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
-    Ok (Repro_kvstore.Kv_workload.zippydb_mix store ~seed:7)
-  | name -> (
-    match Presets.by_name name with
-    | Some mix -> Ok mix
-    | None ->
+  match split_zipf name with
+  | Error _ as e -> e
+  | Ok (base, zipf_alpha) -> (
+    match base with
+    | "leveldb" ->
+      let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
+      Ok (Repro_kvstore.Kv_workload.get_scan_mix ?zipf_alpha store ~seed:7)
+    | "leveldb-zippydb" ->
+      let store = Repro_kvstore.Kv_workload.populate ~seed:7 () in
+      Ok (Repro_kvstore.Kv_workload.zippydb_mix ?zipf_alpha store ~seed:7)
+    | base when zipf_alpha <> None ->
       Error
-        (Printf.sprintf "unknown workload %S (expected one of: %s)" name
-           (String.concat ", "
-              (List.map fst Presets.all @ [ "leveldb"; "leveldb-zippydb" ]))))
+        (Printf.sprintf "workload %S is not key-addressed; :zipf= applies only to %s" base
+           "leveldb / leveldb-zippydb")
+    | name -> (
+      match Presets.by_name name with
+      | Some mix -> Ok mix
+      | None ->
+        Error
+          (Printf.sprintf "unknown workload %S (expected one of: %s)" name
+             (String.concat ", "
+                (List.map fst Presets.all
+                @ [ "leveldb[:zipf=A]"; "leveldb-zippydb[:zipf=A]" ])))))
 
 let with_policy config ~spec ~mix =
   match Policy.of_spec spec ~mix with

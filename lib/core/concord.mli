@@ -48,7 +48,9 @@ val configure :
 
 val workload : string -> (Mix.t, string) result
 (** Paper workloads by name: the {!Presets} names plus the LevelDB-backed
-    ["leveldb"] (50/50 GET/SCAN) and ["leveldb-zippydb"]. *)
+    ["leveldb"] (50/50 GET/SCAN) and ["leveldb-zippydb"]. The kvstore
+    workloads accept a [":zipf=ALPHA"] suffix that skews key popularity
+    Zipf-style (hot shards), e.g. ["leveldb:zipf=0.99"]. *)
 
 val with_policy : Config.t -> spec:string -> mix:Mix.t -> (Config.t, string) result
 (** Override the configuration's central-queue policy from a CLI spec

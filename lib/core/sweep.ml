@@ -169,7 +169,7 @@ let frontier_csv points =
 
 (* One block per utilization: rows are config x policy, columns the CV^2
    axis, each cell "p99 (p99.9)" slowdown. *)
-let render_frontier points =
+let render_frontier (points : frontier_point list) =
   let b = Buffer.create 4096 in
   let utils = List.sort_uniq compare (List.map (fun p -> p.util) points) in
   let cvs = List.sort_uniq compare (List.map (fun p -> p.squared_cv) points) in
@@ -210,4 +210,135 @@ let render_frontier points =
         rows;
       Buffer.add_char b '\n')
     utils;
+  Buffer.contents b
+
+(* ---- tail-tolerance (hedge) study ------------------------------------ *)
+
+type hedge_point = {
+  lb_policy : string;
+  rtt_cycles : int;
+  hedge_spec : string;
+  steal : bool;
+  util : float;
+  rate_rps : float;
+  hedges : int;
+  hedge_wins : int;
+  hedge_cancels : int;
+  hedge_wasted_ns : int;
+  steals : int;
+  dup_frac : float;
+  summary : Repro_runtime.Metrics.summary;
+}
+
+let run_hedge_study ~config ~mix ~rtts ~hedges ~policies ?(steal = false)
+    ?(stragglers = []) ?(instances = 3) ?(util = 0.7) ?(n_requests = 40_000) ?(seed = 42)
+    ?domains () =
+  let module Cluster = Repro_cluster.Cluster in
+  let cells =
+    List.concat_map
+      (fun rtt ->
+        List.concat_map (fun h -> List.map (fun pol -> (rtt, h, pol)) policies) hedges)
+      (List.sort_uniq compare rtts)
+  in
+  let run_cell (rtt_cycles, hedge_spec, policy_spec) =
+    let policy =
+      match Repro_cluster.Lb_policy.of_string policy_spec with
+      | Ok p -> p
+      | Error e -> invalid_arg ("Sweep.run_hedge_study: " ^ e)
+    in
+    let hedge =
+      match Repro_cluster.Hedge.of_string hedge_spec with
+      | Ok h -> h
+      | Error e -> invalid_arg ("Sweep.run_hedge_study: " ^ e)
+    in
+    let cluster =
+      Cluster.homogeneous ~policy ~rtt_cycles ~hedge ~steal ~stragglers ~instances config
+    in
+    let rate_rps =
+      util
+      *. float_of_int (instances * config.Repro_runtime.Config.n_workers)
+      /. Mix.mean_service_ns mix *. 1e9
+    in
+    let s =
+      Cluster.run ~cluster ~mix ~arrival:(Arrival.Poisson { rate_rps }) ~n_requests ~seed ()
+    in
+    {
+      lb_policy = policy_spec;
+      rtt_cycles;
+      hedge_spec;
+      steal;
+      util;
+      rate_rps;
+      hedges = s.Cluster.hedges;
+      hedge_wins = s.Cluster.hedge_wins;
+      hedge_cancels = s.Cluster.hedge_cancels;
+      hedge_wasted_ns = s.Cluster.hedge_wasted_ns;
+      steals = s.Cluster.steals;
+      dup_frac = float_of_int s.Cluster.hedges /. float_of_int (max 1 s.Cluster.requests);
+      summary = s.Cluster.cluster;
+    }
+  in
+  (* Same determinism argument as [run_frontier]: each cell owns a whole
+     self-seeded rack simulation. *)
+  let map_cells =
+    if mix.Mix.parallel_safe then Repro_engine.Pool.parallel_map ?domains else List.map
+  in
+  map_cells run_cell cells
+
+let hedge_csv points =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "lb_policy,rtt_cycles,hedge,steal,util,rate_rps,p50,p99,p999,hedges,hedge_wins,hedge_cancels,hedge_wasted_ns,steals,dup_frac\n";
+  List.iter
+    (fun p ->
+      let s = p.summary in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%s,%b,%.3f,%.1f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%.4f\n" p.lb_policy
+           p.rtt_cycles p.hedge_spec p.steal p.util p.rate_rps
+           s.Repro_runtime.Metrics.p50_slowdown s.Repro_runtime.Metrics.p99_slowdown
+           s.Repro_runtime.Metrics.p999_slowdown p.hedges p.hedge_wins p.hedge_cancels
+           p.hedge_wasted_ns p.steals p.dup_frac))
+    points;
+  Buffer.contents b
+
+(* One block per LB policy: rows are hedge specs, columns the RTT axis,
+   each cell "p99 (dup%)". *)
+let render_hedge points =
+  let b = Buffer.create 4096 in
+  let policies = List.sort_uniq compare (List.map (fun p -> p.lb_policy) points) in
+  let rtts = List.sort_uniq compare (List.map (fun p -> p.rtt_cycles) points) in
+  let hedges = List.sort_uniq compare (List.map (fun p -> p.hedge_spec) points) in
+  let col_w = 18 in
+  List.iter
+    (fun pol ->
+      Buffer.add_string b
+        (Printf.sprintf "p99 slowdown (duplicate %%) under %s routing\n" pol);
+      Buffer.add_string b (Printf.sprintf "%-16s" "hedge");
+      List.iter
+        (fun rtt ->
+          Buffer.add_string b (Printf.sprintf "%*s" col_w (Printf.sprintf "rtt=%d" rtt)))
+        rtts;
+      Buffer.add_char b '\n';
+      List.iter
+        (fun h ->
+          Buffer.add_string b (Printf.sprintf "%-16s" h);
+          List.iter
+            (fun rtt ->
+              match
+                List.find_opt
+                  (fun p -> p.lb_policy = pol && p.rtt_cycles = rtt && p.hedge_spec = h)
+                  points
+              with
+              | Some p ->
+                Buffer.add_string b
+                  (Printf.sprintf "%*s" col_w
+                     (Printf.sprintf "%.1f (%.1f%%)"
+                        p.summary.Repro_runtime.Metrics.p99_slowdown
+                        (100.0 *. p.dup_frac)))
+              | None -> Buffer.add_string b (Printf.sprintf "%*s" col_w "-"))
+            rtts;
+          Buffer.add_char b '\n')
+        hedges;
+      Buffer.add_char b '\n')
+    policies;
   Buffer.contents b

@@ -110,3 +110,52 @@ val frontier_csv : frontier_point list -> string
 val render_frontier : frontier_point list -> string
 (** Aligned "p99 (p99.9)" heat-table: one block per utilization, one row
     per config x policy, one column per CV^2. *)
+
+(** {2 Tail-tolerance study}
+
+    The rack-level hedging study: cross inter-server RTT, hedge policy and
+    LB routing policy at fixed utilization and measure the p99 reduction a
+    duplicate-and-cancel balancer buys per percent of duplicate load. *)
+
+type hedge_point = {
+  lb_policy : string;  (** {!Repro_cluster.Lb_policy.of_string} spec *)
+  rtt_cycles : int;
+  hedge_spec : string;  (** {!Repro_cluster.Hedge.of_string} spec *)
+  steal : bool;
+  util : float;
+  rate_rps : float;  (** total rack offered load *)
+  hedges : int;
+  hedge_wins : int;
+  hedge_cancels : int;
+  hedge_wasted_ns : int;
+  steals : int;
+  dup_frac : float;  (** hedges / arrivals — the duplicate overhead *)
+  summary : Repro_runtime.Metrics.summary;  (** rack-level merged view *)
+}
+
+val run_hedge_study :
+  config:Repro_runtime.Config.t ->
+  mix:Repro_workload.Mix.t ->
+  rtts:int list ->
+  hedges:string list ->
+  policies:string list ->
+  ?steal:bool ->
+  ?stragglers:(int * float) list ->
+  ?instances:int ->
+  ?util:float ->
+  ?n_requests:int ->
+  ?seed:int ->
+  ?domains:int ->
+  unit ->
+  hedge_point list
+(** Run every cell of rtts x hedges x policies on a homogeneous
+    [instances]-server rack (default 3) at [util] (default 0.7) of ideal
+    rack capacity. Cells fan across [domains] with bit-identical results
+    when the mix is [parallel_safe]. Raises [Invalid_argument] on a
+    malformed hedge or policy spec. *)
+
+val hedge_csv : hedge_point list -> string
+
+val render_hedge : hedge_point list -> string
+(** Aligned "p99 (duplicate %)" table: one block per LB policy, one row
+    per hedge spec, one column per RTT. *)

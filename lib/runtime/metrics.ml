@@ -43,7 +43,9 @@ let create ~warmup_before ~n_classes =
     worker_busy_ns = 0;
   }
 
-let measured t (r : Request.t) = r.id >= t.warmup_before
+(* Keyed on the origin id so a hedge duplicate (whose own id is allocated
+   past the arrival sequence) is measured iff its primary would be. *)
+let measured t (r : Request.t) = Request.origin_id r >= t.warmup_before
 
 let record_sample t (r : Request.t) ~slowdown ~sojourn_ns =
   Stats.add t.slowdowns slowdown;

@@ -12,6 +12,8 @@ type t = {
   mutable last_worker : int;
   mutable preemptions : int;
   mutable completion_ns : int;
+  mutable cancelled : bool;
+  hedge_of : int;
 }
 
 let create ~id ~arrival_ns ~(profile : Repro_workload.Mix.profile) =
@@ -29,7 +31,29 @@ let create ~id ~arrival_ns ~(profile : Repro_workload.Mix.profile) =
     last_worker = -1;
     preemptions = 0;
     completion_ns = -1;
+    cancelled = false;
+    hedge_of = -1;
   }
+
+(* A hedge duplicate: same arrival and service profile as the primary, a
+   fresh id for separate per-leg progress, and [hedge_of] pointing back so
+   metrics account both legs against one arrival. *)
+let hedge_dup (primary : t) ~id =
+  {
+    primary with
+    id;
+    hedge_of = primary.id;
+    estimate_ns = primary.service_ns;
+    done_ns = 0;
+    started = false;
+    dispatcher_owned = false;
+    last_worker = -1;
+    preemptions = 0;
+    completion_ns = -1;
+    cancelled = false;
+  }
+
+let origin_id t = if t.hedge_of >= 0 then t.hedge_of else t.id
 
 let remaining_ns t = t.service_ns - t.done_ns
 let is_complete t = t.completion_ns >= 0

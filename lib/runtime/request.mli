@@ -28,10 +28,27 @@ type t = {
   mutable last_worker : int;  (** worker that last ran it, or -1 *)
   mutable preemptions : int;
   mutable completion_ns : int;  (** -1 until completed *)
+  mutable cancelled : bool;
+      (** the balancer revoked this request (losing hedge leg); the server
+          discards it at the next touch instead of running it further *)
+  hedge_of : int;
+      (** id of the primary request this is a hedge duplicate of, or -1 for
+          a primary; duplicates share the primary's arrival and profile but
+          carry a fresh id so per-leg progress stays separate *)
 }
 
 val create :
   id:int -> arrival_ns:int -> profile:Repro_workload.Mix.profile -> t
+
+val hedge_dup : t -> id:int -> t
+(** A duplicate of [primary] for hedged dispatch: shares its arrival time
+    and service profile, carries the fresh [id], and points back via
+    [hedge_of]. Progress, estimate and cancellation state start clean. *)
+
+val origin_id : t -> int
+(** The arrival this leg accounts against: [hedge_of] for a duplicate,
+    [id] otherwise. Warmup filtering and per-request metrics key on this
+    so hedging never changes which arrivals are measured. *)
 
 val remaining_ns : t -> int
 val is_complete : t -> bool

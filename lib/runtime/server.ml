@@ -23,6 +23,10 @@ type disp_op =
   | Op_preempt_signal of { worker : int; epoch : int }
   | Op_send of { worker : int; req : Request.t } (* SQ hand-off *)
   | Op_push of { worker : int; req : Request.t } (* JBSQ push *)
+  | Op_cancel of Request.t
+      (* balancer-issued revocation of a hedge duplicate: discard the leg
+         wherever it currently sits (queued, saved, or running via the
+         preemption mechanism), charging [cancel_ns] of dispatcher time *)
 
 (* Per-instance events. The host simulation (the standalone driver below,
    or a {!Cluster}-style rack model) wraps these in its own event type via
@@ -92,6 +96,11 @@ type 'e t = {
       (* [tracer <> None]; call sites test this before building a
          [Tracing.kind], so untraced runs never allocate the payload *)
   on_complete : (Request.t -> unit) option;
+  on_cancelled : (Request.t -> unit) option;
+      (* fired exactly once per revoked leg, when the instance actually
+         discards it; the partial progress left in [done_ns] is the
+         balancer's wasted-work meter *)
+  cancel_ns : int; (* dispatcher cost of executing an Op_cancel *)
   mutable finished : int; (* completions, all owners *)
   (* size-estimate noise: sigma of the log-normal multiplier applied once
      at arrival when the policy is Srpt_noisy; 0.0 = exact demand and no
@@ -124,6 +133,16 @@ let trace t ~request kind =
   match t.tracer with
   | None -> ()
   | Some tracer -> Tracing.record tracer ~time_ns:(Sim.now t.sim) ~request kind
+
+(* Drop a revoked leg for good. Guarded on [live] membership so the
+   cancellation callback fires exactly once no matter how many paths
+   (queue pop, requeue, completion, explicit Op_cancel) race to discard
+   the same request. *)
+let discard_cancelled t (req : Request.t) =
+  if Hashtbl.mem t.live req.Request.id then begin
+    Hashtbl.remove t.live req.Request.id;
+    match t.on_cancelled with None -> () | Some f -> f req
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Progress arithmetic                                                 *)
@@ -210,9 +229,48 @@ let op_cost_ns t = function
     else ns t t.config.costs.disp_flag_write_cycles
   | Op_send _ -> ns t t.config.costs.disp_send_cycles
   | Op_push _ -> ns t (t.config.costs.disp_send_cycles + t.config.costs.disp_jbsq_pick_cycles)
+  | Op_cancel _ -> t.cancel_ns
 
 let is_jbsq t = match t.config.queue_model with Config.Jbsq _ -> true | Config.Single_queue -> false
 let depth t = Config.jbsq_depth t.config
+
+(* Cancellation leaves ghost entries behind: a revoked leg may still sit in
+   the central policy, a local queue, or the saved-context buffer. Rather
+   than teaching every queue to delete by id, the pop paths below skip and
+   discard cancelled entries lazily — with hedging off no request is ever
+   cancelled and these reduce to the bare pops. *)
+let rec pop_live t ~worker =
+  match Policy.pop t.central ~worker with
+  | None -> None
+  | Some req ->
+    if req.Request.cancelled then begin
+      discard_cancelled t req;
+      pop_live t ~worker
+    end
+    else Some req
+
+let rec pop_not_started_live t =
+  match Policy.pop_not_started t.central with
+  | None -> None
+  | Some req ->
+    if req.Request.cancelled then begin
+      discard_cancelled t req;
+      pop_not_started_live t
+    end
+    else Some req
+
+let rec local_pop_live t (w : worker) =
+  match Local_queue.pop w.local with
+  | None -> None
+  | Some req ->
+    if req.Request.cancelled then begin
+      discard_cancelled t req;
+      (* The slot this duplicate held in the dispatcher's JBSQ view must be
+         credited back, exactly as a completion would. *)
+      Ring.push t.disp.ops (Op_completion w.wid);
+      local_pop_live t w
+    end
+    else Some req
 
 (* Pick the drain action the dispatcher would perform next, if any:
    hand a queued request to a free worker (SQ) or push to the shortest
@@ -236,7 +294,7 @@ let make_drain_op t =
     done;
     if !best < 0 then None
     else begin
-      match Policy.pop t.central ~worker:!best with
+      match pop_live t ~worker:!best with
       | None -> None
       | Some req ->
         workers.(!best).outstanding_view <- workers.(!best).outstanding_view + 1;
@@ -255,7 +313,7 @@ let make_drain_op t =
     if !waiting < 0 then None
     else begin
       let waiting = !waiting in
-      match Policy.pop t.central ~worker:waiting with
+      match pop_live t ~worker:waiting with
       | None -> None
       | Some req ->
         workers.(waiting).sq_waiting <- false;
@@ -280,7 +338,7 @@ let rec collect_batch t buf n limit =
       buf.(n) <- r;
       collect_batch t buf (n + 1) limit
     | Op_ingress_batch | Op_completion _ | Op_requeue _ | Op_preempt_signal _ | Op_send _
-    | Op_push _ ->
+    | Op_push _ | Op_cancel _ ->
       n
   end
 
@@ -334,11 +392,16 @@ and try_steal t =
         Some req
       | None ->
         if all_workers_busy_view t && Policy.has_not_started t.central then
-          Policy.pop_not_started t.central
+          pop_not_started_live t
         else None
     in
     match candidate with
     | None -> ()
+    | Some req when req.Request.cancelled ->
+      (* Only the saved-context path can surface a cancelled leg here (the
+         queue pop filters them); drop it and look again. *)
+      discard_cancelled t req;
+      try_steal t
     | Some req ->
     let now = Sim.now t.sim in
     if t.tracing then begin
@@ -376,6 +439,13 @@ and try_steal t =
     Sim.schedule_at t.sim ~time:send (t.lift (Ev_disp_slice_end { depoch = d.depoch })))
 
 let complete_request t (req : Request.t) ~worker =
+  if req.Request.cancelled then begin
+    (* The revocation landed too late to stop the leg: its full service ran.
+       All of it is waste, none of it is a completion. *)
+    req.Request.done_ns <- req.Request.service_ns;
+    discard_cancelled t req
+  end
+  else begin
   if t.tracing then trace t ~request:req.Request.id (Tracing.Completed { worker });
   req.Request.completion_ns <- Sim.now t.sim;
   req.Request.done_ns <- req.Request.service_ns;
@@ -389,7 +459,8 @@ let complete_request t (req : Request.t) ~worker =
   Hashtbl.remove t.live req.Request.id;
   Metrics.record_completion t.metrics req;
   t.finished <- t.finished + 1;
-  match t.on_complete with None -> () | Some f -> f req
+  (match t.on_complete with None -> () | Some f -> f req)
+  end
 
 let on_slice_end t ~depoch =
   let d = t.disp in
@@ -401,6 +472,10 @@ let on_slice_end t ~depoch =
       ignore send;
       Metrics.add_dispatcher_app t.metrics (now - sstart);
       if sstop_progress >= sreq.Request.service_ns then complete_request t sreq ~worker:(-1)
+      else if sreq.Request.cancelled then begin
+        sreq.Request.done_ns <- sstop_progress;
+        discard_cancelled t sreq
+      end
       else begin
         if t.tracing then
           trace t ~request:sreq.Request.id
@@ -460,7 +535,7 @@ let begin_exec t (w : worker) =
    queue (JBSQ) or wait for the dispatcher (SQ). [switch_paid] tells whether
    the yield path already charged the context switch. *)
 let fetch_next t (w : worker) ~switch_paid ~open_gap =
-  match Local_queue.pop w.local with
+  match local_pop_live t w with
   | Some req ->
     (* Work was waiting core-locally: the cnext gap is just the local pop. *)
     if open_gap then w.gap_open_ns <- Sim.now t.sim - if switch_paid then t.cswitch_ns else 0;
@@ -567,6 +642,10 @@ let on_preempt_stop t (w : worker) ~epoch =
       Metrics.add_preemption t.metrics;
       Metrics.add_worker_busy t.metrics (now - w.busy_from);
       w.busy_from <- now;
+      (* The segment is over; mark it so (Op_cancel uses [completion_at > now]
+         as "actually executing" — re-signalling during the yield hand-off
+         would invalidate the pending Ev_yield_done and wedge the worker). *)
+      w.completion_at <- -1;
       (* Receive the notification, save the context, switch out. *)
       Sim.schedule_after t.sim ~delay:(t.notif_ns + t.cswitch_ns)
         (t.lift (Ev_yield_done { w = w.wid; epoch }))
@@ -598,20 +677,26 @@ let on_disp_op_done t =
   d.busy <- false;
   (match op with
   | Op_ingress req ->
-    Policy.push_new t.central req;
-    if t.tracing then
-      trace t ~request:req.Request.id
-        (Tracing.Admitted { central_depth = Policy.length t.central; op_ns })
+    if req.Request.cancelled then discard_cancelled t req
+    else begin
+      Policy.push_new t.central req;
+      if t.tracing then
+        trace t ~request:req.Request.id
+          (Tracing.Admitted { central_depth = Policy.length t.central; op_ns })
+    end
   | Op_ingress_batch ->
     (* Each batch member is charged its amortized share of the op latency. *)
     let n = d.batch_n in
     let share = op_ns / max 1 n in
     for i = 0 to n - 1 do
       let r = d.batch_buf.(i) in
-      Policy.push_new t.central r;
-      if t.tracing then
-        trace t ~request:r.Request.id
-          (Tracing.Admitted { central_depth = Policy.length t.central; op_ns = share })
+      if r.Request.cancelled then discard_cancelled t r
+      else begin
+        Policy.push_new t.central r;
+        if t.tracing then
+          trace t ~request:r.Request.id
+            (Tracing.Admitted { central_depth = Policy.length t.central; op_ns = share })
+      end
     done;
     d.batch_n <- 0
   | Op_completion wid ->
@@ -619,10 +704,13 @@ let on_disp_op_done t =
     if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
     else w.sq_waiting <- true
   | Op_requeue { req; from_worker } ->
-    Policy.push_preempted t.central req;
-    if t.tracing then
-      trace t ~request:req.Request.id
-        (Tracing.Requeued { queue_depth = Policy.length t.central });
+    if req.Request.cancelled then discard_cancelled t req
+    else begin
+      Policy.push_preempted t.central req;
+      if t.tracing then
+        trace t ~request:req.Request.id
+          (Tracing.Requeued { queue_depth = Policy.length t.central })
+    end;
     if from_worker >= 0 then begin
       let w = t.workers.(from_worker) in
       if is_jbsq t then w.outstanding_view <- max 0 (w.outstanding_view - 1)
@@ -631,22 +719,65 @@ let on_disp_op_done t =
   | Op_preempt_signal { worker; epoch } -> handle_preempt_signal t ~worker ~epoch
   | Op_send { worker; req } ->
     let w = t.workers.(worker) in
-    if t.tracing then
-      trace t ~request:req.Request.id
-        (Tracing.Dispatched
-           { worker; central_depth = Policy.length t.central; local_depth = 0; op_ns });
-    deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
+    if req.Request.cancelled then begin
+      (* Revoked while the hand-off op ran: the worker stays free. *)
+      w.sq_waiting <- true;
+      discard_cancelled t req
+    end
+    else begin
+      if t.tracing then
+        trace t ~request:req.Request.id
+          (Tracing.Dispatched
+             { worker; central_depth = Policy.length t.central; local_depth = 0; op_ns });
+      deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
+    end
   | Op_push { worker; req } ->
     let w = t.workers.(worker) in
-    let direct = w.cur = None in
-    if t.tracing then begin
-      let local_depth = if direct then 0 else Local_queue.length w.local + 1 in
-      trace t ~request:req.Request.id
-        (Tracing.Dispatched
-           { worker; central_depth = Policy.length t.central; local_depth; op_ns })
-    end;
-    if direct then deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
-    else Local_queue.push w.local req);
+    if req.Request.cancelled then begin
+      w.outstanding_view <- max 0 (w.outstanding_view - 1);
+      discard_cancelled t req
+    end
+    else begin
+      let direct = w.cur = None in
+      if t.tracing then begin
+        let local_depth = if direct then 0 else Local_queue.length w.local + 1 in
+        trace t ~request:req.Request.id
+          (Tracing.Dispatched
+             { worker; central_depth = Policy.length t.central; local_depth; op_ns })
+      end;
+      if direct then deliver t w req ~delay:(t.receive_ns + t.cswitch_ns)
+      else Local_queue.push w.local req
+    end
+  | Op_cancel req ->
+    if Hashtbl.mem t.live req.Request.id then begin
+      let running = ref (-1) in
+      Array.iter
+        (fun w -> match w.cur with Some r when r == req -> running := w.wid | _ -> ())
+        t.workers;
+      if !running >= 0 then begin
+        let w = t.workers.(!running) in
+        (* Revoke an executing leg through the normal preemption path —
+           this is exactly why cancellation is cheap under Concord-style
+           probes. Only when a segment is genuinely executing
+           ([completion_at] in the future); during a delivery or yield
+           hand-off the leg is discarded when it next surfaces (requeue,
+           queue pop, or completion). Non-preemptive mechanisms cannot
+           revoke a running request at all: it runs out and is discarded
+           at completion. *)
+        if Mechanism.preemptive t.config.mechanism && w.completion_at > Sim.now t.sim then
+          handle_preempt_signal t ~worker:!running ~epoch:w.epoch
+      end
+      else begin
+        match d.slice with
+        | Some s when s.sreq == req -> () (* the slice end will discard it *)
+        | _ ->
+          (match d.saved with Some r when r == req -> d.saved <- None | _ -> ());
+          (* Still queued somewhere (or in flight between ops): discard
+             now; any ghost entry left in a queue is skipped by the
+             cancellation-aware pops. *)
+          discard_cancelled t req
+      end
+    end);
   disp_kick t
 
 (* ------------------------------------------------------------------ *)
@@ -654,10 +785,13 @@ let on_disp_op_done t =
 (* ------------------------------------------------------------------ *)
 
 let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
-    ?(speed_factor = 1.0) ?tracer ?on_complete () =
+    ?(speed_factor = 1.0) ?cancel_cost_cycles ?tracer ?on_complete ?on_cancelled () =
   Config.validate config;
   if speed_factor <= 0.0 then
     invalid_arg "Server.Instance.create: speed_factor must be positive";
+  (match cancel_cost_cycles with
+  | Some c when c < 0 -> invalid_arg "Server.Instance.create: cancel_cost_cycles must be >= 0"
+  | _ -> ());
   let costs = config.Config.costs in
   let scale n =
     if speed_factor = 1.0 then n else int_of_float (ceil (float_of_int n *. speed_factor))
@@ -722,6 +856,14 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
     tracer;
     tracing = tracer <> None;
     on_complete;
+    on_cancelled;
+    (* Default: killing a queued duplicate costs what a requeue costs — one
+       dispatcher queue operation. *)
+    cancel_ns =
+      ns
+        (match cancel_cost_cycles with
+        | Some c -> c
+        | None -> costs.Costs.disp_requeue_cycles);
     finished = 0;
     quantum_ns = config.Config.quantum_ns;
     cswitch_ns = ns costs.Costs.context_switch_cycles;
@@ -767,12 +909,40 @@ let handle t = function
 let censor_all ?also t ~now_ns =
   (Hashtbl.iter
      (fun _ req ->
-       Metrics.record_censored t.metrics req ~now_ns;
-       match also with None -> () | Some f -> f req)
+       (* Revoked hedge legs are not part of the served population: their
+          arrival is accounted by the winning leg (or by the primary's own
+          censoring), so counting them here would double-book it. *)
+       if not req.Request.cancelled then begin
+         Metrics.record_censored t.metrics req ~now_ns;
+         match also with None -> () | Some f -> f req
+       end)
      t.live)
   [@lint.deterministic
     "hash order is stable for a fixed insertion history (non-randomized Hashtbl); \
      censored-request accounting is pinned by the golden tests"]
+
+(* Balancer-issued revocation: queue the cancel through the dispatcher so
+   it pays [cancel_ns] like any other op. Dropped silently when the leg is
+   no longer live here (already completed, discarded, or surrendered). *)
+let cancel t (req : Request.t) =
+  if Hashtbl.mem t.live req.Request.id then begin
+    Ring.push t.disp.ops (Op_cancel req);
+    disp_kick t
+  end
+
+(* Rack-level work stealing: give up one not-yet-started request so an idle
+   peer can run it. Only fresh (never-run, non-cancelled) requests are
+   surrendered — migrating partial state across servers is not free in any
+   real rack, and the thief re-injects the request as a new arrival. *)
+let surrender t =
+  if Policy.has_not_started t.central then begin
+    match pop_not_started_live t with
+    | None -> None
+    | Some req ->
+      Hashtbl.remove t.live req.Request.id;
+      Some req
+  end
+  else None
 
 module Instance = struct
   type nonrec 'e t = 'e t
@@ -780,6 +950,8 @@ module Instance = struct
   let create = create_instance
   let inject = inject
   let handle = handle
+  let cancel = cancel
+  let surrender = surrender
   let censor_all = censor_all
   let metrics t = t.metrics
   let inflight t = Hashtbl.length t.live

@@ -36,8 +36,10 @@ module Instance : sig
     n_classes:int ->
     rng:Repro_engine.Rng.t ->
     ?speed_factor:float ->
+    ?cancel_cost_cycles:int ->
     ?tracer:Tracing.t ->
     ?on_complete:(Request.t -> unit) ->
+    ?on_cancelled:(Request.t -> unit) ->
     unit ->
     'e t
   (** [warmup_before] is the global request-id warm-up cutoff (ids are
@@ -46,7 +48,11 @@ module Instance : sig
       instance its own split stream. [speed_factor] > 1 models a straggler:
       dispatcher micro-ops and application execution take proportionally
       more wall time (1.0, the default, is the exact fast path).
-      [on_complete] fires after each completion is recorded. *)
+      [cancel_cost_cycles] is the dispatcher cost of executing one
+      {!cancel} (default: the requeue cost — one queue operation).
+      [on_complete] fires after each completion is recorded; [on_cancelled]
+      fires exactly once per revoked request, when the instance actually
+      discards it (its [done_ns] is the partial work wasted). *)
 
   val inject : 'e t -> Request.t -> unit
   (** Land a request in the instance's NIC queue at the current sim time.
@@ -56,6 +62,21 @@ module Instance : sig
   val handle : 'e t -> event -> unit
   (** Advance the instance by one of its own events (the host unwraps its
       event type and forwards). *)
+
+  val cancel : 'e t -> Request.t -> unit
+  (** Revoke a request previously injected here (the losing hedge leg).
+      The cancel is queued through the dispatcher and charged
+      [cancel_cost_cycles]; a queued or preempted-and-saved leg is
+      discarded, an executing leg is stopped through the preemption
+      mechanism where one exists (it runs out and is discarded at
+      completion otherwise). No-op when the request is no longer live
+      here. The request must already carry [cancelled = true]. *)
+
+  val surrender : 'e t -> Request.t option
+  (** Give up one not-yet-started request from the central queue so the
+      host can migrate it to an idle peer (rack-level work stealing), or
+      [None] when everything queued has already run at least once.
+      The surrendered request is no longer live here. *)
 
   val censor_all : ?also:(Request.t -> unit) -> 'e t -> now_ns:int -> unit
   (** Record every in-flight request as censored (end of run); [also] is

@@ -12,6 +12,18 @@ type t =
       (** Poisson batch arrivals: [burst] requests land together at each
           epoch; epochs arrive at [rate_rps / burst]. Models coalesced NIC
           batches and stresses tail behaviour. *)
+  | Diurnal of { rate_rps : float; amplitude : float; period_s : float }
+      (** Poisson with a sinusoidal rate envelope:
+          [rate(i) = rate_rps * (1 + amplitude * sin phase)], phase advancing
+          with expected elapsed time — a compressed day/night ramp.
+          [amplitude] in [0, 1); long-run average stays [rate_rps]. *)
+  | Mmpp of { rate_rps : float; burst_factor : float; cycle : int; duty : float }
+      (** Markov-modulated Poisson, discretized per arrival: within every
+          [cycle] arrivals, the first [duty] fraction come [burst_factor]x
+          faster than the mean and the rest proportionally slower, so the
+          long-run rate is exactly [rate_rps]. Models correlated flash
+          crowds ([burst_factor] >= ~5 at short [duty]) without breaking
+          rate comparability across generators. *)
 
 val rate_rps : t -> float
 (** Long-run offered load in requests per second. *)
@@ -24,3 +36,8 @@ val name : t -> string
 
 val with_rate : t -> float -> t
 (** Same process shape at a different offered load. *)
+
+val of_spec : string -> rate_rps:float -> (t, string) result
+(** Parses a CLI arrival spec:
+    ["poisson" | "uniform" | "burst:N" | "diurnal:AMP:PERIOD_S" |
+     "mmpp:FACTOR:CYCLE:DUTY"]. *)

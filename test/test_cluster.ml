@@ -4,6 +4,7 @@
 
 module Cluster = Repro_cluster.Cluster
 module Lb_policy = Repro_cluster.Lb_policy
+module Hedge = Repro_cluster.Hedge
 module Replication = Repro_cluster.Replication
 module Systems = Repro_runtime.Systems
 module Metrics = Repro_runtime.Metrics
@@ -17,13 +18,15 @@ let fixed_mix ns = Mix.of_dist ~name:"fixed" (Service_dist.Fixed (float_of_int n
 let small_config () = Systems.concord ~n_workers:4 ()
 
 let run_rack ?(policy = Lb_policy.Po2c) ?(rtt_cycles = 0) ?(stragglers = [])
-    ?(instances = 3) ?(rate = 1.8e6) ?(n = 12_000) ?(seed = 42) ?on_decision () =
+    ?(hedge = Hedge.Off) ?(steal = false) ?(instances = 3) ?(rate = 1.8e6)
+    ?(n = 12_000) ?(seed = 42) ?drain_cap_ns ?on_decision () =
   let cluster =
-    Cluster.homogeneous ~policy ~rtt_cycles ~stragglers ~instances (small_config ())
+    Cluster.homogeneous ~policy ~rtt_cycles ~hedge ~steal ~stragglers ~instances
+      (small_config ())
   in
   Cluster.run ~cluster ~mix:(fixed_mix 5_000)
     ~arrival:(Arrival.Poisson { rate_rps = rate })
-    ~n_requests:n ~seed ?on_decision ()
+    ~n_requests:n ~seed ?drain_cap_ns ?on_decision ()
 
 (* --- policy parsing ---------------------------------------------------- *)
 
@@ -139,6 +142,173 @@ let test_rack_jbsq_parks_at_bound () =
   Alcotest.(check bool) "balancer actually parked arrivals" true (s.Cluster.lb_held > 0);
   Alcotest.(check (result unit string)) "invariants" (Ok ()) (Cluster.check_invariants s)
 
+(* --- tie-break uniformity ----------------------------------------------- *)
+
+let test_po2c_tie_uniform () =
+  (* With every view equal, Po2c's two samples always tie. Keeping the
+     first (uniform) sample must spread choices evenly; the old [min a b]
+     resolution gave server 0 a ~44% share of a 4-server rack. *)
+  let n_servers = 4 in
+  let draws = 4_000 in
+  let views = Array.make n_servers 0 in
+  let state = Lb_policy.make_state ~rng:(Repro_engine.Rng.create ~seed:3) in
+  let counts = Array.make n_servers 0 in
+  for _ = 1 to draws do
+    match Lb_policy.choose Lb_policy.Po2c state ~views with
+    | Some i -> counts.(i) <- counts.(i) + 1
+    | None -> Alcotest.fail "po2c refused to place"
+  done;
+  (* Expected share 1000 each; 800 is > 6 sigma below uniform. *)
+  Array.iteri
+    (fun i c ->
+      if c < 800 then
+        Alcotest.failf "server %d drew %d of %d tied choices (expected ~%d)" i c draws
+          (draws / n_servers))
+    counts;
+  (* End-to-end: at low load a homogeneous Po2c rack must not favour
+     low-index servers. *)
+  let s = run_rack ~rate:0.4e6 ~n:9_000 () in
+  let lo = Array.fold_left min max_int s.Cluster.routed in
+  let hi = Array.fold_left max 0 s.Cluster.routed in
+  Alcotest.(check bool)
+    (Printf.sprintf "routed spread [%d, %d] stays within 20%%" lo hi)
+    true
+    (float_of_int (hi - lo) <= 0.2 *. float_of_int hi)
+
+(* --- rtt gating --------------------------------------------------------- *)
+
+let test_rtt_one_cycle_still_fresh () =
+  (* On the c6420 clock (2.6 GHz) one cycle rounds to zero nanoseconds, so
+     both the request leg and the credit leg must collapse to the
+     synchronous path: views equal true lengths at every decision. (An
+     earlier version gated the two legs on different conditions — cycles on
+     one side, rounded ns on the other — so rtt_cycles = 1 delivered
+     requests synchronously but delayed credits through the event queue.) *)
+  let config = Systems.concord ~n_workers:4 ~costs:Repro_hw.Costs.c6420 () in
+  let cluster =
+    Cluster.homogeneous ~policy:Lb_policy.Jsq ~rtt_cycles:1 ~instances:3 config
+  in
+  let s =
+    Cluster.run ~cluster ~mix:(fixed_mix 5_000)
+      ~arrival:(Arrival.Poisson { rate_rps = 1.8e6 })
+      ~n_requests:12_000 ~seed:42
+      ~on_decision:(fun ~views ~lengths ~chosen:_ ->
+        Array.iteri
+          (fun i v ->
+            if v <> lengths.(i) then
+              Alcotest.failf "rtt_cycles=1: view %d=%d but true length %d" i v lengths.(i))
+          views)
+      ()
+  in
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (Cluster.check_invariants s)
+
+(* --- balancer-side censoring -------------------------------------------- *)
+
+let test_jbsq_saturated_censoring () =
+  (* Saturate a JBSQ(2) rack: the balancer must park arrivals, and the ones
+     still parked (or on the wire) at end of run are censored balancer-side
+     without ever entering an instance. Every arrival must be accounted
+     for: routed legs plus never-routed parkers cover the offered load.
+     [drain_cap_ns:0] cuts the run at the last arrival so the standing
+     backlog is actually censored rather than drained. *)
+  let s = run_rack ~policy:(Lb_policy.Jbsq 2) ~rate:3.2e6 ~n:12_000 ~drain_cap_ns:0 () in
+  let routed_sum = Array.fold_left ( + ) 0 s.Cluster.routed in
+  Alcotest.(check int) "routed + unrouted = arrivals" s.Cluster.requests
+    (routed_sum + s.Cluster.lb_unrouted);
+  Alcotest.(check bool) "balancer parked arrivals" true (s.Cluster.lb_held > 0);
+  Alcotest.(check bool) "balancer-side censoring observed" true (s.Cluster.lb_censored > 0);
+  Alcotest.(check (result unit string)) "invariants" (Ok ()) (Cluster.check_invariants s)
+
+(* --- hedging ------------------------------------------------------------ *)
+
+let test_hedge_parsing () =
+  let ok s h =
+    match Hedge.of_string s with
+    | Ok got -> Alcotest.(check string) s (Hedge.name h) (Hedge.name got)
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "off" Hedge.Off;
+  ok "none" Hedge.Off;
+  ok "fixed:20000" (Hedge.Fixed { delay_ns = 20_000 });
+  ok "pct:99" (Hedge.Percentile { pct = 99.0 });
+  ok "pct:99.9" (Hedge.Percentile { pct = 99.9 });
+  ok "adaptive:0.05" (Hedge.Adaptive { budget = 0.05 });
+  let rejected s = match Hedge.of_string s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "fixed:-1 rejected" true (rejected "fixed:-1");
+  Alcotest.(check bool) "pct:0 rejected" true (rejected "pct:0");
+  Alcotest.(check bool) "pct:100 rejected" true (rejected "pct:100");
+  Alcotest.(check bool) "adaptive:0 rejected" true (rejected "adaptive:0");
+  Alcotest.(check bool) "adaptive:1.5 rejected" true (rejected "adaptive:1.5");
+  Alcotest.(check bool) "garbage rejected" true (rejected "always")
+
+let test_hedging_rescues_straggler_tail () =
+  (* An oblivious balancer keeps feeding a 6x straggler; duplicate-and-
+     cancel must rescue those requests onto healthy servers and cut the
+     rack p99, with the accounting invariants intact. *)
+  let stragglers = [ (0, 6.0) ] in
+  let rate = 0.9e6 in
+  let p99 (s : Cluster.summary) = s.Cluster.cluster.Metrics.p99_slowdown in
+  let unhedged = run_rack ~policy:Lb_policy.Random ~stragglers ~rate () in
+  let hedged =
+    run_rack ~policy:Lb_policy.Random ~stragglers ~rate
+      ~hedge:(Hedge.Fixed { delay_ns = 30_000 })
+      ()
+  in
+  Alcotest.(check bool) "duplicates issued" true (hedged.Cluster.hedges > 0);
+  Alcotest.(check bool) "duplicates won" true (hedged.Cluster.hedge_wins > 0);
+  Alcotest.(check bool) "losing legs cancelled" true (hedged.Cluster.hedge_cancels > 0);
+  Alcotest.(check bool) "wasted work measured" true (hedged.Cluster.hedge_wasted_ns > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "hedged p99 %.2f below unhedged %.2f" (p99 hedged) (p99 unhedged))
+    true
+    (p99 hedged < p99 unhedged);
+  Alcotest.(check (result unit string)) "invariants (hedged)" (Ok ())
+    (Cluster.check_invariants hedged);
+  Alcotest.(check int) "no duplicates when off" 0 unhedged.Cluster.hedges
+
+let test_hedged_breakdown_components_sum () =
+  (* The latency-breakdown reconstruction must still tile every completed
+     request's sojourn exactly when duplicate legs and cancellations are in
+     the trace: the surviving leg's lifecycle is the request's lifecycle. *)
+  let tracer = Repro_runtime.Tracing.create () in
+  let cluster =
+    Cluster.homogeneous ~policy:Lb_policy.Random ~stragglers:[ (0, 6.0) ]
+      ~hedge:(Hedge.Fixed { delay_ns = 30_000 })
+      ~instances:3 (small_config ())
+  in
+  let summary, _ =
+    Cluster.run_detailed ~cluster ~mix:(fixed_mix 5_000)
+      ~arrival:(Arrival.Poisson { rate_rps = 0.9e6 })
+      ~n_requests:6_000 ~seed:42 ~tracer ()
+  in
+  Alcotest.(check bool) "duplicates issued" true (summary.Cluster.hedges > 0);
+  let breakdowns = Repro_runtime.Breakdown.of_trace tracer in
+  Alcotest.(check bool) "reconstructed a population" true (List.length breakdowns > 1_000);
+  List.iter
+    (fun b ->
+      match Repro_runtime.Breakdown.check b with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "request %d breakdown: %s" b.Repro_runtime.Breakdown.request e)
+    breakdowns
+
+let test_stealing_migrates_work () =
+  (* With an oblivious balancer and a straggler, healthy servers drain and
+     must pull queued work from the straggler's backlog. *)
+  let stragglers = [ (0, 6.0) ] in
+  let rate = 0.9e6 in
+  let p99 (s : Cluster.summary) = s.Cluster.cluster.Metrics.p99_slowdown in
+  let base = run_rack ~policy:Lb_policy.Random ~stragglers ~rate () in
+  let stealing = run_rack ~policy:Lb_policy.Random ~stragglers ~rate ~steal:true () in
+  Alcotest.(check bool) "steals happened" true (stealing.Cluster.steals > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "stealing p99 %.2f below baseline %.2f" (p99 stealing) (p99 base))
+    true
+    (p99 stealing < p99 base);
+  Alcotest.(check (result unit string)) "invariants (stealing)" (Ok ())
+    (Cluster.check_invariants stealing);
+  Alcotest.(check int) "no steals when off" 0 base.Cluster.steals
+
 (* --- determinism -------------------------------------------------------- *)
 
 let test_same_seed_same_summary () =
@@ -193,6 +363,18 @@ let suite =
     Alcotest.test_case "oblivious policies degrade with straggler" `Quick
       test_oblivious_policies_degrade_with_straggler;
     Alcotest.test_case "rack JBSQ parks at the bound" `Quick test_rack_jbsq_parks_at_bound;
+    Alcotest.test_case "po2c resolves ties uniformly" `Quick test_po2c_tie_uniform;
+    Alcotest.test_case "rtt of one cycle keeps views fresh" `Quick
+      test_rtt_one_cycle_still_fresh;
+    Alcotest.test_case "saturated JBSQ censors balancer-side" `Quick
+      test_jbsq_saturated_censoring;
+    Alcotest.test_case "hedge spec parsing" `Quick test_hedge_parsing;
+    Alcotest.test_case "hedging rescues a straggler tail" `Quick
+      test_hedging_rescues_straggler_tail;
+    Alcotest.test_case "hedged breakdown components sum" `Quick
+      test_hedged_breakdown_components_sum;
+    Alcotest.test_case "stealing migrates work off a straggler" `Quick
+      test_stealing_migrates_work;
     Alcotest.test_case "same seed, same summary" `Quick test_same_seed_same_summary;
     Alcotest.test_case "cluster sweep bit-identical across domains" `Quick
       test_sweep_cluster_bit_identical_across_domains;

@@ -168,6 +168,91 @@ let test_with_rate () =
   let a = Arrival.with_rate (Arrival.Poisson { rate_rps = 1.0 }) 5.0 in
   Alcotest.(check (float 1e-9)) "rate updated" 5.0 (Arrival.rate_rps a)
 
+(* Modulated processes (diurnal ramp, MMPP flash crowds) reshape the
+   arrival stream but must keep the long-run offered load comparable to
+   plain Poisson — otherwise sweeps at "the same rate" would not be. *)
+let realized_rate a ~n ~seed =
+  let rng = Rng.create ~seed in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + Arrival.next_gap_ns a rng ~index:i
+  done;
+  float_of_int n /. (float_of_int !total /. 1.0e9)
+
+let test_diurnal_rate_and_shape () =
+  let a = Arrival.Diurnal { rate_rps = 1.0e6; amplitude = 0.8; period_s = 0.02 } in
+  let r = realized_rate a ~n:200_000 ~seed:13 in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-run rate %.0f within 5%% of 1e6" r)
+    true
+    (Float.abs (r -. 1.0e6) < 5.0e4);
+  (* The envelope must actually modulate: gaps drawn near the peak of the
+     sinusoid run measurably shorter than gaps near the trough. *)
+  let rng = Rng.create ~seed:14 in
+  let window = 5_000 in
+  let mean_gap lo =
+    let t = ref 0 in
+    for i = lo to lo + window - 1 do
+      t := !t + Arrival.next_gap_ns a rng ~index:i
+    done;
+    float_of_int !t /. float_of_int window
+  in
+  (* period 0.02 s at 1e6 rps = 20_000 arrivals per cycle: indices
+     0..5000 climb toward the peak, 10_000..15_000 fall into the trough. *)
+  let peak = mean_gap 0 in
+  let trough = mean_gap 10_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak gaps %.0f < trough gaps %.0f" peak trough)
+    true (peak < trough)
+
+let test_mmpp_rate_and_burst () =
+  let a =
+    Arrival.Mmpp { rate_rps = 1.0e6; burst_factor = 8.0; cycle = 1_000; duty = 0.1 }
+  in
+  let r = realized_rate a ~n:200_000 ~seed:15 in
+  Alcotest.(check bool)
+    (Printf.sprintf "long-run rate %.0f within 5%% of 1e6" r)
+    true
+    (Float.abs (r -. 1.0e6) < 5.0e4);
+  (* Inside the burst window gaps run ~burst_factor shorter than outside. *)
+  let rng = Rng.create ~seed:16 in
+  let burst_t = ref 0 and calm_t = ref 0 and burst_n = ref 0 and calm_n = ref 0 in
+  for i = 0 to 99_999 do
+    let gap = Arrival.next_gap_ns a rng ~index:i in
+    if i mod 1_000 < 100 then (burst_t := !burst_t + gap; incr burst_n)
+    else (calm_t := !calm_t + gap; incr calm_n)
+  done;
+  let burst_mean = float_of_int !burst_t /. float_of_int !burst_n in
+  let calm_mean = float_of_int !calm_t /. float_of_int !calm_n in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst gaps %.0f at least 3x shorter than calm %.0f" burst_mean
+       calm_mean)
+    true
+    (calm_mean > 3.0 *. burst_mean)
+
+let test_arrival_of_spec () =
+  let ok spec f =
+    match Arrival.of_spec spec ~rate_rps:1.0e6 with
+    | Ok a -> Alcotest.(check bool) spec true (f a)
+    | Error e -> Alcotest.failf "%s rejected: %s" spec e
+  in
+  ok "poisson" (function Arrival.Poisson { rate_rps } -> rate_rps = 1.0e6 | _ -> false);
+  ok "uniform" (function Arrival.Uniform _ -> true | _ -> false);
+  ok "burst:8" (function Arrival.Burst_poisson { burst; _ } -> burst = 8 | _ -> false);
+  ok "diurnal:0.5:10" (function
+    | Arrival.Diurnal { amplitude; period_s; _ } -> amplitude = 0.5 && period_s = 10.0
+    | _ -> false);
+  ok "mmpp:8:1000:0.1" (function
+    | Arrival.Mmpp { burst_factor; cycle; duty; _ } ->
+      burst_factor = 8.0 && cycle = 1_000 && duty = 0.1
+    | _ -> false);
+  let rejected s =
+    match Arrival.of_spec s ~rate_rps:1.0e6 with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "garbage rejected" true (rejected "weibull");
+  Alcotest.(check bool) "diurnal amplitude >= 1 rejected" true (rejected "diurnal:1.5:10");
+  Alcotest.(check bool) "mmpp duty out of range rejected" true (rejected "mmpp:8:1000:1.5")
+
 (* --- mixes ----------------------------------------------------------- *)
 
 let test_mix_class_proportions () =
@@ -245,6 +330,10 @@ let suite =
     Alcotest.test_case "uniform gaps" `Quick test_uniform_gaps;
     Alcotest.test_case "burst pattern" `Quick test_burst_pattern;
     Alcotest.test_case "with_rate" `Quick test_with_rate;
+    Alcotest.test_case "diurnal long-run rate and modulation" `Slow
+      test_diurnal_rate_and_shape;
+    Alcotest.test_case "mmpp long-run rate and burstiness" `Slow test_mmpp_rate_and_burst;
+    Alcotest.test_case "arrival spec parsing" `Quick test_arrival_of_spec;
     Alcotest.test_case "mix class proportions" `Slow test_mix_class_proportions;
     Alcotest.test_case "mix weighted mean" `Quick test_mix_mean;
     Alcotest.test_case "mix validation" `Quick test_mix_validation;
