@@ -1,6 +1,6 @@
 # Tier-1 verification in one command.
 .PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke \
-	verify-probes-smoke policy-smoke hedge-smoke lint clean
+	verify-probes-smoke policy-smoke hedge-smoke raft-smoke lint clean
 
 all: build
 
@@ -38,7 +38,7 @@ verify-probes-smoke:
 # intact (all arrivals completed or censored, non-zero goodput), and
 # gittins/srpt-noisy must also survive under the cluster layer.
 policy-smoke:
-	for p in fcfs srpt srpt-noisy:1.0 gittins locality-fcfs; do \
+	for p in fcfs srpt srpt-noisy:1.0 srpt-kv gittins locality-fcfs; do \
 		dune exec bin/concord_sim.exe -- run --system concord --workload ycsb-a \
 			--policy $$p -n 2000 --rate 150 --check || exit 1; \
 	done
@@ -58,6 +58,17 @@ hedge-smoke:
 	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy random \
 		--straggler 0:4 --steal -n 4000 --check
 
+# Replicated-tier smoke test: a 3-node Raft group must keep the protocol
+# invariants (commit monotone, one leader per term, no committed-entry
+# loss, writes never hedged) through a steady run AND through a leader
+# kill + re-election; --check exits non-zero on any violation.
+raft-smoke:
+	dune exec bin/concord_sim.exe -- raft --nodes 3 -n 4000 --check
+	dune exec bin/concord_sim.exe -- raft --nodes 3 -n 4000 \
+		--kill-leader-at 60000 --check
+	dune exec bin/concord_sim.exe -- raft --nodes 3 -n 4000 \
+		--hedge fixed:150000 --straggler 1:3 --check
+
 # Determinism lint: the simulation library must not reach for ambient
 # nondeterminism (Random, wall clocks, unordered Hashtbl iteration).
 # Also proves the lint itself still bites, via an --expect-fail fixture.
@@ -68,8 +79,8 @@ lint:
 # What CI (and every PR) must keep green.
 check:
 	dune build && dune runtest && $(MAKE) lint && $(MAKE) trace-smoke && $(MAKE) cluster-smoke \
-		&& $(MAKE) policy-smoke && $(MAKE) hedge-smoke && $(MAKE) verify-probes-smoke \
-		&& $(MAKE) bench-json-quick
+		&& $(MAKE) policy-smoke && $(MAKE) hedge-smoke && $(MAKE) raft-smoke \
+		&& $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe

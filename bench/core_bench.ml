@@ -83,6 +83,18 @@ let cluster_scenario ?(hedge = Repro_cluster.Hedge.Off) ?(stragglers = []) ~inst
   in
   (!events, summary.Repro_cluster.Cluster.cluster.Repro_runtime.Metrics.p99_slowdown)
 
+let raft_scenario ~nodes ~rate_rps ~n_requests () =
+  let raft =
+    Repro_raft.Raft.homogeneous ~nodes (config_of_system "concord")
+  in
+  let events = ref 0 in
+  let summary, (_ : Repro_engine.Stats.t) =
+    Repro_raft.Raft.run_detailed ~raft ~mix:Repro_workload.Presets.usr
+      ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
+      ~n_requests ~events_out:events ()
+  in
+  (!events, summary.Repro_raft.Raft.client.Repro_runtime.Metrics.p99_slowdown)
+
 (* Heap churn: [rounds] batches of 1k keyed adds followed by a full drain —
    the event-queue access pattern of a loaded simulation, minus the
    handlers. Counted as adds + pops. *)
@@ -239,6 +251,14 @@ let scenarios ~quick =
           ~hedge:(Repro_cluster.Hedge.Percentile { pct = 99.0 })
           ~stragglers:[ (0, 4.0) ] ~instances:3 ~rate_rps:2.0e6
           ~n_requests:(scale 20_000) ()
+    );
+    (* Consensus in the loop: every write funds a leader log mini, two
+       follower AppendEntries minis and the quorum bookkeeping, plus
+       heartbeats/leases on the side — the event-rate cost of replication. *)
+    ( "raft-3node",
+      "raft",
+      scale 10_000,
+      fun () -> raft_scenario ~nodes:3 ~rate_rps:20.0e3 ~n_requests:(scale 10_000) ()
     );
     ( "verify-probes",
       "static",

@@ -263,6 +263,401 @@ let replicate_cmd =
       const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ instances_arg
       $ rate_arg $ requests_arg $ seed_arg)
 
+(* ---- raft (replicated tier) -------------------------------------------- *)
+
+let raft_mix workload =
+  (* the study's canonical workload is a fixed-size op; accept
+     [fixed:US] alongside the preset names *)
+  match String.index_opt workload ':' with
+  | Some i when String.sub workload 0 i = "fixed" -> (
+    match float_of_string_opt (String.sub workload (i + 1) (String.length workload - i - 1)) with
+    | Some us when us > 0.0 ->
+      Ok
+        (Concord.Mix.of_dist
+           ~name:(Printf.sprintf "fixed-%gus" us)
+           (Repro_workload.Service_dist.Fixed (us *. 1e3)))
+    | _ -> Error (Printf.sprintf "bad fixed workload spec: %s (want fixed:US)" workload))
+  | _ -> Concord.workload workload
+
+let raft_capacity_rps (raft : Repro_raft.Raft.t) mix =
+  let module Raft = Repro_raft.Raft in
+  let total_workers =
+    Array.fold_left
+      (fun acc (s : Repro_cluster.Cluster.instance_spec) -> acc + s.config.Concord.Config.n_workers)
+      0 raft.Raft.specs
+  in
+  (* Each write adds a durable append at the leader and an AppendEntries
+     mini at every follower on top of its own service time; capacity is
+     aggregate work, so fold that in or the default load point melts the
+     leader. *)
+  let costs = raft.Raft.specs.(0).config.Concord.Config.costs in
+  let nodes = Array.length raft.Raft.specs in
+  let consensus_ns =
+    float_of_int
+      (Repro_hw.Costs.ns_of costs raft.Raft.log_write_cycles
+      + ((nodes - 1) * Repro_hw.Costs.ns_of costs raft.Raft.follower_ae_cycles))
+  in
+  let eff_service_ns =
+    Concord.Mix.mean_service_ns mix +. (raft.Raft.write_ratio *. consensus_ns)
+  in
+  float_of_int total_workers /. eff_service_ns *. 1e9
+
+let raft_cmd =
+  let module Raft = Repro_raft.Raft in
+  let module Lb_policy = Repro_cluster.Lb_policy in
+  let policy_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "policy"; "p" ] ~docv:"POLICY"
+          ~doc:
+            (Printf.sprintf
+               "Lease-read routing policy (%s, default po2c) or per-member central-queue \
+                policy (%s); repeatable to set both."
+               (String.concat ", " Lb_policy.all_names)
+               Concord.Policy.spec_syntax))
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"K" ~doc:"Raft group members.")
+  in
+  let rtt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rtt-cycles" ] ~docv:"CYCLES"
+          ~doc:
+            "Inter-member round trip in cycles; AppendEntries, acks, votes and heartbeats \
+             each take half of it one way (default 880000 = 440us).")
+  in
+  let leases_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "read-leases" ] ~docv:"BOOL"
+          ~doc:
+            "Serve reads from leaseholders without consensus (default true); false sends \
+             reads through the replicated log too.")
+  in
+  let write_ratio_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "write-ratio" ] ~docv:"F" ~doc:"Fraction of arrivals that are writes.")
+  in
+  let hedge_arg =
+    Arg.(
+      value & opt string "off"
+      & info [ "hedge" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf
+               "Hedge lease reads (%s): duplicate a slow read onto another leaseholder; \
+                first completion wins. Writes are never hedged."
+               (String.concat ", " Repro_cluster.Hedge.all_names)))
+  in
+  let kill_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kill-leader-at" ] ~docv:"US"
+          ~doc:"Crash the current leader at this simulated time (us) and fail over.")
+  in
+  let straggler_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' int float) []
+      & info [ "straggler" ] ~docv:"IDX:FACTOR"
+          ~doc:"Make member IDX execute everything FACTOR times slower (repeatable).")
+  in
+  let cancel_cost_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cancel-cost-cycles" ] ~docv:"CYCLES"
+          ~doc:"Dispatcher cost of revoking a cancelled hedge duplicate.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate"; "r" ] ~docv:"KRPS"
+          ~doc:"Offered load in kRps (default: 40% of the group's ideal direct capacity).")
+  in
+  let trace_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Export the all-member trace as Chrome trace-event JSON (Perfetto).")
+  in
+  let breakdown_flag =
+    Arg.(
+      value & flag
+      & info [ "breakdown" ]
+          ~doc:
+            "Print the latency-breakdown percentile table; consensus time shows up as its \
+             own component.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate conservation and the Raft invariants (monotone commit indexes, one \
+             leader per term, no committed-entry loss); non-zero exit on failure.")
+  in
+  let sweep_flag =
+    Arg.(value & flag & info [ "sweep" ] ~doc:"Sweep offered load instead of one point.")
+  in
+  let points_arg =
+    Arg.(value & opt int 8 & info [ "points" ] ~docv:"N" ~doc:"Sweep points (with --sweep).")
+  in
+  let action system workload quantum workers policies nodes rtt leases write_ratio hedge_spec
+      kill_us stragglers cancel_cost rate n_requests seed trace_file breakdown check sweep
+      points =
+    let config, mix = resolve ~system ~workload ~quantum ~workers () in
+    let read_lb, config =
+      List.fold_left
+        (fun (lb, config) spec ->
+          match Lb_policy.of_string spec with
+          | Ok p -> (p, config)
+          | Error lb_err -> (
+            match Concord.with_policy config ~spec ~mix with
+            | Ok config -> (lb, config)
+            | Error policy_err ->
+              Printf.eprintf "%s\n%s\n" lb_err policy_err;
+              exit 1))
+        (Lb_policy.Po2c, config) policies
+    in
+    let hedge =
+      match Repro_cluster.Hedge.of_string hedge_spec with
+      | Ok h -> h
+      | Error e ->
+        prerr_endline e;
+        exit 1
+    in
+    let kill_leader_at_ns = Option.map (fun us -> int_of_float (us *. 1e3)) kill_us in
+    let raft =
+      try
+        Raft.homogeneous ~read_lb ?rtt_cycles:rtt ~read_leases:leases ~write_ratio ~hedge
+          ?kill_leader_at_ns ?cancel_cost_cycles:cancel_cost ~stragglers ~nodes config
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 1
+    in
+    let capacity_rps = raft_capacity_rps raft mix in
+    let describe () =
+      Printf.printf "raft: %d x { %s }, read_lb %s, rtt %d cycles, leases %s, writes %.0f%%%s%s%s\n"
+        nodes
+        (Concord.Config.describe config)
+        (Lb_policy.name read_lb) raft.Raft.rtt_cycles
+        (if leases then "on" else "off")
+        (100. *. write_ratio)
+        (if hedge = Repro_cluster.Hedge.Off then ""
+         else ", hedge " ^ Repro_cluster.Hedge.name hedge)
+        (match kill_us with
+        | Some us -> Printf.sprintf ", leader killed at %.0fus" us
+        | None -> "")
+        (if stragglers = [] then ""
+         else
+           ", stragglers "
+           ^ String.concat "," (List.map (fun (i, f) -> Printf.sprintf "%d:%.2gx" i f) stragglers))
+    in
+    let run_at ?tracer rate_rps =
+      Raft.run ~raft ~mix ~arrival:(Concord.Arrival.Poisson { rate_rps }) ~n_requests ~seed
+        ?tracer ()
+    in
+    if sweep then begin
+      describe ();
+      Printf.printf "workload: %s\n" mix.Concord.Mix.name;
+      Printf.printf "%9s %9s %9s %9s %9s %9s %9s\n" "kRps" "w_p50us" "w_p99us" "r_p50us"
+        "r_p99us" "censored" "parked";
+      for i = 1 to points do
+        let rate_rps = 0.9 *. capacity_rps *. float_of_int i /. float_of_int points in
+        let s = run_at rate_rps in
+        Printf.printf "%9.1f %9.1f %9.1f %9.1f %9.1f %9d %9d\n" (rate_rps /. 1e3)
+          (s.Raft.write_p50_ns /. 1e3)
+          (s.Raft.write_p99_ns /. 1e3)
+          (s.Raft.read_p50_ns /. 1e3)
+          (s.Raft.read_p99_ns /. 1e3)
+          s.Raft.client.Concord.Metrics.censored s.Raft.parked;
+        if check then begin
+          match Raft.check_invariants s with
+          | Ok () -> ()
+          | Error msg ->
+            Printf.eprintf "check (%.1f kRps): %s\n" (rate_rps /. 1e3) msg;
+            exit 1
+        end
+      done;
+      if check then print_endline "check: invariants hold at every sweep point"
+    end
+    else begin
+      let tracer =
+        if trace_file <> None || breakdown then
+          Some (Repro_runtime.Tracing.create ~capacity:(max 65_536 (n_requests * 64)) ())
+        else None
+      in
+      let rate_rps = match rate with Some k -> k *. 1e3 | None -> 0.4 *. capacity_rps in
+      let s = run_at ?tracer rate_rps in
+      describe ();
+      Printf.printf "workload: %s, offered %.1f kRps (%.0f%% of direct capacity)\n"
+        mix.Concord.Mix.name (rate_rps /. 1e3)
+        (100. *. rate_rps /. capacity_rps);
+      print_string (Raft.summary_to_string s);
+      Option.iter
+        (fun tracer ->
+          let cswitch =
+            Repro_hw.Costs.ns_of config.Concord.Config.costs
+              config.Concord.Config.costs.Repro_hw.Costs.context_switch_cycles
+          in
+          if breakdown then
+            print_string
+              (Repro_runtime.Breakdown.render
+                 (Repro_runtime.Breakdown.of_trace ~cswitch_cost_ns:cswitch tracer));
+          Option.iter
+            (fun path ->
+              Repro_runtime.Trace_export.write_file ~path
+                (Repro_runtime.Trace_export.tracer_to_chrome_json tracer);
+              Printf.printf "trace written to %s (open in ui.perfetto.dev)\n" path)
+            trace_file)
+        tracer;
+      if check then begin
+        match Raft.check_invariants s with
+        | Ok () ->
+          Printf.printf "check: invariants hold (%d requests, %d elections, final term %d)\n"
+            s.Raft.requests s.Raft.elections s.Raft.final_term
+        | Error msg ->
+          Printf.eprintf "check: %s\n" msg;
+          exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "raft"
+       ~doc:
+         "Run a simulated Raft group of server instances: writes replicate through a \
+          quorum-acknowledged log, reads bypass consensus via leader leases.")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ policy_arg
+      $ nodes_arg $ rtt_arg $ leases_arg $ write_ratio_arg $ hedge_arg $ kill_arg
+      $ straggler_arg $ cancel_cost_arg $ rate_arg
+      $ Arg.(value & opt int 20_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals.")
+      $ seed_arg $ trace_file_arg $ breakdown_flag $ check_flag $ sweep_flag $ points_arg)
+
+(* ---- raft-study -------------------------------------------------------- *)
+
+let raft_study_cmd =
+  let module Raft = Repro_raft.Raft in
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 3; 5 ]
+      & info [ "nodes" ] ~docv:"K,..." ~doc:"Comma-separated group sizes.")
+  in
+  let rtts_arg =
+    Arg.(
+      value
+      & opt (list int) [ 880_000 ]
+      & info [ "rtts" ] ~docv:"C,..." ~doc:"Comma-separated inter-member RTTs in cycles.")
+  in
+  let wratios_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.5 ]
+      & info [ "write-ratios" ] ~docv:"F,..." ~doc:"Comma-separated write ratios.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "rate"; "r" ] ~docv:"KRPS"
+          ~doc:"Offered load in kRps (keep it low: the study measures intrinsic latency).")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "fixed:50"
+      & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+          ~doc:"Workload preset, or fixed:US for single-size ops (default fixed:50).")
+  in
+  let csv_flag = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of the table.") in
+  let action system workload quantum workers nodes_list rtts wratios rate n_requests seed csv =
+    let config, _ = resolve ~system ~workload:"ycsb-a" ~quantum ~workers () in
+    let mix =
+      match raft_mix workload with
+      | Ok m -> m
+      | Error e ->
+        prerr_endline e;
+        exit 1
+    in
+    let rate_rps = rate *. 1e3 in
+    let arrival = Concord.Arrival.Poisson { rate_rps } in
+    (* The direct baseline is the same machinery with consensus off the
+       path: one member, reads only, served straight from its lease. *)
+    let direct =
+      Raft.run
+        ~raft:(Raft.homogeneous ~write_ratio:0.0 ~nodes:1 config)
+        ~mix ~arrival ~n_requests ~seed ()
+    in
+    let direct_p50 = direct.Raft.read_p50_ns in
+    if direct_p50 <= 0.0 then begin
+      prerr_endline "raft-study: direct baseline produced no read samples";
+      exit 1
+    end;
+    if csv then
+      print_endline "nodes,rtt_cycles,write_ratio,direct_p50_us,write_p50_us,write_overhead,read_p50_us,read_ratio,write_p99_us,read_p99_us"
+    else begin
+      Printf.printf
+        "consensus overhead: %s at %.1f kRps, direct p50 %.1f us (1 member, no writes)\n"
+        mix.Concord.Mix.name rate (direct_p50 /. 1e3);
+      Printf.printf "%5s %8s %7s | %11s %9s | %11s %9s | %11s %11s\n" "nodes" "rtt_us" "w_frac"
+        "write_p50us" "overhead" "read_p50us" "vs_direct" "write_p99us" "read_p99us"
+    end;
+    List.iter
+      (fun nodes ->
+        List.iter
+          (fun rtt_cycles ->
+            List.iter
+              (fun write_ratio ->
+                let raft =
+                  Raft.homogeneous ~rtt_cycles ~write_ratio ~nodes config
+                in
+                let s = Raft.run ~raft ~mix ~arrival ~n_requests ~seed () in
+                (match Raft.check_invariants s with
+                | Ok () -> ()
+                | Error msg ->
+                  Printf.eprintf "raft-study (%d nodes): %s\n" nodes msg;
+                  exit 1);
+                let rtt_us = float_of_int rtt_cycles /. 2.0 /. 1e3 in
+                let w_over = s.Raft.write_p50_ns /. direct_p50 in
+                let r_over = s.Raft.read_p50_ns /. direct_p50 in
+                if csv then
+                  Printf.printf "%d,%d,%g,%.3f,%.3f,%.2f,%.3f,%.3f,%.3f,%.3f\n" nodes rtt_cycles
+                    write_ratio (direct_p50 /. 1e3)
+                    (s.Raft.write_p50_ns /. 1e3)
+                    w_over
+                    (s.Raft.read_p50_ns /. 1e3)
+                    r_over
+                    (s.Raft.write_p99_ns /. 1e3)
+                    (s.Raft.read_p99_ns /. 1e3)
+                else
+                  Printf.printf "%5d %8.0f %7.2f | %11.1f %8.1fx | %11.1f %8.2fx | %11.1f %11.1f\n"
+                    nodes rtt_us write_ratio
+                    (s.Raft.write_p50_ns /. 1e3)
+                    w_over
+                    (s.Raft.read_p50_ns /. 1e3)
+                    r_over
+                    (s.Raft.write_p99_ns /. 1e3)
+                    (s.Raft.read_p99_ns /. 1e3))
+              wratios)
+          rtts)
+      nodes_list
+  in
+  Cmd.v
+    (Cmd.info "raft-study"
+       ~doc:
+         "Measure consensus overhead: direct vs replicated writes across group sizes and \
+          RTTs, with lease reads staying flat.")
+    Term.(
+      const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ nodes_arg
+      $ rtts_arg $ wratios_arg $ rate_arg
+      $ Arg.(value & opt int 20_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals per cell.")
+      $ seed_arg $ csv_flag)
+
 (* ---- cluster (rack scale) ---------------------------------------------- *)
 
 let cluster_cmd =
@@ -977,6 +1372,8 @@ let () =
             cluster_cmd;
             hedge_study_cmd;
             replicate_cmd;
+            raft_cmd;
+            raft_study_cmd;
             sls_cmd;
             trace_cmd;
             overheads_cmd;

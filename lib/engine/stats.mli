@@ -50,7 +50,15 @@ val merge_all : t list -> t
     built with a single allocation and a single sort (the result is born
     sorted, so a subsequent percentile query pays no sort). Equivalent to
     folding {!merge} over the list but never quadratic: folding re-copies the
-    growing accumulator on each step. Inputs are not mutated. *)
+    growing accumulator on each step. Inputs are not mutated.
+
+    Degenerate inputs are well-defined, not traps: [merge_all []] (and a
+    list of only-empty collections) is an ordinary empty collection —
+    [is_empty] holds, [count] is [0], [mean]/[stddev] are [0.0], and
+    {!percentile} raises [Invalid_argument] exactly as on any other empty
+    collection. [merge_all [t]] is an independent copy of [t]. Callers
+    summarizing a role with no members (e.g. the followers of a
+    single-node group) can therefore merge first and guard once. *)
 
 (** Online mean/variance accumulator (Welford) for streams where retaining
     samples is unnecessary. *)

@@ -1,0 +1,225 @@
+(** Replicated KV tier: a simulated Raft group over {!Repro_runtime.Server}
+    instances.
+
+    The cluster layer routes to [N] {e independent} servers; real
+    microsecond-scale deployments replicate state. This module runs a Raft
+    group whose members are full {!Repro_runtime.Server.Instance}s under one
+    shared {!Repro_engine.Sim} clock, so consensus work competes with
+    client work in the same dispatchers the paper models:
+
+    - {b Writes} go to the leader, which appends to a replicated log: the
+      durability cost of the local append is a consensus mini-request
+      executed by the leader's own dispatcher/workers (metered in
+      {!Repro_hw.Costs} cycles, plus the real {!Repro_kvstore.Wal} encode
+      cost for the record's bytes), then AppendEntries fan out to the
+      followers over per-link one-way delays ([rtt_cycles / 2]). Each
+      follower's AppendEntries processing is another mini-request through
+      that follower's instance. When a majority (including the leader) has
+      acknowledged, the entry commits and the {e actual} client request is
+      injected into the leader — its sojourn therefore contains the whole
+      consensus round, attributed to the [consensus] component of
+      {!Repro_runtime.Breakdown} via the [Replicated] trace event.
+    - {b Reads} bypass consensus under leases: a quorum-acknowledged
+      heartbeat extends every reachable member's lease, and any alive
+      member holding an unexpired lease may serve a read locally (checked
+      against the simulated clock at dispatch — the lease-expiry safety
+      check; [make] additionally enforces
+      [lease_cycles <= election_timeout_cycles] so no new leader can be
+      elected while an old-term lease is still valid). Reads at the leader
+      are linearizable; follower lease reads are bounded-staleness (at
+      most one lease of lag), which is what the SNIPPETS systems ship.
+      Without [read_leases], reads ride the full consensus round — the
+      "consensus read" counterfactual of the overhead study.
+    - {b Failure}: heartbeat-driven failure detection with
+      randomized-timeout elections drawn from per-node split {!Rng}
+      streams, so a [kill_leader_at_ns] failover elects the same new
+      leader on every run at the same seed. In-flight client requests
+      routed through the dead leader are resubmitted (fresh legs,
+      original arrival time) once the new leader emerges.
+
+    Everything is deterministic: same seed, same history. *)
+
+module Config = Repro_runtime.Config
+module Metrics = Repro_runtime.Metrics
+module Cluster = Repro_cluster.Cluster
+module Lb_policy = Repro_cluster.Lb_policy
+module Hedge = Repro_cluster.Hedge
+
+type role = Follower | Candidate | Leader
+
+val role_name : role -> string
+
+type t = {
+  read_lb : Lb_policy.t;
+      (** how lease reads pick among leased members (the leader is a
+          candidate like any other, so queue-aware policies shift reads
+          away from a consensus-loaded leader) *)
+  rtt_cycles : int;
+      (** inter-member round trip in cycles of the first member's cost
+          model; every protocol message (AppendEntries, acks, heartbeats,
+          votes) takes rtt/2 one way. Client legs are delivered
+          synchronously — the client is rack-local, the consensus links
+          are what cost. *)
+  read_leases : bool;  (** serve reads from leases instead of the log *)
+  write_ratio : float;
+      (** probability an arrival is a write, drawn per arrival from a
+          dedicated stream (always drawn, so read/write service sequences
+          match across ratios) *)
+  hedge : Hedge.t;
+      (** lease-read hedging only: a still-incomplete lease read is
+          duplicated onto another leased member after the policy delay;
+          first completion wins, the loser is cancelled. Writes are never
+          hedged — duplicating a write would double-commit through
+          consensus; the run asserts this guard and
+          {!check_invariants} re-checks [writes_hedged = 0]. *)
+  heartbeat_cycles : int;  (** leader heartbeat period *)
+  election_timeout_cycles : int;
+      (** minimum election timeout; each member redraws uniformly in
+          [min, 2*min) on every reset *)
+  lease_cycles : int;  (** lease extension granted by a quorum heartbeat *)
+  log_write_cycles : int;
+      (** durable log append (fsync-class) on the appending member,
+          executed as a mini-request by that member's instance *)
+  follower_ae_cycles : int;
+      (** AppendEntries processing (decode + append + fsync) at a
+          follower, executed as a mini-request by the follower's instance *)
+  kill_leader_at_ns : int option;
+      (** crash the current leader at this simulated time: it stops
+          heartbeating, voting and acking; survivors elect a replacement *)
+  cancel_cost_cycles : int option;  (** as {!Cluster.t.cancel_cost_cycles} *)
+  specs : Cluster.instance_spec array;
+}
+
+val make :
+  ?read_lb:Lb_policy.t ->
+  ?rtt_cycles:int ->
+  ?read_leases:bool ->
+  ?write_ratio:float ->
+  ?hedge:Hedge.t ->
+  ?heartbeat_cycles:int ->
+  ?election_timeout_cycles:int ->
+  ?lease_cycles:int ->
+  ?log_write_cycles:int ->
+  ?follower_ae_cycles:int ->
+  ?kill_leader_at_ns:int ->
+  ?cancel_cost_cycles:int ->
+  Cluster.instance_spec array ->
+  t
+(** Defaults (at the 2 GHz reference clock): [Po2c] read routing,
+    [rtt_cycles = 880_000] (440 us), leases on, [write_ratio = 0.5], no
+    hedging, heartbeat 100 us, election timeout 500 us, lease 500 us (a
+    lease must outlive the RTT, or the leader's own lease expires before
+    the quorum ack that would renew it arrives), log write 140 us,
+    follower AppendEntries 180 us — calibrated so a 50 us direct
+    operation lands near the Concord/Ra consensus table: ~3.8x at one
+    member, ~15x+ at three. Validates every member config, and rejects
+    [lease_cycles > election_timeout_cycles] (lease safety). *)
+
+val homogeneous :
+  ?read_lb:Lb_policy.t ->
+  ?rtt_cycles:int ->
+  ?read_leases:bool ->
+  ?write_ratio:float ->
+  ?hedge:Hedge.t ->
+  ?heartbeat_cycles:int ->
+  ?election_timeout_cycles:int ->
+  ?lease_cycles:int ->
+  ?log_write_cycles:int ->
+  ?follower_ae_cycles:int ->
+  ?kill_leader_at_ns:int ->
+  ?cancel_cost_cycles:int ->
+  ?stragglers:(int * float) list ->
+  nodes:int ->
+  Config.t ->
+  t
+(** [nodes] identical members; [stragglers] overrides speed factors as in
+    {!Cluster.homogeneous}. *)
+
+type summary = {
+  nodes : int;
+  read_leases : bool;
+  requests : int;
+  writes : int;  (** client arrivals classified as writes *)
+  reads : int;
+  client : Metrics.summary;
+      (** end-to-end client view: every arrival completes or is censored
+          exactly once here, whatever legs/replays it took *)
+  write_mean_ns : float;
+  write_p50_ns : float;
+  write_p99_ns : float;
+  read_mean_ns : float;
+  read_p50_ns : float;
+  read_p99_ns : float;
+  per_node : Metrics.summary array;
+      (** member-level view, consensus mini-requests included (they carry
+          the synthetic ["RAFT"] class) *)
+  roles : role array;  (** final role of each member *)
+  alive : bool array;
+  final_leader : int option;
+  final_term : int;
+  elections : int;  (** leaderships established (the t=0 leader counts) *)
+  leader_changes : int;  (** leadership moved to a different member *)
+  committed : int;  (** log entries committed (no-ops included) *)
+  commit_indexes : int array;
+  log_lengths : int array;
+  wal_records : int array;  (** real {!Repro_kvstore.Wal} records per member *)
+  resubmissions : int;  (** client legs replayed after a leader death *)
+  parked : int;  (** times a request waited for a leader/lease/credit *)
+  routed : int array;  (** client legs injected into each member *)
+  hedges : int;
+  hedge_wins : int;
+  hedge_cancels : int;
+  hedge_wasted_ns : int;
+  writes_hedged : int;  (** must be 0: the write-hedging guard *)
+  leader_p99_slowdown : float;  (** 0 when the final leader has no samples *)
+  follower_p99_slowdown : float;
+      (** merged over follower members ({!Repro_engine.Stats.merge_all});
+          0 for a single-member group *)
+  invariant_failures : string list;
+      (** protocol violations observed during the run: commit-index
+          regression, two leaders in one term, committed-entry loss *)
+}
+
+val run :
+  raft:t ->
+  mix:Repro_workload.Mix.t ->
+  arrival:Repro_workload.Arrival.t ->
+  n_requests:int ->
+  ?warmup_frac:float ->
+  ?drain_cap_ns:int ->
+  ?seed:int ->
+  ?tracer:Repro_runtime.Tracing.t ->
+  unit ->
+  summary
+
+val run_detailed :
+  raft:t ->
+  mix:Repro_workload.Mix.t ->
+  arrival:Repro_workload.Arrival.t ->
+  n_requests:int ->
+  ?warmup_frac:float ->
+  ?drain_cap_ns:int ->
+  ?seed:int ->
+  ?tracer:Repro_runtime.Tracing.t ->
+  ?events_out:int ref ->
+  unit ->
+  summary * Repro_engine.Stats.t
+(** Like {!run}, plus the merged post-warm-up client slowdown samples.
+    One service-time and one read/write-classification stream are drawn
+    at the front-end before routing, so runs at one seed see identical
+    request sequences whatever the group size, lease setting or policy.
+    [warmup_frac]/[drain_cap_ns]/[seed]/[tracer] as in
+    {!Repro_runtime.Server.run}; when tracing, client arrivals record a
+    front-end [Arrived] and every consensus/routing hand-off records
+    [Replicated], so {!Repro_runtime.Breakdown} attributes the gap to its
+    [consensus] component. *)
+
+val check_invariants : summary -> (unit, string) result
+(** [Ok] iff the run kept the Raft invariants (commit indexes monotone,
+    at most one leader per term, every committed entry present in the
+    final leader's log), conservation holds (completed + censored =
+    requests), and no write was ever hedged. *)
+
+val summary_to_string : summary -> string
+(** Multi-line human-readable report (roles, terms, per-node and
+    read/write latency split). *)

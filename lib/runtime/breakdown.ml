@@ -10,6 +10,7 @@ type components = {
   service_ns : int;
   instr_ns : int;
   preempt_ns : int;
+  consensus_ns : int;
   other_ns : int;
 }
 
@@ -23,12 +24,13 @@ let zero =
     service_ns = 0;
     instr_ns = 0;
     preempt_ns = 0;
+    consensus_ns = 0;
     other_ns = 0;
   }
 
 let total_ns c =
   c.ingress_ns + c.central_ns + c.local_ns + c.handoff_ns + c.cswitch_ns + c.service_ns
-  + c.instr_ns + c.preempt_ns + c.other_ns
+  + c.instr_ns + c.preempt_ns + c.consensus_ns + c.other_ns
 
 let add a b =
   {
@@ -40,11 +42,15 @@ let add a b =
     service_ns = a.service_ns + b.service_ns;
     instr_ns = a.instr_ns + b.instr_ns;
     preempt_ns = a.preempt_ns + b.preempt_ns;
+    consensus_ns = a.consensus_ns + b.consensus_ns;
     other_ns = a.other_ns + b.other_ns;
   }
 
 let component_names =
-  [ "ingress"; "central-q"; "local-q"; "handoff"; "cswitch"; "service"; "instr"; "preempt"; "other" ]
+  [
+    "ingress"; "central-q"; "local-q"; "handoff"; "cswitch"; "service"; "instr"; "preempt";
+    "consensus"; "other";
+  ]
 
 let to_list c =
   [
@@ -56,6 +62,7 @@ let to_list c =
     ("service", c.service_ns);
     ("instr", c.instr_ns);
     ("preempt", c.preempt_ns);
+    ("consensus", c.consensus_ns);
     ("other", c.other_ns);
   ]
 
@@ -93,6 +100,7 @@ let lifecycle ~cswitch_cost_ns ~request evs =
     and service = ref 0
     and instr = ref 0
     and preempt = ref 0
+    and consensus = ref 0
     and other = ref 0 in
     let seg_start_progress = ref 0 in
     let preemptions = ref 0 in
@@ -112,6 +120,12 @@ let lifecycle ~cswitch_cost_ns ~request evs =
       | a :: (b :: _ as rest) ->
         let dt = b.Tracing.time_ns - a.Tracing.time_ns in
         (match (a.Tracing.kind, b.Tracing.kind) with
+        (* Raft front-end: client arrival -> consensus done -> re-arrival at
+           the serving member instance. Both edges are consensus time (the
+           second is the zero-width hand-off to the instance's own
+           [Arrived]). *)
+        | Arrived _, Replicated _ -> consensus := !consensus + dt
+        | Replicated _, Arrived _ -> consensus := !consensus + dt
         | Arrived _, Admitted _ -> ingress := !ingress + dt
         | Arrived _, Delivered _ -> central := !central + dt
         | (Admitted _ | Requeued _), (Dispatched _ | Stolen | Delivered _) ->
@@ -156,6 +170,7 @@ let lifecycle ~cswitch_cost_ns ~request evs =
             service_ns = !service;
             instr_ns = !instr;
             preempt_ns = !preempt;
+            consensus_ns = !consensus;
             other_ns = !other;
           };
       }
@@ -299,6 +314,7 @@ let attribution ~system breakdowns =
         service_ns = mean_of sum.service_ns;
         instr_ns = mean_of sum.instr_ns;
         preempt_ns = mean_of sum.preempt_ns;
+        consensus_ns = mean_of sum.consensus_ns;
         other_ns = mean_of sum.other_ns;
       };
   }

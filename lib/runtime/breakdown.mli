@@ -5,7 +5,7 @@
 
     {v sojourn = ingress + central-queue + local-queue + handoff
               + context switches + service + instrumentation
-              + preemption/notification + other v}
+              + preemption/notification + consensus + other v}
 
     The attribution tiles the [arrival, completion] interval exactly —
     components sum to the measured sojourn by construction — and [other]
@@ -30,6 +30,10 @@ type components = {
   preempt_ns : int;
       (** preemption/notification overhead: from the preemption point to
           the re-queue, minus the carved context switch *)
+  consensus_ns : int;
+      (** replication-tier time: from the front-end [Arrived] through the
+          [Replicated] hand-off to a member instance (log append, quorum
+          wait, wire delay); 0 outside the Raft tier *)
   other_ns : int;  (** unattributed — 0 unless the schema grows a new edge *)
 }
 

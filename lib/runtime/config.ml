@@ -33,6 +33,12 @@ let validate t =
   | Policy.Srpt_noisy { sigma } ->
     if not (Float.is_finite sigma) || sigma < 0.0 then
       invalid_arg "Config: srpt-noisy sigma must be finite and >= 0"
+  | Policy.Srpt_kv { means_ns } ->
+    if Array.length means_ns = 0 then
+      invalid_arg "Config: srpt-kv needs at least one per-class mean";
+    Array.iter
+      (fun m -> if m < 1 then invalid_arg "Config: srpt-kv class means must be >= 1ns")
+      means_ns
   | Policy.Fcfs | Policy.Srpt | Policy.Gittins _ | Policy.Locality_fcfs -> ());
   match t.queue_model with
   | Jbsq k when k < 1 -> invalid_arg "Config: JBSQ depth must be >= 1"

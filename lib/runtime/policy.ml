@@ -5,6 +5,7 @@ type kind =
   | Fcfs
   | Srpt
   | Srpt_noisy of { sigma : float }
+  | Srpt_kv of { means_ns : int array }
   | Gittins of Gittins.t
   | Locality_fcfs
 
@@ -12,6 +13,7 @@ let kind_name = function
   | Fcfs -> "fcfs"
   | Srpt -> "srpt"
   | Srpt_noisy { sigma } -> Printf.sprintf "srpt-noisy:%g" sigma
+  | Srpt_kv _ -> "srpt-kv"
   | Gittins _ -> "gittins"
   | Locality_fcfs -> "locality-fcfs"
 
@@ -151,7 +153,7 @@ let create = function
         fresh_key = (fun r -> r.Request.service_ns);
         started_key = Request.remaining_ns;
       }
-  | Srpt_noisy _ as kind ->
+  | (Srpt_noisy _ | Srpt_kv _) as kind ->
     Rank_queue
       {
         kind;
@@ -233,7 +235,33 @@ let iter t ~f =
 
 (* ---- spec parsing ----------------------------------------------------- *)
 
-let spec_syntax = "fcfs | srpt | srpt-noisy[:SIGMA] | gittins | locality-fcfs"
+let spec_syntax = "fcfs | srpt | srpt-noisy[:SIGMA] | srpt-kv | gittins | locality-fcfs"
+
+(* Per-class empirical mean service times, sampled with a dedicated
+   fixed-seed stream like {!Gittins.of_mix} (same caveat about stateful
+   kvstore-backed generators: the table is built before the simulation
+   streams split, so determinism is unaffected). Classes the sampler never
+   hits fall back to the declared class mean. *)
+let srpt_kv_samples = 4_096
+let srpt_kv_seed = 0x51eb
+
+let srpt_kv_of_mix (mix : Repro_workload.Mix.t) =
+  let n = Array.length mix.Repro_workload.Mix.classes in
+  let sums = Array.make n 0.0
+  and counts = Array.make n 0 in
+  let rng = Repro_engine.Rng.create ~seed:srpt_kv_seed in
+  for _ = 1 to srpt_kv_samples do
+    let p = Repro_workload.Mix.sample mix rng in
+    sums.(p.Repro_workload.Mix.class_id) <-
+      sums.(p.Repro_workload.Mix.class_id) +. float_of_int p.Repro_workload.Mix.service_ns;
+    counts.(p.Repro_workload.Mix.class_id) <- counts.(p.Repro_workload.Mix.class_id) + 1
+  done;
+  let means_ns =
+    Array.init n (fun i ->
+        if counts.(i) > 0 then max 1 (int_of_float (sums.(i) /. float_of_int counts.(i)))
+        else max 1 (int_of_float mix.Repro_workload.Mix.classes.(i).Repro_workload.Mix.mean_ns))
+  in
+  Srpt_kv { means_ns }
 
 let of_spec spec ~mix =
   let fail () =
@@ -243,6 +271,7 @@ let of_spec spec ~mix =
   | "fcfs" -> Ok Fcfs
   | "srpt" -> Ok Srpt
   | "srpt-noisy" -> Ok (Srpt_noisy { sigma = 1.0 })
+  | "srpt-kv" -> Ok (srpt_kv_of_mix mix)
   | "gittins" -> Ok (Gittins (Gittins.of_mix mix))
   | "locality-fcfs" -> Ok Locality_fcfs
   | _ -> (

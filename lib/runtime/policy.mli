@@ -20,6 +20,15 @@ type kind =
           [service_ns * exp(sigma * N(0,1))] (median-unbiased; sigma = 0 is
           bit-identical to {!Srpt}). The Scully–Harchol-Balter noise model
           for "how wrong can estimates be before SRPT stops winning". *)
+  | Srpt_kv of { means_ns : int array }
+      (** SRPT on per-class (per-opcode) empirical mean sizes: each
+          request's [estimate_ns] is set at arrival to its class's mean —
+          the prediction a kvstore front-end can actually make from the
+          opcode (GET vs PUT vs SCAN) without knowing the exact size. No
+          noise stream is consumed, so a run with any other policy is
+          bit-identical to before this variant existed. Build with
+          {!of_spec} ["srpt-kv"], which samples the mix like
+          {!Repro_workload.Gittins.of_mix} does. *)
   | Gittins of Repro_workload.Gittins.t
       (** serve the smallest Gittins rank (largest index) computed from the
           empirical service distribution; optimal for unknown sizes. Build
@@ -34,8 +43,9 @@ val kind_name : kind -> string
     ["gittins"], ["locality-fcfs"]. *)
 
 val of_spec : string -> mix:Repro_workload.Mix.t -> (kind, string) result
-(** Parse a policy spec: [fcfs | srpt | srpt-noisy[:SIGMA] | gittins |
-    locality-fcfs]. [srpt-noisy] without an argument means sigma = 1;
+(** Parse a policy spec: [fcfs | srpt | srpt-noisy[:SIGMA] | srpt-kv |
+    gittins | locality-fcfs]. [srpt-noisy] without an argument means
+    sigma = 1; [srpt-kv] derives per-class mean estimates from [mix];
     [gittins] builds its index table from [mix] (via
     {!Repro_workload.Gittins.of_mix}, reproducible fixed-seed sampling). *)
 

@@ -107,6 +107,9 @@ type 'e t = {
      draws, so non-noisy configs consume identical RNG streams *)
   estimate_sigma : float;
   est_rng : Rng.t; (* split from mech_rng only when estimate_sigma > 0 *)
+  estimate_means : int array;
+      (* per-class mean estimates when the policy is Srpt_kv; [||]
+         otherwise (no draws, no stream perturbation either way) *)
   adaptive : Config.adaptive option;
   class_ewma : float array; (* per-class EWMA of completed service (ns); [||] unless adaptive *)
   (* cached cost-model conversions (ns), pre-scaled by [speed] *)
@@ -800,7 +803,15 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
   let estimate_sigma =
     match config.Config.policy with
     | Policy.Srpt_noisy { sigma } -> sigma
-    | Policy.Fcfs | Policy.Srpt | Policy.Gittins _ | Policy.Locality_fcfs -> 0.0
+    | Policy.Fcfs | Policy.Srpt | Policy.Srpt_kv _ | Policy.Gittins _ | Policy.Locality_fcfs ->
+      0.0
+  in
+  let estimate_means =
+    match config.Config.policy with
+    | Policy.Srpt_kv { means_ns } -> means_ns
+    | Policy.Fcfs | Policy.Srpt | Policy.Srpt_noisy _ | Policy.Gittins _ | Policy.Locality_fcfs
+      ->
+      [||]
   in
   (* Estimates get their own stream, split off only when the policy
      actually draws them, so every other configuration's mech_rng stream is
@@ -817,6 +828,7 @@ let create_instance ~sim ~lift ~config ~warmup_before ~n_classes ~rng
     mech_rng = rng;
     estimate_sigma;
     est_rng;
+    estimate_means;
     adaptive = config.Config.adaptive_quantum;
     class_ewma =
       (match config.Config.adaptive_quantum with
@@ -889,6 +901,15 @@ let inject t (req : Request.t) =
            (Float.round
               (float_of_int req.Request.service_ns
               *. Rng.lognormal t.est_rng ~mu:0.0 ~sigma:t.estimate_sigma)));
+  (* The opcode-level prediction (srpt-kv): every request of a class gets
+     that class's empirical mean as its size estimate. Out-of-range class
+     ids (e.g. the Raft tier's consensus mini-requests) keep their exact
+     demand. *)
+  if
+    Array.length t.estimate_means > 0
+    && req.Request.class_id >= 0
+    && req.Request.class_id < Array.length t.estimate_means
+  then req.Request.estimate_ns <- t.estimate_means.(req.Request.class_id);
   Hashtbl.replace t.live req.Request.id req;
   if t.tracing then
     trace t ~request:req.Request.id (Tracing.Arrived { service_ns = req.Request.service_ns });

@@ -110,7 +110,11 @@ let chrome_json_of_iter ~process_name iter =
         emit
           (instant ~name:"requeued" ~ts_ns:e.time_ns ~tid:0
              ~args:[ req_arg; ("queue_depth", string_of_int queue_depth) ])
-      | Tracing.Stolen -> emit (instant ~name:"stolen" ~ts_ns:e.time_ns ~tid:0 ~args:[ req_arg ]));
+      | Tracing.Stolen -> emit (instant ~name:"stolen" ~ts_ns:e.time_ns ~tid:0 ~args:[ req_arg ])
+      | Tracing.Replicated { term } ->
+        emit
+          (instant ~name:"replicated" ~ts_ns:e.time_ns ~tid:0
+             ~args:[ req_arg; ("term", string_of_int term) ]));
   let meta =
     Printf.sprintf
       "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"args\":{\"name\":\"%s\"}}"
@@ -146,7 +150,7 @@ let csv_of_iter iter =
       let progress, queue_depth, local_depth, op_ns =
         match e.kind with
         | Tracing.Arrived _ | Tracing.Delivered _ | Tracing.Started _ | Tracing.Stolen
-        | Tracing.Completed _ ->
+        | Tracing.Completed _ | Tracing.Replicated _ ->
           ("", "", "", "")
         | Tracing.Admitted { central_depth; op_ns } ->
           ("", string_of_int central_depth, "", string_of_int op_ns)

@@ -9,6 +9,7 @@ type kind =
   | Requeued of { queue_depth : int }
   | Stolen
   | Completed of { worker : int }
+  | Replicated of { term : int }
 
 type entry = { time_ns : int; request : int; kind : entry_kind }
 and entry_kind = kind
@@ -28,6 +29,7 @@ let tag_preempted = 6
 let tag_requeued = 7
 let tag_stolen = 8
 let tag_completed = 9
+let tag_replicated = 10
 
 type t = {
   times : int array;
@@ -91,7 +93,10 @@ let record t ~time_ns ~request kind =
   | Stolen -> t.tags.(i) <- tag_stolen
   | Completed { worker } ->
     t.tags.(i) <- tag_completed;
-    t.p0.(i) <- worker);
+    t.p0.(i) <- worker
+  | Replicated { term } ->
+    t.tags.(i) <- tag_replicated;
+    t.p0.(i) <- term);
   t.next <- t.next + 1
 
 let length t = min t.next (Array.length t.times)
@@ -110,6 +115,7 @@ let decode_kind t i =
   else if tag = tag_preempted then Preempted { worker = t.p0.(i); progress_ns = t.p1.(i) }
   else if tag = tag_requeued then Requeued { queue_depth = t.p0.(i) }
   else if tag = tag_stolen then Stolen
+  else if tag = tag_replicated then Replicated { term = t.p0.(i) }
   else Completed { worker = t.p0.(i) }
 
 let decode t i = { time_ns = t.times.(i); request = t.reqs.(i); kind = decode_kind t i }
@@ -150,7 +156,7 @@ let worker_of = function
   | Preempted { worker; _ }
   | Completed { worker } ->
     Some worker
-  | Arrived _ | Admitted _ | Requeued _ | Stolen -> None
+  | Arrived _ | Admitted _ | Requeued _ | Stolen | Replicated _ -> None
 
 let kind_name = function
   | Arrived _ -> "arrived"
@@ -163,6 +169,7 @@ let kind_name = function
   | Requeued _ -> "requeued"
   | Stolen -> "stolen"
   | Completed _ -> "completed"
+  | Replicated _ -> "replicated"
 
 let owner_name worker = if worker < 0 then "the dispatcher" else Printf.sprintf "worker %d" worker
 
@@ -182,6 +189,7 @@ let kind_to_string = function
   | Requeued { queue_depth } -> Printf.sprintf "requeued (depth %d)" queue_depth
   | Stolen -> "stolen by the dispatcher"
   | Completed { worker } -> "completed on " ^ owner_name worker
+  | Replicated { term } -> Printf.sprintf "replicated through consensus (term %d)" term
 
 let entry_to_string e =
   Printf.sprintf "[%10dns] req %-6d %s" e.time_ns e.request (kind_to_string e.kind)

@@ -28,6 +28,10 @@ type kind =
   | Requeued of { queue_depth : int }  (** back in the central queue *)
   | Stolen  (** picked up by the work-conserving dispatcher *)
   | Completed of { worker : int }  (** worker = -1: completed on the dispatcher *)
+  | Replicated of { term : int }
+      (** the Raft tier finished routing/consensus for this request and is
+          about to hand it to a member instance; the gap between the
+          front-end [Arrived] and this event is the consensus component *)
 
 type entry = { time_ns : int; request : int; kind : entry_kind }
 and entry_kind = kind

@@ -239,7 +239,18 @@ let test_hedge_parsing () =
   Alcotest.(check bool) "pct:100 rejected" true (rejected "pct:100");
   Alcotest.(check bool) "adaptive:0 rejected" true (rejected "adaptive:0");
   Alcotest.(check bool) "adaptive:1.5 rejected" true (rejected "adaptive:1.5");
-  Alcotest.(check bool) "garbage rejected" true (rejected "always")
+  Alcotest.(check bool) "garbage rejected" true (rejected "always");
+  (* malformed arguments, not just out-of-range ones *)
+  Alcotest.(check bool) "pct:abc rejected" true (rejected "pct:abc");
+  Alcotest.(check bool) "pct: (empty) rejected" true (rejected "pct:");
+  Alcotest.(check bool) "bare pct rejected" true (rejected "pct");
+  Alcotest.(check bool) "pct:nan rejected" true (rejected "pct:nan");
+  Alcotest.(check bool) "adaptive:xyz rejected" true (rejected "adaptive:xyz");
+  Alcotest.(check bool) "adaptive: (empty) rejected" true (rejected "adaptive:");
+  Alcotest.(check bool) "adaptive:nan rejected" true (rejected "adaptive:nan");
+  Alcotest.(check bool) "fixed:abc rejected" true (rejected "fixed:abc");
+  Alcotest.(check bool) "fixed:1.5 rejected (whole ns only)" true (rejected "fixed:1.5");
+  Alcotest.(check bool) "fixed: (empty) rejected" true (rejected "fixed:")
 
 let test_hedging_rescues_straggler_tail () =
   (* An oblivious balancer keeps feeding a 6x straggler; duplicate-and-

@@ -26,6 +26,7 @@ let () =
       ("instrument.gapbound", Test_gapbound.suite);
       ("extensions", Test_extensions.suite);
       ("cluster", Test_cluster.suite);
+      ("raft", Test_raft.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("core.api", Test_core_api.suite);
       ("core.work", Test_work.suite);

@@ -27,6 +27,7 @@ let test_of_spec_valid () =
   Alcotest.(check string) "srpt-noisy:0.5" "srpt-noisy:0.5" (parse "srpt-noisy:0.5");
   Alcotest.(check string) "srpt-noisy:0 is legal" "srpt-noisy:0" (parse "srpt-noisy:0");
   Alcotest.(check string) "gittins" "gittins" (parse "gittins");
+  Alcotest.(check string) "srpt-kv" "srpt-kv" (parse "srpt-kv");
   Alcotest.(check string) "locality-fcfs" "locality-fcfs" (parse "locality-fcfs")
 
 let test_of_spec_invalid () =
@@ -39,7 +40,8 @@ let test_of_spec_invalid () =
   rejects "srpt-noisy:-1";
   rejects "srpt-noisy:abc";
   rejects "srpt-noisy:nan";
-  rejects "gittins:3"
+  rejects "gittins:3";
+  rejects "srpt-kv:3"
 
 (* --- noisy SRPT --------------------------------------------------------- *)
 
@@ -66,6 +68,82 @@ let test_noisy_sigma_two_differs () =
   let noisy = run_concord_with (Policy.Srpt_noisy { sigma = 2.0 }) ~seed:42 in
   Alcotest.(check bool) "sigma=2 perturbs the schedule" true
     (fingerprint exact <> fingerprint noisy)
+
+(* --- srpt-kv (per-opcode mean estimates) --------------------------------- *)
+
+(* A GET/SCAN store: two opcode classes, each with intra-class dispersion,
+   so the class mean is a genuine estimate rather than the exact size. *)
+let kv_mix () =
+  Mix.of_classes ~name:"get-scan"
+    [|
+      Mix.simple_class ~name:"GET" ~weight:0.8
+        ~dist:(Service_dist.Exponential { mean_ns = 2_000.0 });
+      Mix.simple_class ~name:"SCAN" ~weight:0.2
+        ~dist:(Service_dist.Exponential { mean_ns = 80_000.0 });
+    |]
+
+let run_with_mix kind ~mix ~seed =
+  let config = Systems.concord () in
+  let config = { config with Config.policy = kind } in
+  let rate_rps =
+    0.7 *. float_of_int config.Config.n_workers /. Mix.mean_service_ns mix *. 1e9
+  in
+  Server.run ~config ~mix ~arrival:(Arrival.Poisson { rate_rps }) ~n_requests:4_000 ~seed ()
+
+let test_srpt_kv_estimates_class_means () =
+  (* On exact (Fixed) per-class sizes the sampled table must recover the
+     declared sizes exactly — the estimator has nothing to estimate. *)
+  let fixed_mix =
+    Mix.of_classes ~name:"fixed-two"
+      [|
+        Mix.simple_class ~name:"GET" ~weight:0.8 ~dist:(Service_dist.Fixed 1_000.0);
+        Mix.simple_class ~name:"SCAN" ~weight:0.2 ~dist:(Service_dist.Fixed 100_000.0);
+      |]
+  in
+  (match Policy.of_spec "srpt-kv" ~mix:fixed_mix with
+  | Ok (Policy.Srpt_kv { means_ns }) ->
+    Alcotest.(check (array int)) "exact sizes recovered" [| 1_000; 100_000 |] means_ns
+  | Ok k -> Alcotest.failf "srpt-kv parsed to %s" (Policy.kind_name k)
+  | Error e -> Alcotest.fail e);
+  (* On dispersed classes the estimates must land near the declared means
+     (4096 samples: a few percent of Monte-Carlo error). *)
+  match Policy.of_spec "srpt-kv" ~mix:(kv_mix ()) with
+  | Ok (Policy.Srpt_kv { means_ns }) ->
+    Alcotest.(check int) "one estimate per class" 2 (Array.length means_ns);
+    List.iteri
+      (fun i declared ->
+        let got = float_of_int means_ns.(i) in
+        if Float.abs (got -. declared) /. declared > 0.10 then
+          Alcotest.failf "class %d estimate %.0f vs declared mean %.0f" i got declared)
+      [ 2_000.0; 80_000.0 ]
+  | Ok k -> Alcotest.failf "srpt-kv parsed to %s" (Policy.kind_name k)
+  | Error e -> Alcotest.fail e
+
+(* With one class of constant size the estimate equals the exact size, so
+   srpt-kv must be bit-identical to srpt — not merely close. *)
+let test_srpt_kv_fixed_identical_to_srpt () =
+  let mix = Mix.of_dist ~name:"fixed" (Service_dist.Fixed 3_000.0) in
+  let kv =
+    match Policy.of_spec "srpt-kv" ~mix with Ok k -> k | Error e -> Alcotest.fail e
+  in
+  let exact = run_with_mix Policy.Srpt ~mix ~seed:42 in
+  let est = run_with_mix kv ~mix ~seed:42 in
+  Alcotest.(check string) "constant sizes: srpt-kv == srpt" (fingerprint exact)
+    (fingerprint est)
+
+(* With intra-class dispersion the class mean is a coarse estimate: the
+   schedule must diverge from exact-size SRPT (that is the point of the
+   counterfactual), while still completing the run. *)
+let test_srpt_kv_dispersion_differs () =
+  let mix = kv_mix () in
+  let kv =
+    match Policy.of_spec "srpt-kv" ~mix with Ok k -> k | Error e -> Alcotest.fail e
+  in
+  let exact = run_with_mix Policy.Srpt ~mix ~seed:42 in
+  let est = run_with_mix kv ~mix ~seed:42 in
+  Alcotest.(check bool) "estimate-based schedule diverges" true
+    (fingerprint exact <> fingerprint est);
+  Alcotest.(check bool) "srpt-kv run completes" true (est.Metrics.completed > 0)
 
 (* --- SRPT vs FCFS mean delay -------------------------------------------- *)
 
@@ -163,6 +241,12 @@ let suite =
       test_noisy_sigma_zero_identical;
     Alcotest.test_case "srpt-noisy sigma=2 perturbs the schedule" `Quick
       test_noisy_sigma_two_differs;
+    Alcotest.test_case "srpt-kv estimates per-class means" `Quick
+      test_srpt_kv_estimates_class_means;
+    Alcotest.test_case "srpt-kv on constant sizes bit-identical to srpt" `Quick
+      test_srpt_kv_fixed_identical_to_srpt;
+    Alcotest.test_case "srpt-kv diverges under intra-class dispersion" `Quick
+      test_srpt_kv_dispersion_differs;
     Alcotest.test_case "SRPT mean sojourn beats FCFS on high dispersion" `Slow
       test_srpt_mean_sojourn_beats_fcfs;
     Alcotest.test_case "gittins degenerates to SRPT for Fixed" `Quick

@@ -101,6 +101,30 @@ let test_merge_all () =
     "singleton" 3.0
     (Stats.median (Stats.merge_all [ mk [ 3.0 ] ]))
 
+let test_merge_all_degenerate () =
+  (* The pinned contract for role summaries with no members: merging
+     nothing is an ordinary empty collection, never a trap. *)
+  let e = Stats.merge_all [] in
+  Alcotest.(check bool) "merge_all [] is empty" true (Stats.is_empty e);
+  Alcotest.(check int) "merge_all [] count" 0 (Stats.count e);
+  Alcotest.(check (float 1e-9)) "merge_all [] mean" 0.0 (Stats.mean e);
+  Alcotest.(check (float 1e-9)) "merge_all [] stddev" 0.0 (Stats.stddev e);
+  Alcotest.check_raises "merge_all [] percentile raises"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile e 99.0));
+  (* A list of only-empty inputs behaves the same. *)
+  let e2 = Stats.merge_all [ Stats.create (); Stats.create () ] in
+  Alcotest.(check bool) "all-empty inputs merge to empty" true (Stats.is_empty e2);
+  Alcotest.(check (float 1e-9)) "all-empty mean" 0.0 (Stats.mean e2);
+  (* Singleton list: an independent copy of the one input. *)
+  let src = of_list [ 7.0 ] in
+  let s = Stats.merge_all [ src ] in
+  Alcotest.(check int) "singleton count" 1 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "singleton p0" 7.0 (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "singleton p99" 7.0 (Stats.percentile s 99.0);
+  Stats.add src 100.0;
+  Alcotest.(check int) "copy independent of input" 1 (Stats.count s)
+
 let test_values_insertion_order () =
   let t = of_list [ 3.0; 1.0; 2.0 ] in
   Alcotest.(check bool) "values keep insertion order before sorting" true
@@ -169,6 +193,7 @@ let suite =
     Alcotest.test_case "merge" `Quick test_merge;
     Alcotest.test_case "merge keeps sorted invariant" `Quick test_merge_sorted_inputs;
     Alcotest.test_case "merge_all: sorted, percentile-invariant" `Quick test_merge_all;
+    Alcotest.test_case "merge_all: empty/singleton pinned" `Quick test_merge_all_degenerate;
     Alcotest.test_case "values keep insertion order" `Quick test_values_insertion_order;
     Alcotest.test_case "online accumulator matches direct" `Quick test_online_matches_direct;
     QCheck_alcotest.to_alcotest prop_percentile_matches_oracle;
