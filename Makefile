@@ -1,6 +1,6 @@
 # Tier-1 verification in one command.
 .PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke \
-	verify-probes-smoke policy-smoke hedge-smoke raft-smoke lint clean
+	verify-probes-smoke policy-smoke hedge-smoke raft-smoke par-smoke lint clean
 
 all: build
 
@@ -69,26 +69,41 @@ raft-smoke:
 	dune exec bin/concord_sim.exe -- raft --nodes 3 -n 4000 \
 		--hedge fixed:150000 --straggler 1:3 --check
 
+# Parallel-engine smoke test: the rack under the conservative time-window
+# engine with 2 domains must keep the same conservation invariants as the
+# sequential run (an rtt > 0 gives the model lookahead; rtt 0 would just
+# degrade), and asking for it on raft must degrade cleanly — the warning
+# on stderr IS the expected behaviour, --check still has to pass.
+par-smoke:
+	dune exec bin/concord_sim.exe -- cluster --instances 3 --policy po2c \
+		--rtt-cycles 4000 -n 4000 --engine par:2 --check
+	dune exec bin/concord_sim.exe -- raft --nodes 3 -n 2000 \
+		--engine par:2 --check
+
 # Determinism lint: the simulation library must not reach for ambient
-# nondeterminism (Random, wall clocks, unordered Hashtbl iteration).
-# Also proves the lint itself still bites, via an --expect-fail fixture.
+# nondeterminism (Random, wall clocks, unordered Hashtbl iteration, bare
+# Domain/Atomic outside engine/). Also proves the lint itself still
+# bites, via --expect-fail fixtures.
 lint:
 	dune exec tools/lint.exe -- lib
 	dune exec tools/lint.exe -- --expect-fail tools/fixtures/bad_random.ml
+	dune exec tools/lint.exe -- --expect-fail tools/fixtures/bad_domain.ml
 
 # What CI (and every PR) must keep green.
 check:
 	dune build && dune runtest && $(MAKE) lint && $(MAKE) trace-smoke && $(MAKE) cluster-smoke \
 		&& $(MAKE) policy-smoke && $(MAKE) hedge-smoke && $(MAKE) raft-smoke \
-		&& $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
+		&& $(MAKE) par-smoke && $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe
 
 # Core-throughput suite: fixed scenarios reported as simulated events/sec,
-# written as self-validated JSON (schema concord-bench-core/v1). The full
-# run regenerates the committed BENCH_core.json reference; the quick
-# (few-second) variant exercises the same path in `make check`.
+# written as self-validated JSON (schema concord-bench-core/v2: top-level
+# "cores" plus per-scenario "engine"/"domains_used" keep parallel rows
+# interpretable). The full run regenerates the committed BENCH_core.json
+# reference; the quick (few-second) variant exercises the same path in
+# `make check`.
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_core.json
 

@@ -14,6 +14,7 @@
 module Sim = Repro_engine.Sim
 module Heap = Repro_engine.Heap
 module Ring = Repro_engine.Ring
+module Par_sim = Repro_engine.Par_sim
 
 type row = {
   name : string;
@@ -22,7 +23,15 @@ type row = {
   events : int; (* simulated events (or micro ops) per run *)
   wall_s : float; (* best-of-N wall seconds for one run *)
   p99_slowdown : float; (* nan for microbenches *)
+  engine : string; (* the engine that actually ran ("seq" after a degrade) *)
+  domains_used : int; (* 1 everywhere except a live parallel run *)
 }
+
+(* An events/s row from a parallel scenario is uninterpretable without
+   knowing how many cores the run actually had (a 1-core container
+   time-slices the domains, so "par:4" can legitimately be SLOWER than
+   seq). Recorded once at the top of the JSON. *)
+let cores () = Domain.recommended_domain_count ()
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -30,20 +39,24 @@ let wall f =
   (r, Unix.gettimeofday () -. t0)
 
 (* One warm-up run (buffer growth, page faults), then best-of-[repeats].
-   [f] returns (events, p99); both are deterministic, so any run's pair is
-   as good as another's. *)
+   [f] returns (events, p99, engine, domains_used); all are deterministic,
+   so any run's tuple is as good as another's. *)
 let time_scenario ~repeats f =
   ignore (f ());
   let best = ref infinity in
   let events = ref 0 in
   let p99 = ref nan in
+  let engine = ref "seq" in
+  let domains = ref 1 in
   for _ = 1 to repeats do
-    let (e, p), dt = wall f in
+    let (e, p, eng, d), dt = wall f in
     events := e;
     p99 := p;
+    engine := eng;
+    domains := d;
     if dt < !best then best := dt
   done;
-  (!events, !p99, !best)
+  (!events, !p99, !engine, !domains, !best)
 
 let config_of_system name =
   match Repro_runtime.Systems.by_name name with
@@ -66,24 +79,28 @@ let server_scenario ?policy ~system ~rate_rps ~n_requests () =
       ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
       ~n_requests ~events_out:events ()
   in
-  (!events, summary.Repro_runtime.Metrics.p99_slowdown)
+  (!events, summary.Repro_runtime.Metrics.p99_slowdown, "seq", 1)
 
-let cluster_scenario ?(hedge = Repro_cluster.Hedge.Off) ?(stragglers = []) ~instances
-    ~rate_rps ~n_requests () =
+let cluster_scenario ?(hedge = Repro_cluster.Hedge.Off) ?(stragglers = []) ?(rtt_cycles = 0)
+    ?(engine = Par_sim.Seq) ~instances ~rate_rps ~n_requests () =
   let cluster =
     Repro_cluster.Cluster.homogeneous ~policy:Repro_cluster.Lb_policy.Po2c ~hedge
-      ~stragglers ~instances
+      ~rtt_cycles ~stragglers ~instances
       (config_of_system "concord")
   in
   let events = ref 0 in
   let summary, (_ : Repro_engine.Stats.t) =
     Repro_cluster.Cluster.run_detailed ~cluster ~mix:Repro_workload.Presets.usr
       ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
-      ~n_requests ~events_out:events ()
+      ~n_requests ~events_out:events ~engine ()
   in
-  (!events, summary.Repro_cluster.Cluster.cluster.Repro_runtime.Metrics.p99_slowdown)
+  ( !events,
+    summary.Repro_cluster.Cluster.cluster.Repro_runtime.Metrics.p99_slowdown,
+    (* record what actually ran, not what was asked — a degrade must show *)
+    Par_sim.to_string summary.Repro_cluster.Cluster.engine,
+    summary.Repro_cluster.Cluster.domains_used )
 
-let raft_scenario ~nodes ~rate_rps ~n_requests () =
+let raft_scenario ?(engine = Par_sim.Seq) ~nodes ~rate_rps ~n_requests () =
   let raft =
     Repro_raft.Raft.homogeneous ~nodes (config_of_system "concord")
   in
@@ -91,9 +108,12 @@ let raft_scenario ~nodes ~rate_rps ~n_requests () =
   let summary, (_ : Repro_engine.Stats.t) =
     Repro_raft.Raft.run_detailed ~raft ~mix:Repro_workload.Presets.usr
       ~arrival:(Repro_workload.Arrival.Poisson { rate_rps })
-      ~n_requests ~events_out:events ()
+      ~n_requests ~events_out:events ~engine ()
   in
-  (!events, summary.Repro_raft.Raft.client.Repro_runtime.Metrics.p99_slowdown)
+  ( !events,
+    summary.Repro_raft.Raft.client.Repro_runtime.Metrics.p99_slowdown,
+    Par_sim.to_string summary.Repro_raft.Raft.engine,
+    summary.Repro_raft.Raft.domains_used )
 
 (* Heap churn: [rounds] batches of 1k keyed adds followed by a full drain —
    the event-queue access pattern of a loaded simulation, minus the
@@ -108,7 +128,7 @@ let heap_scenario ~rounds () =
       ignore (Heap.pop_unsafe h)
     done
   done;
-  (rounds * 2000, nan)
+  (rounds * 2000, nan, "seq", 1)
 
 (* Ring churn: fill-then-drain through the dispatcher's op ring. Starts at
    the dispatcher's default capacity so the first round exercises growth
@@ -123,7 +143,7 @@ let ring_scenario ~rounds () =
       ignore (Ring.pop_unsafe r)
     done
   done;
-  (rounds * 2000, nan)
+  (rounds * 2000, nan, "seq", 1)
 
 (* Sim spin: a single self-rescheduling event driven [n] times through the
    zero-allocation Sim.run/Heap fast path — the per-event floor of the
@@ -137,7 +157,7 @@ let sim_scenario ~n () =
       decr left;
       if !left > 0 then Sim.schedule_after s ~delay:1 0)
     ();
-  (Sim.events_processed sim, nan)
+  (Sim.events_processed sim, nan, "seq", 1)
 
 (* O(1) dispatcher-steal pin: the work-conserving dispatcher's
    has_not_started/pop_not_started probes must not depend on the central
@@ -186,7 +206,7 @@ let policy_backlog_scenario ~iters () =
          "core_bench: steal-probe per-op grew %.1fx from backlog 128 to 32768 (%.1f ns -> \
           %.1f ns); expected O(1)"
          (big /. small) (small *. 1e9) (big *. 1e9));
-  (4 * iters, nan)
+  (4 * iters, nan, "seq", 1)
 
 (* Static timeliness verifier over the whole kernel suite: Gapbound +
    Elide + Monte-Carlo cross-check for both placements of all 24 programs.
@@ -196,7 +216,7 @@ let verify_scenario ~samples ~trials () =
   let rows = Repro_instrument.Verify.run_suite ~samples ~trials () in
   if not (Repro_instrument.Verify.all_ok rows) then
     failwith "core_bench: verify-probes found an unsound placement";
-  (2 * List.length rows, nan)
+  (2 * List.length rows, nan, "seq", 1)
 
 let scenarios ~quick =
   let scale n = if quick then n / 5 else n in
@@ -240,6 +260,18 @@ let scenarios ~quick =
       scale 20_000,
       fun () -> cluster_scenario ~instances:3 ~rate_rps:3.0e6 ~n_requests:(scale 20_000) ()
     );
+    (* Same rack under the conservative time-window parallel engine, with
+       a real inter-server RTT so the model has lookahead (rtt 0 would
+       degrade to seq). One domain per instance, capped by what the host
+       actually has; read this row against the top-level "cores" field. *)
+    ( "cluster-po2c-3x-par",
+      "cluster",
+      scale 20_000,
+      fun () ->
+        cluster_scenario ~rtt_cycles:4_000
+          ~engine:(Par_sim.Par { domains = Par_sim.default_domains () })
+          ~instances:3 ~rate_rps:3.0e6 ~n_requests:(scale 20_000) ()
+    );
     (* Duplicate-and-cancel under load: a 4x straggler plus percentile
        hedging exercises the Hedge_fire/Cancel/zombie-leg machinery, the
        event-rate cost of tail tolerance. *)
@@ -260,6 +292,18 @@ let scenarios ~quick =
       scale 10_000,
       fun () -> raft_scenario ~nodes:3 ~rate_rps:20.0e3 ~n_requests:(scale 10_000) ()
     );
+    (* Asking for the parallel engine on Raft degrades (co-located
+       consensus hand-offs have zero lookahead; see DESIGN.md) — this row
+       exists to keep that honest in the reference JSON: its engine field
+       must read "seq". *)
+    ( "raft-3node-par",
+      "raft",
+      scale 10_000,
+      fun () ->
+        raft_scenario
+          ~engine:(Par_sim.Par { domains = Par_sim.default_domains () })
+          ~nodes:3 ~rate_rps:20.0e3 ~n_requests:(scale 10_000) ()
+    );
     ( "verify-probes",
       "static",
       0,
@@ -274,20 +318,28 @@ let run_suite ~quick =
   let repeats = if quick then 2 else 3 in
   List.map
     (fun (name, kind, requests, f) ->
-      let events, p99_slowdown, wall_s = time_scenario ~repeats f in
-      Printf.printf "  %-18s %9d events  %8.4f s  %12.0f events/s\n%!" name events wall_s
-        (float_of_int events /. wall_s);
-      { name; kind; requests; events; wall_s; p99_slowdown })
+      let events, p99_slowdown, engine, domains_used, wall_s = time_scenario ~repeats f in
+      Printf.printf "  %-20s %9d events  %8.4f s  %12.0f events/s  %s\n%!" name events
+        wall_s
+        (float_of_int events /. wall_s)
+        (if engine = "seq" && domains_used = 1 then ""
+         else Printf.sprintf "[%s, %d domains]" engine domains_used);
+      { name; kind; requests; events; wall_s; p99_slowdown; engine; domains_used })
     (scenarios ~quick)
 
 (* Hand-rolled emitter: the only float formats used are %.17g (round-trips
    exactly) and JSON has no NaN, so microbench rows just omit the
-   p99_slowdown key. *)
+   p99_slowdown key. Schema v2 adds the top-level "cores" (what the host
+   offered) and per-scenario "engine"/"domains_used" (what the run took);
+   the three together are what make parallel events/s rows interpretable. *)
+let schema = "concord-bench-core/v2"
+
 let json_of_rows ~quick rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"concord-bench-core/v1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
   Buffer.add_string buf (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
+  Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" (cores ()));
   Buffer.add_string buf "  \"scenarios\": [\n";
   List.iteri
     (fun i r ->
@@ -295,15 +347,32 @@ let json_of_rows ~quick rows =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": \"%s\", \"kind\": \"%s\", \"requests\": %d, \"events\": %d, \
-            \"wall_s\": %.17g, \"events_per_sec\": %.17g" r.name r.kind r.requests r.events
-           r.wall_s
-           (float_of_int r.events /. r.wall_s));
+            \"wall_s\": %.17g, \"events_per_sec\": %.17g, \"engine\": \"%s\", \
+            \"domains_used\": %d" r.name r.kind r.requests r.events r.wall_s
+           (float_of_int r.events /. r.wall_s)
+           r.engine r.domains_used);
       if not (Float.is_nan r.p99_slowdown) then
         Buffer.add_string buf (Printf.sprintf ", \"p99_slowdown\": %.17g" r.p99_slowdown);
       Buffer.add_string buf "}")
     rows;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
+
+(* Schema self-check beyond JSON well-formedness: every key that makes a
+   v2 file interpretable must actually be present. *)
+let validate_schema text =
+  let contains sub =
+    let tl = String.length text and sl = String.length sub in
+    let rec at i = i + sl <= tl && (String.sub text i sl = sub || at (i + 1)) in
+    at 0
+  in
+  let required =
+    [ Printf.sprintf "\"schema\": \"%s\"" schema; "\"cores\": "; "\"engine\": ";
+      "\"domains_used\": " ]
+  in
+  match List.find_opt (fun k -> not (contains k)) required with
+  | None -> Ok ()
+  | Some k -> Error (Printf.sprintf "missing required v2 key %s" k)
 
 let run ~path ~quick =
   Printf.printf "[bench-core] %s suite -> %s\n%!" (if quick then "quick" else "full") path;
@@ -315,7 +384,11 @@ let run ~path ~quick =
   let len = in_channel_length ic in
   let written = really_input_string ic len in
   close_in ic;
-  (match Repro_runtime.Trace_export.validate_json written with
+  (match
+     match Repro_runtime.Trace_export.validate_json written with
+     | Ok () -> validate_schema written
+     | Error _ as e -> e
+   with
   | Ok () -> ()
   | Error msg ->
     Printf.eprintf "[bench-core] self-validation FAILED: %s\n%!" msg;

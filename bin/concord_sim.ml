@@ -302,6 +302,25 @@ let raft_capacity_rps (raft : Repro_raft.Raft.t) mix =
   in
   float_of_int total_workers /. eff_service_ns *. 1e9
 
+(* Shared by the cluster/raft commands: which discrete-event engine runs
+   the simulation (single-point runs only; sweeps parallelize across
+   points with --jobs instead). *)
+let engine_arg =
+  Arg.(
+    value & opt string "seq"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation engine: seq (shared clock), par (conservative time-window parallel \
+           engine, one domain per server instance) or par:N (N domains). Models without \
+           lookahead (rtt 0, hedging, raft consensus) degrade to seq with a warning.")
+
+let parse_engine spec =
+  match Repro_engine.Par_sim.of_string spec with
+  | Ok e -> e
+  | Error e ->
+    prerr_endline e;
+    exit 1
+
 let raft_cmd =
   let module Raft = Repro_raft.Raft in
   let module Lb_policy = Repro_cluster.Lb_policy in
@@ -410,7 +429,8 @@ let raft_cmd =
   in
   let action system workload quantum workers policies nodes rtt leases write_ratio hedge_spec
       kill_us stragglers cancel_cost rate n_requests seed trace_file breakdown check sweep
-      points =
+      points engine_spec =
+    let engine = parse_engine engine_spec in
     let config, mix = resolve ~system ~workload ~quantum ~workers () in
     let read_lb, config =
       List.fold_left
@@ -461,7 +481,7 @@ let raft_cmd =
     in
     let run_at ?tracer rate_rps =
       Raft.run ~raft ~mix ~arrival:(Concord.Arrival.Poisson { rate_rps }) ~n_requests ~seed
-        ?tracer ()
+        ?tracer ~engine ()
     in
     if sweep then begin
       describe ();
@@ -538,7 +558,8 @@ let raft_cmd =
       $ nodes_arg $ rtt_arg $ leases_arg $ write_ratio_arg $ hedge_arg $ kill_arg
       $ straggler_arg $ cancel_cost_arg $ rate_arg
       $ Arg.(value & opt int 20_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Arrivals.")
-      $ seed_arg $ trace_file_arg $ breakdown_flag $ check_flag $ sweep_flag $ points_arg)
+      $ seed_arg $ trace_file_arg $ breakdown_flag $ check_flag $ sweep_flag $ points_arg
+      $ engine_arg)
 
 (* ---- raft-study -------------------------------------------------------- *)
 
@@ -773,7 +794,8 @@ let cluster_cmd =
   in
   let action system workload quantum workers policies instances rtt stragglers hedge_spec
       cancel_cost steal arrival_spec rate n_requests seed trace_file breakdown check sweep
-      points jobs =
+      points jobs engine_spec =
+    let engine = parse_engine engine_spec in
     let config, mix = resolve ~system ~workload ~quantum ~workers () in
     let policy, config =
       List.fold_left
@@ -857,8 +879,13 @@ let cluster_cmd =
           prerr_endline e;
           exit 1
       in
-      let s = Cluster.run ~cluster ~mix ~arrival ~n_requests ~seed ?tracer () in
+      let s = Cluster.run ~cluster ~mix ~arrival ~n_requests ~seed ?tracer ~engine () in
       describe ();
+      if engine <> Repro_engine.Par_sim.Seq || s.Cluster.engine <> Repro_engine.Par_sim.Seq
+      then
+        Printf.printf "engine: %s%s\n"
+          (Repro_engine.Par_sim.describe s.Cluster.engine)
+          (if s.Cluster.engine = Repro_engine.Par_sim.Seq then " (degraded)" else "");
       Printf.printf "workload: %s, offered %.1f kRps total (%.0f%% of rack capacity)\n"
         mix.Concord.Mix.name (rate_rps /. 1e3)
         (100. *. rate_rps /. capacity_rps);
@@ -921,7 +948,7 @@ let cluster_cmd =
       const action $ system_arg $ workload_arg $ quantum_arg $ workers_arg $ policy_arg
       $ instances_arg $ rtt_arg $ straggler_arg $ hedge_arg $ cancel_cost_arg $ steal_flag
       $ arrival_arg $ rate_arg $ requests_arg $ seed_arg $ trace_file_arg $ breakdown_flag
-      $ check_flag $ sweep_flag $ points_arg $ jobs_arg)
+      $ check_flag $ sweep_flag $ points_arg $ jobs_arg $ engine_arg)
 
 (* ---- frontier ---------------------------------------------------------- *)
 

@@ -97,6 +97,10 @@ type summary = {
       (** service-ns of partial work executed by losing legs before their
           discard — the true cost of hedging beyond the duplicate rate *)
   steals : int;  (** requests migrated between servers by work stealing *)
+  engine : Repro_engine.Par_sim.t;
+      (** the engine that actually ran — [Seq] when a [Par] request was
+          degraded (zero lookahead, hedging, tracing; a warning explains) *)
+  domains_used : int;  (** 1 under [Seq]; the clamped domain count under [Par] *)
 }
 
 val run :
@@ -109,12 +113,25 @@ val run :
   ?seed:int ->
   ?tracer:Repro_runtime.Tracing.t ->
   ?on_decision:(views:int array -> lengths:int array -> chosen:int -> unit) ->
+  ?engine:Repro_engine.Par_sim.t ->
   unit ->
   summary
 (** Simulate [n_requests] open-loop arrivals at the load balancer. One
     service-time stream is drawn at the balancer (before routing), so two
     runs at the same seed see identical request sequences regardless of
     policy — policies are compared on the same work.
+
+    [engine] (default [Seq]) selects the shared-clock sequential engine or
+    the conservative time-window parallel engine
+    ({!Repro_engine.Par_sim}): one domain per server instance,
+    synchronized every [rtt/2] wire leg, results identical to [Seq] up to
+    same-nanosecond cross-instance tie-breaks and independent of the
+    domain count. A [Par] request degrades to [Seq] with a stderr warning
+    when the model has no lookahead ([rtt_cycles] rounding to a 0 ns wire
+    leg), when hedging is on (its synchronous winner-takes-all flag is a
+    zero-delay coupling), or when [tracer]/[on_decision] need the shared
+    clock; it raises when called inside {!Repro_engine.Pool.parallel_map}
+    (a [--jobs] sweep already owns the domains).
 
     [warmup_frac]/[drain_cap_ns]/[seed] as in {!Repro_runtime.Server.run};
     the warm-up cutoff applies to global arrival ids, shared by the rack
@@ -135,6 +152,7 @@ val run_detailed :
   ?tracer:Repro_runtime.Tracing.t ->
   ?on_decision:(views:int array -> lengths:int array -> chosen:int -> unit) ->
   ?events_out:int ref ->
+  ?engine:Repro_engine.Par_sim.t ->
   unit ->
   summary * Repro_engine.Stats.t
 (** Like {!run}, also returning the merged post-warm-up slowdown samples.

@@ -1,0 +1,75 @@
+(* Single-producer / single-consumer ring over an [Atomic] head/tail pair,
+   in the style of the lock-free queues rack runtimes hang between their
+   scheduler cores: the producer owns [tail], the consumer owns [head],
+   each side reads the other's index once per operation and never writes
+   it. Indices increase monotonically; the slot for index [i] is
+   [i land (capacity - 1)], so capacity must stay a power of two.
+
+   The parallel engine strings two of these per shard (host -> shard
+   actions, shard -> host records). Its window barrier guarantees the two
+   endpoints never run concurrently — pushes all happen in one phase,
+   pops in the other — which is what licenses [grow]: doubling the slot
+   array is a producer-side operation that is only safe while the
+   consumer is quiescent. Concurrent push/pop without growth is the
+   standard SPSC protocol and needs no such license. *)
+
+type 'a t = {
+  head : int Atomic.t;  (* next index to pop; consumer-owned *)
+  tail : int Atomic.t;  (* next index to push; producer-owned *)
+  mutable slots : 'a option array;  (* length is a power of two *)
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { head = Atomic.make 0; tail = Atomic.make 0; slots = Array.make !cap None }
+
+let capacity t = Array.length t.slots
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+
+(* Producer-side doubling; requires the consumer to be parked (the
+   engine's barrier phases guarantee it). Pending elements are recopied
+   so their slot assignment matches the new mask. *)
+let grow t =
+  let old = t.slots in
+  let old_mask = Array.length old - 1 in
+  let fresh = Array.make (2 * Array.length old) None in
+  let mask = Array.length fresh - 1 in
+  let head = Atomic.get t.head and tail = Atomic.get t.tail in
+  for i = head to tail - 1 do
+    fresh.(i land mask) <- old.(i land old_mask)
+  done;
+  t.slots <- fresh
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head = Array.length t.slots then grow t;
+  t.slots.(tail land (Array.length t.slots - 1)) <- Some v;
+  (* The slot write must be visible before the index advance; [Atomic.set]
+     is a release on OCaml 5's memory model. *)
+  Atomic.set t.tail (tail + 1)
+
+let pop t =
+  let head = Atomic.get t.head in
+  if head = Atomic.get t.tail then None
+  else begin
+    let mask = Array.length t.slots - 1 in
+    let v = t.slots.(head land mask) in
+    t.slots.(head land mask) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let drain t ~f =
+  let rec loop () =
+    match pop t with
+    | None -> ()
+    | Some v ->
+      f v;
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,33 @@
+(** Lock-free single-producer / single-consumer mailbox.
+
+    The windowed parallel engine ({!Par_sim}) hangs one of these on each
+    direction of every host<->shard edge: cross-domain messages are pushed
+    during one barrier phase and drained during the other, so the queue is
+    the only shared mutable state between two domains. Push order is pop
+    order (FIFO), which is what makes the engine's
+    (timestamp, shard, sequence) merge deterministic.
+
+    Capacity is a power of two and grows by doubling when a push finds the
+    ring full. Growth is producer-side and is only safe while the consumer
+    is quiescent — exactly what the engine's window barrier guarantees;
+    concurrent push/pop {e without} growth is the classic SPSC protocol
+    and is always safe. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64) is rounded up to a power of two. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the tail. Producer-only. Doubles the ring when full (see
+    the quiescence caveat above). *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head, FIFO. Consumer-only. *)
+
+val drain : 'a t -> f:('a -> unit) -> unit
+(** Pop everything currently visible, in FIFO order. Consumer-only. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int

@@ -10,6 +10,7 @@ let set_default_jobs n = default_jobs_ref := max 1 n
 (* True while the current domain is executing pool tasks; nested
    parallel_map calls then run inline instead of spawning more domains. *)
 let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_pool () = Domain.DLS.get inside_pool
 
 let parallel_map (type a b) ?domains (f : a -> b) (xs : a list) : b list =
   let n = List.length xs in

@@ -23,6 +23,13 @@ val set_default_jobs : int -> unit
     what [bench/main.exe --jobs N] sets; [--jobs 1] recovers fully
     sequential execution. *)
 
+val in_pool : unit -> bool
+(** True while the calling domain is executing {!parallel_map} tasks.
+    Nested [parallel_map] calls silently run inline in that state; callers
+    that would rather fail loudly than lose their parallelism — the
+    windowed engine in {!Par_sim} spawns domains of its own — probe this
+    and refuse to start. *)
+
 val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map ?domains f xs] is [List.map f xs] computed by up to
     [domains] domains in total (the calling domain participates; default

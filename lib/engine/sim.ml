@@ -19,6 +19,9 @@ let schedule_after t ~delay e =
   Heap.add t.events ~key:(t.now + delay) e
 
 let pending t = Heap.length t.events
+
+let next_time t =
+  if Heap.is_empty t.events then max_int else Heap.unsafe_min_key t.events
 let events_processed t = t.processed
 let stop t = t.stopped <- true
 

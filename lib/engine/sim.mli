@@ -25,6 +25,11 @@ val schedule_after : 'e t -> delay:int -> 'e -> unit
 val pending : 'e t -> int
 (** Number of events not yet fired. *)
 
+val next_time : 'e t -> int
+(** Timestamp of the earliest pending event, or [max_int] when the queue is
+    empty. This is the lookahead probe the windowed parallel engine
+    ({!Par_sim}) uses to skip empty stretches of simulated time. *)
+
 val events_processed : 'e t -> int
 (** Total events popped and handled since [create], across all [run]s.
     The simulated-events/sec figures in [bench/main.exe --json] divide this

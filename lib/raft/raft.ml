@@ -149,6 +149,8 @@ type summary = {
   leader_p99_slowdown : float;
   follower_p99_slowdown : float;
   invariant_failures : string list;
+  engine : Repro_engine.Par_sim.t;
+  domains_used : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -285,8 +287,22 @@ let push_log nd ~term ~req_id =
 (* ------------------------------------------------------------------ *)
 
 let run_detailed ~raft ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
-    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer ?events_out () =
+    ?(drain_cap_ns = 400_000_000) ?(seed = 42) ?tracer ?events_out
+    ?(engine = Repro_engine.Par_sim.Seq) () =
   if n_requests < 1 then invalid_arg "Raft.run: need at least one request";
+  (* Raft has no lookahead to exploit: consensus mini-requests, lease
+     checks and commit-driven client injections all couple the protocol
+     layer to co-located member instances at zero simulated delay (the
+     per-link RTT prices the wire, not the hand-off). A conservative
+     window of width 0 is no window at all, so a Par request degrades to
+     the sequential engine — the same rule a 0-RTT cluster hits; the
+     per-edge lookahead table in DESIGN.md walks the argument. *)
+  (match engine with
+  | Repro_engine.Par_sim.Seq -> ()
+  | Repro_engine.Par_sim.Par _ ->
+    Printf.eprintf
+      "raft: parallel engine degraded to seq: consensus hand-offs are co-located \
+       (zero-lookahead couplings; see DESIGN.md)\n%!");
   let n = Array.length raft.specs in
   let quorum = (n / 2) + 1 in
   let master = Rng.create ~seed in
@@ -1098,12 +1114,16 @@ let run_detailed ~raft ~mix ~arrival ~n_requests ?(warmup_frac = 0.1)
       leader_p99_slowdown = leader_p99;
       follower_p99_slowdown = follower_p99;
       invariant_failures = List.rev !violations;
+      engine = Repro_engine.Par_sim.Seq;
+      domains_used = 1;
     }
   in
   (summary, Metrics.slowdown_samples client_metrics)
 
-let run ~raft ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer () =
-  fst (run_detailed ~raft ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer ())
+let run ~raft ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer ?engine () =
+  fst
+    (run_detailed ~raft ~mix ~arrival ~n_requests ?warmup_frac ?drain_cap_ns ?seed ?tracer
+       ?engine ())
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                          *)

@@ -1,0 +1,15 @@
+(* Lint self-test fixture: every definition here must trip the
+   Domain/Atomic rule of tools/lint.ml — bare shared-memory parallelism
+   outside an engine/ directory. Never built (tools/dune marks fixtures/
+   data-only); `make lint` runs the linter over this file with
+   --expect-fail to prove the rule bites. *)
+
+let fire_and_forget f = Domain.spawn f
+
+let racy_counter = Atomic.make 0
+
+let bump () = Atomic.incr racy_counter
+
+(* A waived site, for contrast: the attribute silences the rule, so only
+   the three bare sites above count as findings. *)
+let waived_read () = (Atomic.get racy_counter) [@lint.deterministic "read-only probe"]

@@ -12,6 +12,10 @@
    - Hashtbl.hash                 hash values differ across OCaml versions
    - Hashtbl.iter / Hashtbl.fold  iteration order follows the hash; results
                                   that depend on it differ across runs
+   - Domain.* / Atomic.*          outside an engine/ directory: shared-memory
+                                  parallelism is only deterministic behind the
+                                  engine's window protocol (Par_sim, Mailbox,
+                                  Pool); model code must go through those
 
    Unordered iteration is sometimes fine — when the consumer sorts, or the
    operation commutes (censoring every in-flight request). Such sites
@@ -19,8 +23,8 @@
 
      (Hashtbl.iter f t) [@lint.deterministic "order-insensitive: ..."]
 
-   which suppresses only the Hashtbl checks within the annotated
-   expression. Random and wall clocks have no waiver.
+   which suppresses only the Hashtbl and Domain/Atomic checks within the
+   annotated expression. Random and wall clocks have no waiver.
 
    Usage:  lint PATH...              scan, exit 1 on any finding
            lint --expect-fail FILE   exit 0 iff the file DOES trip the
@@ -53,7 +57,11 @@ let rec root_member (li : Longident.t) =
   | Longident.Ldot (p, _) -> root_member p
   | Longident.Lapply (_, p) -> root_member p
 
-let check_ident ~allow_hashtbl ~loc (li : Longident.t) =
+(* Set per file: true when the file is not inside an engine/ directory, so
+   the Domain/Atomic rule applies. *)
+let outside_engine = ref true
+
+let check_ident ~waived ~loc (li : Longident.t) =
   match root_member li with
   | Some ("Random", fn) ->
     report ~loc
@@ -65,11 +73,18 @@ let check_ident ~allow_hashtbl ~loc (li : Longident.t) =
     report ~loc "Unix wall clocks are nondeterministic; simulated time must come from Sim.now"
   | Some ("Hashtbl", "hash") ->
     report ~loc "Hashtbl.hash varies across OCaml versions; derive an explicit key instead"
-  | Some ("Hashtbl", (("iter" | "fold") as fn)) when not allow_hashtbl ->
+  | Some ("Hashtbl", (("iter" | "fold") as fn)) when not waived ->
     report ~loc
       (Printf.sprintf
          "Hashtbl.%s iterates in hash order; sort the result or waive with [@%s \"reason\"]"
          fn waiver_attr)
+  | Some ((("Domain" | "Atomic") as m), fn) when !outside_engine && not waived ->
+    report ~loc
+      (Printf.sprintf
+         "%s.%s outside engine/: shared-memory parallelism is only deterministic behind \
+          the engine's window protocol (Par_sim / Mailbox / Pool); route through those or \
+          waive with [@%s \"reason\"]"
+         m fn waiver_attr)
   | _ -> ()
 
 let has_waiver attrs =
@@ -79,14 +94,14 @@ let has_waiver attrs =
 
 (* The iterator threads "inside a waiver" through a mutable flag saved and
    restored around each subtree that carries the attribute. *)
-let allow_hashtbl = ref false
+let waived = ref false
 
 let with_waiver attrs f =
   if has_waiver attrs then begin
-    let saved = !allow_hashtbl in
-    allow_hashtbl := true;
+    let saved = !waived in
+    waived := true;
     f ();
-    allow_hashtbl := saved
+    waived := saved
   end
   else f ()
 
@@ -95,8 +110,7 @@ let iterator =
   let expr it (e : Parsetree.expression) =
     with_waiver e.pexp_attributes (fun () ->
         (match e.pexp_desc with
-        | Parsetree.Pexp_ident { txt; loc } ->
-          check_ident ~allow_hashtbl:!allow_hashtbl ~loc txt
+        | Parsetree.Pexp_ident { txt; loc } -> check_ident ~waived:!waived ~loc txt
         | _ -> ());
         default_iterator.expr it e)
   in
@@ -122,7 +136,9 @@ let lint_file path =
       Location.init lb path;
       match Parse.implementation lb with
       | ast ->
-        allow_hashtbl := false;
+        waived := false;
+        outside_engine :=
+          not (List.mem "engine" (String.split_on_char '/' path));
         iterator.Ast_iterator.structure iterator ast
       | exception e ->
         findings :=
