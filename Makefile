@@ -1,6 +1,6 @@
 # Tier-1 verification in one command.
 .PHONY: all check build test bench bench-json bench-json-quick trace-smoke cluster-smoke \
-	verify-probes-smoke policy-smoke hedge-smoke raft-smoke par-smoke lint clean
+	verify-probes-smoke policy-smoke hedge-smoke raft-smoke par-smoke model-smoke lint clean
 
 all: build
 
@@ -80,20 +80,37 @@ par-smoke:
 	dune exec bin/concord_sim.exe -- raft --nodes 3 -n 2000 \
 		--engine par:2 --check
 
-# Determinism lint: the simulation library must not reach for ambient
-# nondeterminism (Random, wall clocks, unordered Hashtbl iteration, bare
-# Domain/Atomic outside engine/). Also proves the lint itself still
-# bites, via --expect-fail fixtures.
+# Model-checker smoke test: explore every DPOR-inequivalent interleaving
+# of the engine's Atomics protocols (SPSC mailbox, sense-reversing
+# barrier, work-sharing pool) to quiescence, and prove the checker still
+# bites by requiring every seeded-bug fixture (MPSC misuse, publication
+# reorder, missing sense reversal, SPSC contract) to be caught. Non-zero
+# exit on any violation of a good scenario, any uncaught seeded bug, or
+# any exploration that silently hit its schedule cap. Per-scenario caps
+# bound the wall time (the whole registry runs in seconds).
+model-smoke:
+	dune exec bin/concord_sim.exe -- check-model
+
+# Determinism + concurrency lint: the simulation library must not reach
+# for ambient nondeterminism (Random, wall clocks, unordered Hashtbl
+# iteration, bare Domain/Atomic outside engine/), Par_sim party bodies
+# must not touch unmediated shared mutable state (domain-escape pass),
+# and every [@lint.deterministic] waiver must still suppress something
+# (stale waivers are findings). Also proves the lint itself still bites,
+# via --expect-fail fixtures.
 lint:
 	dune exec tools/lint.exe -- lib
 	dune exec tools/lint.exe -- --expect-fail tools/fixtures/bad_random.ml
 	dune exec tools/lint.exe -- --expect-fail tools/fixtures/bad_domain.ml
+	dune exec tools/lint.exe -- --expect-fail tools/fixtures/bad_escape.ml
+	dune exec tools/lint.exe -- --expect-fail tools/fixtures/stale_waiver.ml
 
 # What CI (and every PR) must keep green.
 check:
 	dune build && dune runtest && $(MAKE) lint && $(MAKE) trace-smoke && $(MAKE) cluster-smoke \
 		&& $(MAKE) policy-smoke && $(MAKE) hedge-smoke && $(MAKE) raft-smoke \
-		&& $(MAKE) par-smoke && $(MAKE) verify-probes-smoke && $(MAKE) bench-json-quick
+		&& $(MAKE) par-smoke && $(MAKE) model-smoke && $(MAKE) verify-probes-smoke \
+		&& $(MAKE) bench-json-quick
 
 bench:
 	dune exec bench/main.exe

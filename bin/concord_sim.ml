@@ -1344,6 +1344,44 @@ let verify_probes_cmd =
           non-zero exit on any violation.")
     Term.(const action $ samples_arg $ trials_arg $ seed_arg $ target_gap_arg $ json_arg)
 
+(* ---- check-model ------------------------------------------------------------- *)
+
+let check_model_cmd =
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print each scenario's description and, on violation, the full step trace.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "only" ] ~docv:"NAME,..."
+          ~doc:"Run only the named scenarios (default: the whole registry).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
+  in
+  let action list_only verbose only =
+    if list_only then
+      List.iter
+        (fun (s : Repro_check.Scenarios.t) ->
+          Printf.printf "%-26s %s  %s\n" s.name
+            (match s.expect with Pass -> "[pass]  " | Caught -> "[caught]")
+            s.descr)
+        Repro_check.Scenarios.all
+    else
+      exit (Repro_check.Runner.run_all ~verbose ?only ())
+  in
+  Cmd.v
+    (Cmd.info "check-model"
+       ~doc:
+         "Model-check the parallel engine's Atomics protocols (mailbox, barrier, pool) \
+          by exploring every DPOR-inequivalent interleaving, and confirm the checker \
+          catches each seeded-bug fixture; non-zero exit on any mismatch.")
+    Term.(const action $ list_arg $ verbose_arg $ only_arg)
+
 (* ---- overheads --------------------------------------------------------------- *)
 
 let overheads_cmd =
@@ -1405,4 +1443,5 @@ let () =
             trace_cmd;
             overheads_cmd;
             verify_probes_cmd;
+            check_model_cmd;
           ]))

@@ -1,0 +1,56 @@
+(* Console driver shared by the [concord-sim check-model] subcommand and
+   [make model-smoke]: run every scenario, print one verdict line each,
+   return the exit code (0 = every scenario matched its expectation). *)
+
+let pp_report oc (r : Sched.report) =
+  Printf.fprintf oc "%d schedules, %d steps, depth %d" r.schedules r.steps r.max_depth;
+  if r.pruned > 0 then Printf.fprintf oc ", %d pruned" r.pruned;
+  if r.bound_hit then Printf.fprintf oc ", BOUND HIT (not exhaustive)"
+
+let run_all ?(verbose = false) ?(only = []) () =
+  let scenarios =
+    match only with
+    | [] -> Scenarios.all
+    | names ->
+      List.filter_map
+        (fun n ->
+          match Scenarios.find n with
+          | Some s -> Some s
+          | None ->
+            Printf.eprintf "check-model: unknown scenario %S\n" n;
+            exit 2)
+        names
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (s : Scenarios.t) ->
+      let r = Scenarios.run_scenario s in
+      let ok = Scenarios.outcome_ok s r in
+      if not ok then incr failures;
+      let verdict =
+        match (ok, s.expect) with
+        | true, Pass -> "ok"
+        | true, Caught -> "ok (caught)"
+        | false, Pass -> "FAIL"
+        | false, Caught -> "FAIL (bug not caught)"
+      in
+      Printf.printf "%-26s %-18s " s.name verdict;
+      pp_report stdout r;
+      print_newline ();
+      (match r.violation with
+      | Some v when verbose || not ok ->
+        Printf.printf "    %s: %s\n" v.kind v.message;
+        if verbose then
+          List.iteri (fun i step -> Printf.printf "      %3d  %s\n" i step) v.trace
+      | _ -> ());
+      if verbose then Printf.printf "    %s\n" s.descr)
+    scenarios;
+  if !failures = 0 then begin
+    Printf.printf "check-model: %d scenarios ok\n" (List.length scenarios);
+    0
+  end
+  else begin
+    Printf.printf "check-model: %d of %d scenarios FAILED\n" !failures
+      (List.length scenarios);
+    1
+  end

@@ -1,0 +1,572 @@
+(* DSCheck-style stateless model checker with dynamic partial-order
+   reduction.
+
+   A scenario is an ordinary [unit -> unit] program written against the
+   traced primitives ({!Trace_prims}, an instance of
+   [Repro_engine.Primitives.S]). Every shared-memory operation — atomic
+   get/set/CAS/fetch-and-add, mailbox slot access, mutex lock/unlock,
+   condition wait/broadcast, spawn/join — performs an effect that
+   suspends the calling "process" and hands its continuation to this
+   scheduler. The scheduler then owns the interleaving: it replays the
+   scenario from scratch once per schedule (stateless exploration, after
+   Godefroid; the scenario must be deterministic, which the determinism
+   lint already enforces for everything in lib/), choosing at every step
+   which process runs next.
+
+   Exploration is depth-first with classic dynamic partial-order
+   reduction (Flanagan & Godefroid 2005): after each executed step the
+   checker looks for the most recent earlier step that is *dependent*
+   with it (same object, at least one write — mutex and condition
+   operations count as writes on their object) and *concurrent* (not
+   ordered by the happens-before relation tracked with vector clocks);
+   such a race adds the later op's process to the backtrack set of the
+   state the earlier step ran from. Schedules that differ only by
+   commuting independent steps are never both run.
+
+   Two honesty caps bound the cost:
+   - [max_schedules]: when hit with unexplored backtrack points left,
+     the run reports [bound_hit = true] — "explored N schedules, not
+     exhaustive" — rather than pretending completeness.
+   - [preemption_bound]: optional fallback that prunes backtrack choices
+     whose schedule would preempt a still-runnable process more than K
+     times; pruned choices are counted in the report.
+
+   Detected violations: uncaught exceptions (assertion failures in
+   scenario code, [Spsc_violation], ...), deadlock (no process enabled,
+   some process unfinished — covers lost wakeups and lock cycles), misuse
+   of the mutex/condition protocol (unlock while not holding,
+   [Condition.wait] without the mutex), and the per-run step limit
+   (livelock guard). Lost / duplicated / reordered messages are scenario
+   assertions, so they surface as the first kind. *)
+
+module IS = Set.Make (Int)
+
+let max_procs = 16
+
+type access = { obj : int; write : bool }
+
+(* ---- processes -------------------------------------------------------- *)
+
+type mutex_m = { m_id : int; mutable held_by : int (* pid, -1 = free *) }
+type cond_m = { c_id : int }
+
+type status = Done | Paused of pending
+
+and pending =
+  | Mem of { acc : access list; tag : string; resume : unit -> status }
+  | Lock of { m : mutex_m; resume : unit -> status }
+  | Unlock of { m : mutex_m; resume : unit -> status }
+  (* [Wait] executes as: assert held, release, become [Parked]. A
+     broadcast turns [Parked] into [Relock]; executing [Relock]
+     re-acquires and only then resumes the continuation — the two
+     scheduled halves of [Condition.wait]. *)
+  | Wait of { c : cond_m; m : mutex_m; resume : unit -> status }
+  | Parked of { c : cond_m; m : mutex_m; resume : unit -> status }
+  | Relock of { m : mutex_m; c : cond_m; resume : unit -> status }
+  | Bcast of { c : cond_m; resume : unit -> status }
+  | SpawnP of { thunk : unit -> unit; resume : int -> status }
+  | JoinP of { pid : int; resume : unit -> status }
+
+type proc = {
+  pid : int;
+  mutable status : status;
+  mutable clock : int array;  (* vector clock, indexed by pid *)
+  (* Clock of the broadcast that woke us, joined at the relock step. *)
+  mutable wake_clock : int array option;
+  mutable term_clock : int array option;  (* set when the process finishes *)
+}
+
+(* ---- per-run context (the checker is single-domain by construction) --- *)
+
+type ctx = {
+  mutable procs : proc array;  (* procs.(pid), length n_procs *)
+  mutable n_procs : int;
+  mutable obj_counter : int;
+  mutable steps : int;
+  mutable trace : string list;  (* newest first; "p1 Atomic.set" *)
+  (* DPOR bookkeeping: per object, newest-first access list
+     (stack depth of the step, pid, was it a write), and the
+     happens-before clocks of the last write / join of all accesses. *)
+  last_access : (int, (int * int * bool) list ref) Hashtbl.t;
+  wclock : (int, int array) Hashtbl.t;
+  aclock : (int, int array) Hashtbl.t;
+}
+
+let ctx : ctx option ref = ref None
+
+let the_ctx () =
+  match !ctx with
+  | Some c -> c
+  | None ->
+    failwith
+      "Repro_check: traced primitive used outside Sched.check (scenarios must create all \
+       their state inside the checked thunk)"
+
+let current_pid_ref = ref 0
+let current_pid () = !current_pid_ref
+
+let new_obj () =
+  let c = the_ctx () in
+  c.obj_counter <- c.obj_counter + 1;
+  c.obj_counter - 1
+
+let new_mutex () = { m_id = new_obj (); held_by = -1 }
+let new_cond () = { c_id = new_obj () }
+
+(* Run-start reset hooks (Trace_prims clears its DLS tables here). *)
+let resets : (unit -> unit) list ref = ref []
+let at_run_start f = resets := f :: !resets
+
+(* ---- effects ---------------------------------------------------------- *)
+
+type _ Effect.t +=
+  | E_mem : access list * string * (unit -> 'a) -> 'a Effect.t
+  | E_lock : mutex_m -> unit Effect.t
+  | E_unlock : mutex_m -> unit Effect.t
+  | E_wait : cond_m * mutex_m -> unit Effect.t
+  | E_bcast : cond_m -> unit Effect.t
+  | E_spawn : (unit -> unit) -> int Effect.t
+  | E_join : int -> unit Effect.t
+
+let mem_op ~tag ~acc run = Effect.perform (E_mem (acc, tag, run))
+let lock m = Effect.perform (E_lock m)
+let unlock m = Effect.perform (E_unlock m)
+let wait c m = Effect.perform (E_wait (c, m))
+let broadcast c = Effect.perform (E_bcast c)
+let spawn thunk = Effect.perform (E_spawn thunk)
+let join pid = Effect.perform (E_join pid)
+
+let start_thunk (f : unit -> unit) : status =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_mem (acc, tag, run) ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                Paused (Mem { acc; tag; resume = (fun () -> continue k (run ())) }))
+          | E_lock m ->
+            Some (fun (k : (a, _) continuation) ->
+                Paused (Lock { m; resume = (fun () -> continue k ()) }))
+          | E_unlock m ->
+            Some (fun (k : (a, _) continuation) ->
+                Paused (Unlock { m; resume = (fun () -> continue k ()) }))
+          | E_wait (c, m) ->
+            Some (fun (k : (a, _) continuation) ->
+                Paused (Wait { c; m; resume = (fun () -> continue k ()) }))
+          | E_bcast c ->
+            Some (fun (k : (a, _) continuation) ->
+                Paused (Bcast { c; resume = (fun () -> continue k ()) }))
+          | E_spawn thunk ->
+            Some (fun (k : (a, _) continuation) ->
+                Paused (SpawnP { thunk; resume = (fun pid -> continue k pid) }))
+          | E_join pid ->
+            Some (fun (k : (a, _) continuation) ->
+                Paused (JoinP { pid; resume = (fun () -> continue k ()) }))
+          | _ -> None);
+    }
+
+(* ---- model semantics -------------------------------------------------- *)
+
+let tag_of_pending = function
+  | Mem { tag; _ } -> tag
+  | Lock { m; _ } -> Printf.sprintf "Mutex.lock#%d" m.m_id
+  | Unlock { m; _ } -> Printf.sprintf "Mutex.unlock#%d" m.m_id
+  | Wait { c; _ } -> Printf.sprintf "Condition.wait#%d" c.c_id
+  | Parked { c; _ } -> Printf.sprintf "(parked#%d)" c.c_id
+  | Relock { m; _ } -> Printf.sprintf "Condition.relock#%d" m.m_id
+  | Bcast { c; _ } -> Printf.sprintf "Condition.broadcast#%d" c.c_id
+  | SpawnP _ -> "Dom.spawn"
+  | JoinP { pid; _ } -> Printf.sprintf "Dom.join(p%d)" pid
+
+let acc_of_pending = function
+  | Mem { acc; _ } -> acc
+  | Lock { m; _ } | Unlock { m; _ } | Relock { m; _ } -> [ { obj = m.m_id; write = true } ]
+  | Wait { c; m; _ } ->
+    [ { obj = c.c_id; write = true }; { obj = m.m_id; write = true } ]
+  | Bcast { c; _ } -> [ { obj = c.c_id; write = true } ]
+  | Parked _ | SpawnP _ | JoinP _ -> []
+
+let is_enabled c pid =
+  let p = c.procs.(pid) in
+  match p.status with
+  | Done -> false
+  | Paused pend -> (
+    match pend with
+    | Lock { m; _ } | Relock { m; _ } -> m.held_by = -1
+    | Parked _ -> false
+    | JoinP { pid = q; _ } -> c.procs.(q).status = Done
+    | Mem _ | Unlock _ | Wait _ | Bcast _ | SpawnP _ -> true)
+
+let enabled_set c =
+  let s = ref IS.empty in
+  for pid = 0 to c.n_procs - 1 do
+    if is_enabled c pid then s := IS.add pid !s
+  done;
+  !s
+
+let join_clock dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+(* ---- reports ---------------------------------------------------------- *)
+
+type violation = { kind : string; message : string; trace : string list }
+
+type report = {
+  schedules : int;  (* full runs executed *)
+  steps : int;  (* scheduled operations across all runs *)
+  max_depth : int;  (* longest schedule, in steps *)
+  pruned : int;  (* backtrack choices skipped by the preemption bound *)
+  bound_hit : bool;  (* true = NOT exhaustive (cap or pruning) *)
+  violation : violation option;
+}
+
+exception Stop_run of violation
+
+let stop (c : ctx) kind message =
+  raise (Stop_run { kind; message; trace = List.rev c.trace })
+
+let stop_exn c e =
+  let kind =
+    match e with Assert_failure _ -> "assertion" | _ -> "exception"
+  in
+  stop c kind (Printexc.to_string e)
+
+(* ---- exploration stack ------------------------------------------------ *)
+
+(* State node [d]: the run state before step [d]. [backtrack]/[dones]
+   persist across the stateless re-executions; [chosen] is the pid taken
+   from here in the current run. *)
+type node = {
+  n_enabled : IS.t;
+  prev_proc : int;  (* pid that stepped into this state; -1 at the root *)
+  p_before : int;  (* preemptions along the prefix before this choice *)
+  mutable p_after : int;
+  mutable chosen : int;
+  mutable backtrack : IS.t;
+  mutable dones : IS.t;
+}
+
+(* Minimal growable array (Dynarray is OCaml >= 5.2). *)
+module Dyn = struct
+  type 'a t = { mutable a : 'a array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+  let length t = t.len
+  let get t i = t.a.(i)
+
+  let push t x =
+    if t.len = Array.length t.a then begin
+      let b = Array.make (max 16 (2 * Array.length t.a)) x in
+      Array.blit t.a 0 b 0 t.len;
+      t.a <- b
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let truncate t n = t.len <- n
+end
+
+(* ---- one stateless run ------------------------------------------------ *)
+
+let dummy_proc =
+  { pid = -1; status = Done; clock = [||]; wake_clock = None; term_clock = None }
+
+let new_proc c ~parent_clock thunk =
+  let pid = c.n_procs in
+  if pid >= max_procs then failwith "Repro_check: more than 16 processes in one scenario";
+  c.n_procs <- pid + 1;
+  let clock =
+    match parent_clock with
+    | Some cl -> Array.copy cl
+    | None -> Array.make max_procs 0
+  in
+  let p = { pid; status = Done; clock; wake_clock = None; term_clock = None } in
+  c.procs.(pid) <- p;
+  let saved = !current_pid_ref in
+  current_pid_ref := pid;
+  (try p.status <- start_thunk thunk with Stop_run _ as s -> raise s | e -> stop_exn c e);
+  current_pid_ref := saved;
+  if p.status = Done then p.term_clock <- Some (Array.copy p.clock);
+  pid
+
+(* Latest earlier step dependent with an op by [pid] touching [acc],
+   and concurrent with it (not happens-before [clock]): the DPOR race. *)
+let find_races c ~pid ~clock ~acc =
+  List.filter_map
+    (fun a ->
+      match Hashtbl.find_opt c.last_access a.obj with
+      | None -> None
+      | Some l ->
+        let rec scan = function
+          | [] -> None
+          | (d, q, w) :: rest ->
+            if q <> pid && (a.write || w) then
+              (* step d by q happens-before iff pid already saw it *)
+              if clock.(q) < d + 1 then Some d else None
+            else scan rest
+        in
+        scan !l)
+    acc
+
+let apply_races nodes ~pid races =
+  List.iter
+    (fun d ->
+      let nd = Dyn.get nodes d in
+      if IS.mem pid nd.n_enabled then nd.backtrack <- IS.add pid nd.backtrack
+      else begin
+        (* [pid] was blocked at the race point (typically: racing to
+           acquire a mutex the earlier step still held). Adding only the
+           enabled set here would dead-end — the lock holder is often the
+           sole enabled proc and already explored — so additionally wake
+           [pid] at the latest earlier state where it WAS enabled; the
+           recursion from that branch rediscovers any remaining races.
+           Over-approximation is safe: it only adds schedules. *)
+        nd.backtrack <- IS.union nd.backtrack nd.n_enabled;
+        let j = ref (d - 1) in
+        let placed = ref false in
+        while (not !placed) && !j >= 0 do
+          let ne = Dyn.get nodes !j in
+          if IS.mem pid ne.n_enabled then begin
+            ne.backtrack <- IS.add pid ne.backtrack;
+            placed := true
+          end;
+          decr j
+        done
+      end)
+    races
+
+let set_status c p f =
+  let saved = !current_pid_ref in
+  current_pid_ref := p.pid;
+  (try p.status <- f () with Stop_run _ as s -> raise s | e -> stop_exn c e);
+  current_pid_ref := saved;
+  if p.status = Done then p.term_clock <- Some (Array.copy p.clock)
+
+let exec_step c nodes ~depth pid =
+  let p = c.procs.(pid) in
+  let pend = match p.status with Paused x -> x | Done -> assert false in
+  c.trace <- Printf.sprintf "p%d %s" pid (tag_of_pending pend) :: c.trace;
+  let acc = acc_of_pending pend in
+  let races = find_races c ~pid ~clock:p.clock ~acc in
+  apply_races nodes ~pid races;
+  (* Advance the vector clock: join the wake-up edge (broadcast ->
+     relock), then the dependent-access edges (reads see the last write,
+     writes see every earlier access), then tick our own component. *)
+  (match p.wake_clock with
+  | Some w ->
+    join_clock p.clock w;
+    p.wake_clock <- None
+  | None -> ());
+  List.iter
+    (fun a ->
+      let tbl = if a.write then c.aclock else c.wclock in
+      match Hashtbl.find_opt tbl a.obj with
+      | Some cl -> join_clock p.clock cl
+      | None -> ())
+    acc;
+  p.clock.(pid) <- depth + 1;
+  List.iter
+    (fun a ->
+      (match Hashtbl.find_opt c.aclock a.obj with
+      | Some cl -> join_clock cl p.clock
+      | None -> Hashtbl.replace c.aclock a.obj (Array.copy p.clock));
+      if a.write then Hashtbl.replace c.wclock a.obj (Array.copy p.clock);
+      let l =
+        match Hashtbl.find_opt c.last_access a.obj with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace c.last_access a.obj r;
+          r
+      in
+      l := (depth, pid, a.write) :: !l)
+    acc;
+  match pend with
+  | Mem { resume; _ } -> set_status c p resume
+  | Lock { m; resume } ->
+    m.held_by <- pid;
+    set_status c p resume
+  | Unlock { m; resume } ->
+    if m.held_by <> pid then stop c "mutex-misuse" "Mutex.unlock of a mutex not held";
+    m.held_by <- -1;
+    set_status c p resume
+  | Wait { c = cv; m; resume } ->
+    if m.held_by <> pid then
+      stop c "mutex-misuse" "Condition.wait without holding the mutex";
+    m.held_by <- -1;
+    p.status <- Paused (Parked { c = cv; m; resume })
+  | Relock { m; resume; _ } ->
+    m.held_by <- pid;
+    set_status c p resume
+  | Bcast { c = cv; resume } ->
+    for q = 0 to c.n_procs - 1 do
+      let pq = c.procs.(q) in
+      match pq.status with
+      | Paused (Parked { c = cw; m; resume = r }) when cw.c_id = cv.c_id ->
+        pq.status <- Paused (Relock { m; c = cw; resume = r });
+        pq.wake_clock <- Some (Array.copy p.clock)
+      | _ -> ()
+    done;
+    set_status c p resume
+  | SpawnP { thunk; resume } ->
+    let child = new_proc c ~parent_clock:(Some p.clock) thunk in
+    set_status c p (fun () -> resume child)
+  | JoinP { pid = q; resume } ->
+    (match c.procs.(q).term_clock with
+    | Some tc -> join_clock p.clock tc
+    | None -> assert false (* only enabled once the target is Done *));
+    set_status c p resume
+  | Parked _ -> assert false (* never enabled *)
+
+let run_once ~nodes ~max_steps ~total_steps ~max_depth scenario =
+  List.iter (fun f -> f ()) !resets;
+  let c =
+    {
+      procs = Array.make max_procs dummy_proc;
+      n_procs = 0;
+      obj_counter = 0;
+      steps = 0;
+      trace = [];
+      last_access = Hashtbl.create 64;
+      wclock = Hashtbl.create 64;
+      aclock = Hashtbl.create 64;
+    }
+  in
+  ctx := Some c;
+  let viol = ref None in
+  (try
+     ignore (new_proc c ~parent_clock:None scenario);
+     let depth = ref 0 in
+     let running = ref true in
+     while !running do
+       let en = enabled_set c in
+       if IS.is_empty en then begin
+         let all_done = ref true in
+         for pid = 0 to c.n_procs - 1 do
+           if c.procs.(pid).status <> Done then all_done := false
+         done;
+         if !all_done then running := false
+         else
+           stop c "deadlock"
+             "no process enabled but some still pending (lock cycle or lost wakeup)"
+       end
+       else begin
+         let d = !depth in
+         let choice =
+           if d < Dyn.length nodes then begin
+             let nd = Dyn.get nodes d in
+             if not (IS.mem nd.chosen en) then
+               failwith "Repro_check: replay divergence (scenario is nondeterministic)";
+             nd.chosen
+           end
+           else begin
+             let prev = if d = 0 then -1 else (Dyn.get nodes (d - 1)).chosen in
+             let ch = if prev >= 0 && IS.mem prev en then prev else IS.min_elt en in
+             let p_before = if d = 0 then 0 else (Dyn.get nodes (d - 1)).p_after in
+             Dyn.push nodes
+               {
+                 n_enabled = en;
+                 prev_proc = prev;
+                 p_before;
+                 p_after = p_before (* the default policy never preempts *);
+                 chosen = ch;
+                 backtrack = IS.singleton ch;
+                 dones = IS.singleton ch;
+               };
+             ch
+           end
+         in
+         c.steps <- c.steps + 1;
+         incr total_steps;
+         if c.steps > max_steps then
+           stop c "step-limit"
+             (Printf.sprintf
+                "run exceeded %d steps (possible livelock; raise ~max_steps if the \
+                 scenario is genuinely this deep)"
+                max_steps);
+         exec_step c nodes ~depth:d choice;
+         incr depth;
+         if !depth > !max_depth then max_depth := !depth
+       end
+     done;
+     (* Blocked processes never execute their pending op; scan those ops
+        for races too so lock-contention choice points are not missed. *)
+     for pid = 0 to c.n_procs - 1 do
+       let p = c.procs.(pid) in
+       match p.status with
+       | Done -> ()
+       | Paused pend ->
+         apply_races nodes ~pid
+           (find_races c ~pid ~clock:p.clock ~acc:(acc_of_pending pend))
+     done
+   with Stop_run v -> viol := Some v);
+  ctx := None;
+  !viol
+
+(* ---- the explorer ----------------------------------------------------- *)
+
+let check ?(max_schedules = 10_000) ?(max_steps = 50_000) ?preemption_bound scenario =
+  let nodes = Dyn.create () in
+  let schedules = ref 0 in
+  let total_steps = ref 0 in
+  let max_depth = ref 0 in
+  let pruned = ref 0 in
+  let bound_hit = ref false in
+  let viol = ref None in
+  let run () =
+    incr schedules;
+    match run_once ~nodes ~max_steps ~total_steps ~max_depth scenario with
+    | Some v -> viol := Some v
+    | None -> ()
+  in
+  run ();
+  let exploring = ref (!viol = None) in
+  while !exploring do
+    (* Deepest state with an unexplored backtrack choice: depth-first. *)
+    let found = ref None in
+    let i = ref (Dyn.length nodes - 1) in
+    while !found = None && !i >= 0 do
+      let nd = Dyn.get nodes !i in
+      let rest = IS.diff nd.backtrack nd.dones in
+      if not (IS.is_empty rest) then found := Some (!i, IS.min_elt rest) else decr i
+    done;
+    match !found with
+    | None -> exploring := false
+    | Some (i, q) ->
+      let nd = Dyn.get nodes i in
+      nd.dones <- IS.add q nd.dones;
+      let cost =
+        if nd.prev_proc >= 0 && q <> nd.prev_proc && IS.mem nd.prev_proc nd.n_enabled
+        then 1
+        else 0
+      in
+      (match preemption_bound with
+      | Some b when nd.p_before + cost > b -> incr pruned
+      | _ ->
+        if !schedules >= max_schedules then begin
+          bound_hit := true;
+          exploring := false
+        end
+        else begin
+          nd.chosen <- q;
+          nd.p_after <- nd.p_before + cost;
+          Dyn.truncate nodes (i + 1);
+          run ();
+          if !viol <> None then exploring := false
+        end)
+  done;
+  {
+    schedules = !schedules;
+    steps = !total_steps;
+    max_depth = !max_depth;
+    pruned = !pruned;
+    bound_hit = !bound_hit || !pruned > 0;
+    violation = !viol;
+  }

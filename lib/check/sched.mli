@@ -1,0 +1,73 @@
+(** Stateless model checker with dynamic partial-order reduction.
+
+    {!check} runs a deterministic scenario — ordinary code written
+    against {!Trace_prims}, an instance of [Repro_engine.Primitives.S] —
+    once per DPOR-inequivalent schedule, re-executing from scratch each
+    time and choosing at every traced operation which process runs next.
+    See the implementation header for the algorithm (Flanagan–Godefroid
+    DPOR over vector clocks, with an optional preemption-bound fallback
+    and a schedule cap, both reported honestly as [bound_hit]).
+
+    Everything below {!check} is the hook surface {!Trace_prims} is built
+    on; scenarios should not call it directly. *)
+
+type violation = {
+  kind : string;  (* "assertion" | "exception" | "deadlock" | "mutex-misuse" | "step-limit" *)
+  message : string;
+  trace : string list;  (* oldest first: "p1 Atomic.set#3" per step *)
+}
+
+type report = {
+  schedules : int;  (* full runs executed *)
+  steps : int;  (* scheduled operations across all runs *)
+  max_depth : int;  (* longest schedule, in steps *)
+  pruned : int;  (* backtrack choices skipped by the preemption bound *)
+  bound_hit : bool;  (* true = NOT exhaustive (cap reached or choices pruned) *)
+  violation : violation option;  (* None = every explored schedule quiesced cleanly *)
+}
+
+val check :
+  ?max_schedules:int ->
+  ?max_steps:int ->
+  ?preemption_bound:int ->
+  (unit -> unit) ->
+  report
+(** [check scenario] explores interleavings of [scenario] until the
+    backtrack sets are exhausted (exhaustive up to DPOR equivalence), a
+    violation is found, or [max_schedules] (default 10_000) is reached.
+    [max_steps] (default 50_000) bounds a single run as a livelock guard;
+    [preemption_bound], when given, additionally prunes schedules with
+    more than that many preemptions (counted in [pruned]). The scenario
+    must create all its traced state inside the thunk and must be
+    deterministic modulo scheduling. *)
+
+(** {2 Hooks for Trace_prims} *)
+
+type access = { obj : int; write : bool }
+type mutex_m
+type cond_m
+
+val max_procs : int
+val new_obj : unit -> int
+val new_mutex : unit -> mutex_m
+val new_cond : unit -> cond_m
+val current_pid : unit -> int
+
+val at_run_start : (unit -> unit) -> unit
+(** Register a reset hook invoked at the start of every re-execution
+    (Trace_prims clears its domain-local-state tables here). *)
+
+val mem_op : tag:string -> acc:access list -> (unit -> 'a) -> 'a
+(** Suspend as a schedulable step touching [acc]; when the scheduler
+    picks this process, run the thunk atomically and resume with its
+    result. [tag] labels the step in violation traces. *)
+
+val lock : mutex_m -> unit
+val unlock : mutex_m -> unit
+val wait : cond_m -> mutex_m -> unit
+val broadcast : cond_m -> unit
+
+val spawn : (unit -> unit) -> int
+(** Create a new process; returns its pid (for {!join}). *)
+
+val join : int -> unit

@@ -1,0 +1,128 @@
+(* The checker's instantiation of the engine's primitives signature:
+   every atomic / slot / mutex / condition / spawn operation becomes a
+   scheduling point of {!Sched}, and "domains" are checker processes
+   multiplexed on the one real domain running [Sched.check]. Code between
+   two traced operations executes atomically, which is sound for the
+   engine's protocols: their only unprotected shared accesses go through
+   [Atomic] and [Slots], and everything else is mutex-protected. *)
+
+module Atomic = struct
+  type 'a t = { id : int; mutable v : 'a }
+
+  let make v = { id = Sched.new_obj (); v }
+
+  let get t =
+    Sched.mem_op
+      ~tag:(Printf.sprintf "Atomic.get#%d" t.id)
+      ~acc:[ { Sched.obj = t.id; write = false } ]
+      (fun () -> t.v)
+
+  let set t v =
+    Sched.mem_op
+      ~tag:(Printf.sprintf "Atomic.set#%d" t.id)
+      ~acc:[ { Sched.obj = t.id; write = true } ]
+      (fun () -> t.v <- v)
+
+  (* Modeled as a write even when it fails: conservative for DPOR
+     (failed CAS commutes with reads, but treating it as dependent only
+     costs extra schedules, never misses one). *)
+  let compare_and_set t expected desired =
+    Sched.mem_op
+      ~tag:(Printf.sprintf "Atomic.cas#%d" t.id)
+      ~acc:[ { Sched.obj = t.id; write = true } ]
+      (fun () -> if t.v == expected then (t.v <- desired; true) else false)
+
+  let fetch_and_add t n =
+    Sched.mem_op
+      ~tag:(Printf.sprintf "Atomic.faa#%d" t.id)
+      ~acc:[ { Sched.obj = t.id; write = true } ]
+      (fun () ->
+        let old = t.v in
+        t.v <- old + n;
+        old)
+
+  let incr t = ignore (fetch_and_add t 1)
+end
+
+module Slots = struct
+  type 'a t = { ids : int array; cells : 'a option array }
+
+  let make n =
+    { ids = Array.init n (fun _ -> Sched.new_obj ()); cells = Array.make n None }
+
+  let length t = Array.length t.cells
+
+  let get t i =
+    Sched.mem_op
+      ~tag:(Printf.sprintf "Slots.get#%d" t.ids.(i))
+      ~acc:[ { Sched.obj = t.ids.(i); write = false } ]
+      (fun () -> t.cells.(i))
+
+  let set t i v =
+    Sched.mem_op
+      ~tag:(Printf.sprintf "Slots.set#%d" t.ids.(i))
+      ~acc:[ { Sched.obj = t.ids.(i); write = true } ]
+      (fun () -> t.cells.(i) <- v)
+end
+
+module Mutex = struct
+  type t = Sched.mutex_m
+
+  let create () = Sched.new_mutex ()
+  let lock = Sched.lock
+  let unlock = Sched.unlock
+end
+
+module Condition = struct
+  type t = Sched.cond_m
+
+  let create () = Sched.new_cond ()
+  let wait c m = Sched.wait c m
+  let broadcast = Sched.broadcast
+end
+
+module Dom = struct
+  type 'a t = { pid : int; result : 'a option ref }
+
+  let spawn f =
+    let result = ref None in
+    let pid = Sched.spawn (fun () -> result := Some (f ())) in
+    { pid; result }
+
+  let join t =
+    Sched.join t.pid;
+    match !(t.result) with
+    | Some v -> v
+    | None -> assert false (* join only resumes after the process is Done *)
+
+  (* A no-op: the checker explores the spin/park mix by scheduling, not
+     by burning cycles. Scenarios keep spin loops bounded (the barrier's
+     ?spin_limit) so the state space stays finite. *)
+  let cpu_relax () = ()
+  let self_id () = Sched.current_pid ()
+  let recommended_domain_count () = 2
+
+  module DLS = struct
+    (* Keyed by checker pid; tables are cleared at every re-execution so
+       runs stay independent. Keys must be created at module level (as
+       Domain.DLS usage conventionally is — Pool does), not inside the
+       checked thunk, or the per-key reset hooks accumulate. *)
+    type 'a key = { init : unit -> 'a; tbl : (int, 'a) Hashtbl.t }
+
+    let new_key init =
+      let tbl = Hashtbl.create 8 in
+      Sched.at_run_start (fun () -> Hashtbl.reset tbl);
+      { init; tbl }
+
+    let get k =
+      let pid = Sched.current_pid () in
+      match Hashtbl.find_opt k.tbl pid with
+      | Some v -> v
+      | None ->
+        let v = k.init () in
+        Hashtbl.replace k.tbl pid v;
+        v
+
+    let set k v = Hashtbl.replace k.tbl (Sched.current_pid ()) v
+  end
+end

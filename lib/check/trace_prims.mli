@@ -1,0 +1,20 @@
+(** The model checker's world: an instance of the engine's
+    {!Repro_engine.Primitives.S} in which every operation is a
+    scheduling point of {!Sched}. Instantiate the engine's functors with
+    this inside a [Sched.check] thunk:
+
+    {[
+      module M = Repro_engine.Mailbox.Make (Trace_prims)
+
+      let report =
+        Sched.check (fun () ->
+            let mb = M.create ~capacity:2 () in
+            let d = Trace_prims.Dom.spawn (fun () -> M.push mb 1) in
+            ignore (M.pop mb);
+            Trace_prims.Dom.join d)
+    ]}
+
+    Only usable while a [Sched.check] run is active; operations outside
+    one fail with an explanatory exception. *)
+
+include Repro_engine.Primitives.S

@@ -579,10 +579,22 @@ let run_par ~cluster ~mix ~arrival ~n_requests ~warmup_frac ~drain_cap_ns ~seed 
           ())
   in
   let shard_handler i (sim : shard_ev Sim.t) = function
-    | S_inst e -> Server.Instance.handle instances.(i) e
-    | S_deliver req -> Server.Instance.inject instances.(i) req
+    | S_inst e ->
+      Server.Instance.handle
+        (instances.(i)
+        [@lint.deterministic "shard-partitioned: instance i is touched only by shard i"])
+        e
+    | S_deliver req ->
+      Server.Instance.inject
+        (instances.(i)
+        [@lint.deterministic "shard-partitioned: instance i is touched only by shard i"])
+        req
     | S_probe { thief } ->
-      let req = Server.Instance.surrender instances.(i) in
+      let req =
+        Server.Instance.surrender
+          (instances.(i)
+          [@lint.deterministic "shard-partitioned: instance i is touched only by shard i"])
+      in
       Mailbox.push outbox.(i) (Sim.now sim, P_surrendered { victim = i; thief; req })
   in
   (* Earliest inbox action pushed during the current host window; the
@@ -710,11 +722,18 @@ let run_par ~cluster ~mix ~arrival ~n_requests ~warmup_frac ~drain_cap_ns ~seed 
   in
   let window_ns = one_way_ns in
   let shard_step ~shard ~until =
-    let sim = shard_sims.(shard) in
+    let sim =
+      (shard_sims.(shard)
+      [@lint.deterministic "shard-partitioned: heap [shard] is run only by its owning party"])
+    in
     Mailbox.drain inbox.(shard) ~f:(fun (at, act) -> Sim.schedule_at sim ~time:at act);
     Sim.run sim ~until ~handler:(shard_handler shard) ()
   in
-  let shard_next ~shard = Sim.next_time shard_sims.(shard) in
+  let shard_next ~shard =
+    Sim.next_time
+      (shard_sims.(shard)
+      [@lint.deterministic "shard-partitioned: heap [shard] is read only by its owning party"])
+  in
   let host_step ~start:_ ~until =
     action_min := max_int;
     (* Merge in shard order: the heap's stable (key, seq) tie-break then

@@ -11,65 +11,108 @@
    pops in the other — which is what licenses [grow]: doubling the slot
    array is a producer-side operation that is only safe while the
    consumer is quiescent. Concurrent push/pop without growth is the
-   standard SPSC protocol and needs no such license. *)
+   standard SPSC protocol and needs no such license.
 
-type 'a t = {
-  head : int Atomic.t;  (* next index to pop; consumer-owned *)
-  tail : int Atomic.t;  (* next index to push; producer-owned *)
-  mutable slots : 'a option array;  (* length is a power of two *)
-}
+   The whole module is a functor over Primitives.S so the identical
+   protocol code runs against the real Atomic in production (the default
+   instantiation below is Make (Primitives.Real)) and against
+   Repro_check's traced shims under the model checker, where every slot
+   and index access is a schedulable step. *)
 
-let create ?(capacity = 64) () =
-  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
-  let cap = ref 1 in
-  while !cap < capacity do
-    cap := !cap * 2
-  done;
-  { head = Atomic.make 0; tail = Atomic.make 0; slots = Array.make !cap None }
+exception Spsc_violation of string
 
-let capacity t = Array.length t.slots
-let length t = Atomic.get t.tail - Atomic.get t.head
-let is_empty t = length t = 0
+module Make (P : Primitives.S) = struct
+  type 'a t = {
+    head : int P.Atomic.t;  (* next index to pop; consumer-owned *)
+    tail : int P.Atomic.t;  (* next index to push; producer-owned *)
+    mutable slots : 'a P.Slots.t;  (* length is a power of two *)
+    (* SPSC contract check, [create ~debug_spsc:true] only: domain id + 1
+       of the first pusher / popper; 0 = unclaimed. Kept out of the
+       default path — production crossings pay one immutable-bool test. *)
+    debug_spsc : bool;
+    producer : int P.Atomic.t;
+    consumer : int P.Atomic.t;
+  }
 
-(* Producer-side doubling; requires the consumer to be parked (the
-   engine's barrier phases guarantee it). Pending elements are recopied
-   so their slot assignment matches the new mask. *)
-let grow t =
-  let old = t.slots in
-  let old_mask = Array.length old - 1 in
-  let fresh = Array.make (2 * Array.length old) None in
-  let mask = Array.length fresh - 1 in
-  let head = Atomic.get t.head and tail = Atomic.get t.tail in
-  for i = head to tail - 1 do
-    fresh.(i land mask) <- old.(i land old_mask)
-  done;
-  t.slots <- fresh
+  let create ?(debug_spsc = false) ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+    let cap = ref 1 in
+    while !cap < capacity do
+      cap := !cap * 2
+    done;
+    {
+      head = P.Atomic.make 0;
+      tail = P.Atomic.make 0;
+      slots = P.Slots.make !cap;
+      debug_spsc;
+      producer = P.Atomic.make 0;
+      consumer = P.Atomic.make 0;
+    }
 
-let push t v =
-  let tail = Atomic.get t.tail in
-  if tail - Atomic.get t.head = Array.length t.slots then grow t;
-  t.slots.(tail land (Array.length t.slots - 1)) <- Some v;
-  (* The slot write must be visible before the index advance; [Atomic.set]
-     is a release on OCaml 5's memory model. *)
-  Atomic.set t.tail (tail + 1)
+  let capacity t = P.Slots.length t.slots
+  let length t = P.Atomic.get t.tail - P.Atomic.get t.head
+  let is_empty t = length t = 0
 
-let pop t =
-  let head = Atomic.get t.head in
-  if head = Atomic.get t.tail then None
-  else begin
-    let mask = Array.length t.slots - 1 in
-    let v = t.slots.(head land mask) in
-    t.slots.(head land mask) <- None;
-    Atomic.set t.head (head + 1);
-    v
-  end
+  (* First caller claims the side; any later caller from another domain
+     is a contract violation. CAS-on-0 keeps the check itself race-free
+     even when the violation is concurrent. *)
+  let assert_side ~side ~owner =
+    let me = P.Dom.self_id () + 1 in
+    if not (P.Atomic.compare_and_set owner 0 me) then begin
+      let claimed = P.Atomic.get owner in
+      if claimed <> me then
+        raise
+          (Spsc_violation
+             (Printf.sprintf
+                "Mailbox: %s side used from domain %d but first used from domain %d (SPSC \
+                 contract: one fixed domain per side)"
+                side (me - 1) (claimed - 1)))
+    end
 
-let drain t ~f =
-  let rec loop () =
-    match pop t with
-    | None -> ()
-    | Some v ->
-      f v;
-      loop ()
-  in
-  loop ()
+  (* Producer-side doubling; requires the consumer to be parked (the
+     engine's barrier phases guarantee it). Pending elements are recopied
+     so their slot assignment matches the new mask. *)
+  let grow t =
+    let old = t.slots in
+    let old_mask = P.Slots.length old - 1 in
+    let fresh = P.Slots.make (2 * P.Slots.length old) in
+    let mask = P.Slots.length fresh - 1 in
+    let head = P.Atomic.get t.head and tail = P.Atomic.get t.tail in
+    for i = head to tail - 1 do
+      P.Slots.set fresh (i land mask) (P.Slots.get old (i land old_mask))
+    done;
+    t.slots <- fresh
+
+  let push t v =
+    if t.debug_spsc then assert_side ~side:"producer" ~owner:t.producer;
+    let tail = P.Atomic.get t.tail in
+    if tail - P.Atomic.get t.head = P.Slots.length t.slots then grow t;
+    P.Slots.set t.slots (tail land (P.Slots.length t.slots - 1)) (Some v);
+    (* The slot write must be visible before the index advance; [Atomic.set]
+       is a release on OCaml 5's memory model. *)
+    P.Atomic.set t.tail (tail + 1)
+
+  let pop t =
+    if t.debug_spsc then assert_side ~side:"consumer" ~owner:t.consumer;
+    let head = P.Atomic.get t.head in
+    if head = P.Atomic.get t.tail then None
+    else begin
+      let mask = P.Slots.length t.slots - 1 in
+      let v = P.Slots.get t.slots (head land mask) in
+      P.Slots.set t.slots (head land mask) None;
+      P.Atomic.set t.head (head + 1);
+      v
+    end
+
+  let drain t ~f =
+    let rec loop () =
+      match pop t with
+      | None -> ()
+      | Some v ->
+        f v;
+        loop ()
+    in
+    loop ()
+end
+
+include Make (Primitives.Real)

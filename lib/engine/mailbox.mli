@@ -11,23 +11,40 @@
     ring full. Growth is producer-side and is only safe while the consumer
     is quiescent — exactly what the engine's window barrier guarantees;
     concurrent push/pop {e without} growth is the classic SPSC protocol
-    and is always safe. *)
+    and is always safe. Both claims are model-checked, not argued:
+    [Repro_check] instantiates {!Make} with traced primitives and explores
+    every DPOR-inequivalent interleaving of the protocol (see
+    [concord-sim check-model]). *)
 
-type 'a t
+exception Spsc_violation of string
+(** Raised by a [~debug_spsc:true] mailbox when a second domain uses a
+    side (producer or consumer) first used by another domain. *)
 
-val create : ?capacity:int -> unit -> 'a t
-(** [capacity] (default 64) is rounded up to a power of two. *)
+(** The protocol, over any {!Primitives.S} world. *)
+module Make (P : Primitives.S) : sig
+  type 'a t
 
-val push : 'a t -> 'a -> unit
-(** Enqueue at the tail. Producer-only. Doubles the ring when full (see
-    the quiescence caveat above). *)
+  val create : ?debug_spsc:bool -> ?capacity:int -> unit -> 'a t
+  (** [capacity] (default 64) is rounded up to a power of two.
+      [debug_spsc] (default false) arms the SPSC contract assertion: the
+      first pushing / popping domain claims that side and any use from a
+      different domain raises {!Spsc_violation}. The check is off the
+      default path — a disabled mailbox pays one immutable-bool test. *)
 
-val pop : 'a t -> 'a option
-(** Dequeue from the head, FIFO. Consumer-only. *)
+  val push : 'a t -> 'a -> unit
+  (** Enqueue at the tail. Producer-only. Doubles the ring when full (see
+      the quiescence caveat above). *)
 
-val drain : 'a t -> f:('a -> unit) -> unit
-(** Pop everything currently visible, in FIFO order. Consumer-only. *)
+  val pop : 'a t -> 'a option
+  (** Dequeue from the head, FIFO. Consumer-only. *)
 
-val length : 'a t -> int
-val is_empty : 'a t -> bool
-val capacity : 'a t -> int
+  val drain : 'a t -> f:('a -> unit) -> unit
+  (** Pop everything currently visible, in FIFO order. Consumer-only. *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val capacity : 'a t -> int
+end
+
+(** The production instantiation, [Make (Primitives.Real)]. *)
+include module type of Make (Primitives.Real)

@@ -65,7 +65,12 @@ let describe = function
 
 (* ---- sense-reversing combining-tree barrier --------------------------- *)
 
-module Barrier = struct
+(* Functor over the primitives world so the identical protocol runs on
+   real Atomics in production (Barrier below = Barrier_gen applied to
+   Primitives.Real) and under Repro_check's traced shims, where the model
+   checker explores every DPOR-inequivalent interleaving of the climb /
+   flip / park protocol. *)
+module Barrier_gen (P : Primitives.S) = struct
   let fan_in = 4
 
   (* How long a waiter spins on the sense flag before parking. Spinning
@@ -74,21 +79,24 @@ module Barrier = struct
      than domains from burning whole scheduler quanta per crossing — the
      blocked waiter yields its core to the domain it is waiting for. The
      mutex below exists only for that parking slow path: arrival counting
-     and release stay on the atomic tree. *)
-  let spin_limit = 1024
+     and release stay on the atomic tree. Overridable per-barrier so the
+     model checker can keep the spin path short (each spin iteration is a
+     schedulable step there) while still covering both it and parking. *)
+  let default_spin_limit = 1024
 
-  type node = { count : int Atomic.t; expected : int; parent : int }
+  type node = { count : int P.Atomic.t; expected : int; parent : int }
 
   type t = {
     nodes : node array;  (* level order: leaves first, root last *)
     leaf_of : int array;  (* participant -> leaf node index *)
-    sense : bool Atomic.t;
+    sense : bool P.Atomic.t;
     parties : int;
-    park : Mutex.t;
-    unpark : Condition.t;
+    spin_limit : int;
+    park : P.Mutex.t;
+    unpark : P.Condition.t;
   }
 
-  let create ~parties =
+  let create ?(spin_limit = default_spin_limit) ~parties () =
     if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
     (* Build levels bottom-up: level 0 groups participants [fan_in] at a
        time, each further level groups the nodes below it, until one node
@@ -110,7 +118,7 @@ module Barrier = struct
     (* Second pass: parents. Node [j] of a level with [n] nodes reports to
        node [j / fan_in] of the level above; the root reports to nobody. *)
     let specs = List.rev !nodes in
-    let arr = Array.make !n_nodes { count = Atomic.make 0; expected = 0; parent = -1 } in
+    let arr = Array.make !n_nodes { count = P.Atomic.make 0; expected = 0; parent = -1 } in
     let rec link ~level_first ~n =
       let next_first = level_first + n in
       let n_above = (n + fan_in - 1) / fan_in in
@@ -119,7 +127,7 @@ module Barrier = struct
           if idx >= level_first && idx < next_first then
             arr.(idx) <-
               {
-                count = Atomic.make 0;
+                count = P.Atomic.make 0;
                 expected;
                 parent = (if n = 1 then -1 else next_first + ((idx - level_first) / fan_in));
               })
@@ -133,46 +141,47 @@ module Barrier = struct
     {
       nodes = arr;
       leaf_of;
-      sense = Atomic.make false;
+      sense = P.Atomic.make false;
       parties;
-      park = Mutex.create ();
-      unpark = Condition.create ();
+      spin_limit;
+      park = P.Mutex.create ();
+      unpark = P.Condition.create ();
     }
 
   let wait t ~me =
     if t.parties > 1 then begin
-      let sense = Atomic.get t.sense in
+      let sense = P.Atomic.get t.sense in
       (* Climb: the last arrival at each node resets it for the next
          episode and carries the signal one level up; the one that tops
          out at the root flips the shared sense, releasing everyone. All
          counters on the winner's path are zero again before the flip, so
          re-arrivals in the next episode are safe. *)
       let release () =
-        Atomic.set t.sense (not sense);
+        P.Atomic.set t.sense (not sense);
         (* Wake any parked waiters. The lock orders this broadcast after
            a parker's predicate re-check, so no wakeup is lost. *)
-        Mutex.lock t.park;
-        Condition.broadcast t.unpark;
-        Mutex.unlock t.park
+        P.Mutex.lock t.park;
+        P.Condition.broadcast t.unpark;
+        P.Mutex.unlock t.park
       in
       let await () =
         let spins = ref 0 in
-        while Atomic.get t.sense = sense && !spins < spin_limit do
+        while P.Atomic.get t.sense = sense && !spins < t.spin_limit do
           incr spins;
-          Domain.cpu_relax ()
+          P.Dom.cpu_relax ()
         done;
-        if Atomic.get t.sense = sense then begin
-          Mutex.lock t.park;
-          while Atomic.get t.sense = sense do
-            Condition.wait t.unpark t.park
+        if P.Atomic.get t.sense = sense then begin
+          P.Mutex.lock t.park;
+          while P.Atomic.get t.sense = sense do
+            P.Condition.wait t.unpark t.park
           done;
-          Mutex.unlock t.park
+          P.Mutex.unlock t.park
         end
       in
       let rec climb node =
         let n = t.nodes.(node) in
-        if Atomic.fetch_and_add n.count 1 + 1 = n.expected then begin
-          Atomic.set n.count 0;
+        if P.Atomic.fetch_and_add n.count 1 + 1 = n.expected then begin
+          P.Atomic.set n.count 0;
           if n.parent >= 0 then climb n.parent else release ()
         end
         else await ()
@@ -180,6 +189,8 @@ module Barrier = struct
       climb t.leaf_of.(me)
     end
 end
+
+module Barrier = Barrier_gen (Primitives.Real)
 
 (* ---- the window loop -------------------------------------------------- *)
 
@@ -194,7 +205,7 @@ let run_windows ~domains ~n_shards ~window_ns ~shard_step ~shard_next ~host_step
       "Par_sim: refusing to start the parallel engine inside Pool.parallel_map (a --jobs \
        sweep already owns the machine's domains); use --engine seq or --jobs 1";
   let parties = max 1 (min domains n_shards) in
-  let barrier = Barrier.create ~parties in
+  let barrier = Barrier.create ~parties () in
   (* Published by each shard's owner at the end of phase A; read by the
      coordinator when it picks the next window start. *)
   let shard_nexts = Array.init n_shards (fun _ -> Atomic.make max_int) in

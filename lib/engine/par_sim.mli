@@ -44,16 +44,32 @@ val describe : t -> string
     Arrivals climb a fan-in-4 tree; the last flips a shared sense flag
     that everyone else spins on with [Domain.cpu_relax], parking on a
     condition variable if the flip takes long (fewer cores than parties).
-    Exposed for the engine's own tests. *)
-module Barrier : sig
+
+    The protocol is a functor over {!Primitives.S}: production uses
+    {!Barrier} (= [Barrier_gen (Primitives.Real)]), the model checker
+    instantiates {!Barrier_gen} with traced shims and explores the
+    climb / flip / park interleavings exhaustively
+    ([concord-sim check-model], scenarios [barrier-*]). *)
+module Barrier_gen (P : Primitives.S) : sig
   type t
 
-  val create : parties:int -> t
+  val default_spin_limit : int
+
+  val create : ?spin_limit:int -> parties:int -> unit -> t
+  (** [spin_limit] (default {!default_spin_limit}) bounds how many
+      [cpu_relax] iterations a waiter spins on the sense flag before
+      parking on the condition variable. The checker runs with small
+      limits so the spin path stays explorable; semantics do not depend
+      on the value, only the spin/park mix does. *)
+
   val wait : t -> me:int -> unit
   (** [me] is this participant's index in [0, parties); each participant
       must use a distinct, stable index. Reusable: episodes alternate the
       sense. With one party, returns immediately. *)
 end
+
+(** The production instantiation, [Barrier_gen (Primitives.Real)]. *)
+module Barrier : module type of Barrier_gen (Primitives.Real)
 
 val run_windows :
   domains:int ->

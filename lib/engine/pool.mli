@@ -10,7 +10,22 @@
     Nesting is safe by construction: a [parallel_map] issued from inside a
     pool worker runs sequentially inline, so composed parallel layers
     (e.g. a figure fanning out sweeps whose points also fan out) never
-    oversubscribe the machine. *)
+    oversubscribe the machine.
+
+    The pool is a functor over {!Primitives.S}: the toplevel values below
+    are [Make (Primitives.Real)] (real domains, identical to the
+    pre-functor pool), and the model checker instantiates {!Make} with
+    traced shims to explore the task-queue protocol's interleavings —
+    no lost task, no lost wakeup, termination, and the [in_pool] nesting
+    refusal ([concord-sim check-model], scenarios [pool-*]). *)
+
+module Make (P : Primitives.S) : sig
+  val default_jobs : unit -> int
+  val set_default_jobs : int -> unit
+  val in_pool : unit -> bool
+  val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+  val parallel_iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+end
 
 val default_jobs : unit -> int
 (** Current default parallelism for {!parallel_map} when [?domains] is

@@ -1,0 +1,94 @@
+(* The protocol footprint of the engine's lock-free primitives, as a
+   first-class signature so the same Mailbox/Barrier/Pool code can be
+   instantiated with the real stdlib (production) or with the model
+   checker's traced, schedulable shims (Repro_check.Trace_prims). *)
+
+module type S = sig
+  module Atomic : sig
+    type 'a t
+
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+    val fetch_and_add : int t -> int -> int
+    val incr : int t -> unit
+  end
+
+  module Slots : sig
+    type 'a t
+
+    val make : int -> 'a t
+    val length : 'a t -> int
+    val get : 'a t -> int -> 'a option
+    val set : 'a t -> int -> 'a option -> unit
+  end
+
+  module Mutex : sig
+    type t
+
+    val create : unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t
+
+    val create : unit -> t
+    val wait : t -> Mutex.t -> unit
+    val broadcast : t -> unit
+  end
+
+  module Dom : sig
+    type 'a t
+
+    val spawn : (unit -> 'a) -> 'a t
+    val join : 'a t -> 'a
+    val cpu_relax : unit -> unit
+    val self_id : unit -> int
+    val recommended_domain_count : unit -> int
+
+    module DLS : sig
+      type 'a key
+
+      val new_key : (unit -> 'a) -> 'a key
+      val get : 'a key -> 'a
+      val set : 'a key -> 'a -> unit
+    end
+  end
+end
+
+module Real : S = struct
+  module Atomic = Stdlib.Atomic
+
+  module Slots = struct
+    type 'a t = 'a option array
+
+    let make n = Array.make n None
+    let length = Array.length
+    let get (t : 'a t) i = t.(i)
+    let set (t : 'a t) i v = t.(i) <- v
+  end
+
+  module Mutex = Stdlib.Mutex
+  module Condition = Stdlib.Condition
+
+  module Dom = struct
+    type 'a t = 'a Domain.t
+
+    let spawn = Domain.spawn
+    let join = Domain.join
+    let cpu_relax = Domain.cpu_relax
+    let self_id () = (Domain.self () :> int)
+    let recommended_domain_count = Domain.recommended_domain_count
+
+    module DLS = struct
+      type 'a key = 'a Domain.DLS.key
+
+      let new_key f = Domain.DLS.new_key f
+      let get = Domain.DLS.get
+      let set = Domain.DLS.set
+    end
+  end
+end

@@ -1,0 +1,96 @@
+(** Shared-memory primitives behind the engine's lock-free protocols.
+
+    {!Mailbox}, the {!Par_sim} barrier, and {!Pool} are functors over this
+    signature so the same protocol code runs in two worlds:
+
+    - {!Real} — the production instantiation: [Stdlib.Atomic],
+      [Stdlib.Mutex]/[Condition], real [Domain]s, plain arrays for
+      published slots. Zero additional cost and zero behaviour change;
+      the default [Mailbox]/[Par_sim.Barrier]/[Pool] modules are exactly
+      [Make (Real)].
+    - [Repro_check.Trace_prims] — the model checker's instantiation:
+      every operation below becomes a scheduling point of a cooperative
+      scheduler that explores interleavings with dynamic partial-order
+      reduction, and "domains" are checker processes on one real domain.
+
+    The signature is deliberately the {e protocol footprint} of the
+    engine, not a general concurrency library: exactly the operations the
+    three primitives use, so the checker models exactly what production
+    executes. *)
+
+module type S = sig
+  module Atomic : sig
+    type 'a t
+
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    (** Release store (publication) on OCaml's memory model. *)
+
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+    val fetch_and_add : int t -> int -> int
+    val incr : int t -> unit
+  end
+
+  (** The mailbox's slot array: plain (non-atomic) shared memory whose
+      accesses are published by the [Atomic] head/tail indices. Production
+      is a bare ['a option array]; the checker makes each access a
+      schedulable step so publication-order bugs (index advanced before
+      the slot store) produce a real interleaving that loses a message. *)
+  module Slots : sig
+    type 'a t
+
+    val make : int -> 'a t
+    (** [make n] is [n] empty slots. *)
+
+    val length : 'a t -> int
+    val get : 'a t -> int -> 'a option
+    val set : 'a t -> int -> 'a option -> unit
+  end
+
+  module Mutex : sig
+    type t
+
+    val create : unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t
+
+    val create : unit -> t
+    val wait : t -> Mutex.t -> unit
+    val broadcast : t -> unit
+  end
+
+  (** Execution resources. Named [Dom] (not [Domain]) so the determinism
+      lint's bare-[Domain] rule keeps meaning "not routed through the
+      engine". *)
+  module Dom : sig
+    type 'a t
+
+    val spawn : (unit -> 'a) -> 'a t
+    val join : 'a t -> 'a
+    val cpu_relax : unit -> unit
+
+    val self_id : unit -> int
+    (** Stable identifier of the calling domain (checker: process id).
+        Used only by debug assertions such as {!Mailbox}'s SPSC contract
+        check. *)
+
+    val recommended_domain_count : unit -> int
+
+    module DLS : sig
+      type 'a key
+
+      val new_key : (unit -> 'a) -> 'a key
+      val get : 'a key -> 'a
+      val set : 'a key -> 'a -> unit
+    end
+  end
+end
+
+module Real : S
+(** The production world: each operation is the identically-named stdlib
+    one (slots are a plain ['a option array]). *)

@@ -1,0 +1,177 @@
+(* The concurrency checker (lib/check): the DPOR scheduler itself, the
+   scenario registry (good protocols quiesce under every explored
+   schedule, seeded bugs are caught), the Mailbox debug-mode SPSC
+   contract with real domains, capacity-boundary growth, and a QCheck
+   property that the checker-traced mailbox agrees with the untraced one
+   on random operation scripts. *)
+
+module Mailbox = Repro_engine.Mailbox
+module Check = Repro_check.Sched
+module Scen = Repro_check.Scenarios
+module TM = Repro_engine.Mailbox.Make (Repro_check.Trace_prims)
+
+(* ---- the registry is the contract: every scenario meets its expectation *)
+
+let test_registry () =
+  List.iter
+    (fun (s : Scen.t) ->
+      let r = Scen.run_scenario s in
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %s meets its expectation (%s)" s.name
+           (match s.expect with Pass -> "pass" | Caught -> "caught"))
+        true (Scen.outcome_ok s r);
+      match s.expect with
+      | Pass ->
+        Alcotest.(check bool)
+          (Printf.sprintf "scenario %s explored exhaustively" s.name)
+          false r.bound_hit
+      | Caught ->
+        (* A seeded bug's report must carry a non-empty step trace so the
+           failure is diagnosable, not just detected. *)
+        let v = Option.get r.violation in
+        Alcotest.(check bool)
+          (Printf.sprintf "scenario %s has a diagnostic trace" s.name)
+          true
+          (v.trace <> []))
+    Scen.all
+
+(* The checker finds more than one schedule when there is real
+   concurrency — a regression here means the DPOR backtracking went
+   blind (e.g. lock races collapsing to a single schedule). *)
+let test_explores_concurrency () =
+  let r =
+    Check.check (fun () ->
+        let a = Repro_check.Trace_prims.Atomic.make 0 in
+        let d =
+          Repro_check.Trace_prims.Dom.spawn (fun () ->
+              Repro_check.Trace_prims.Atomic.set a 1)
+        in
+        ignore (Repro_check.Trace_prims.Atomic.get a);
+        Repro_check.Trace_prims.Dom.join d)
+  in
+  Alcotest.(check bool) "no violation" true (r.violation = None);
+  Alcotest.(check bool) "both orders of the get/set race explored" true (r.schedules >= 2)
+
+let test_deadlock_detected () =
+  let r =
+    Check.check (fun () ->
+        let m1 = Repro_check.Trace_prims.Mutex.create () in
+        let m2 = Repro_check.Trace_prims.Mutex.create () in
+        let d =
+          Repro_check.Trace_prims.Dom.spawn (fun () ->
+              Repro_check.Trace_prims.Mutex.lock m2;
+              Repro_check.Trace_prims.Mutex.lock m1;
+              Repro_check.Trace_prims.Mutex.unlock m1;
+              Repro_check.Trace_prims.Mutex.unlock m2)
+        in
+        Repro_check.Trace_prims.Mutex.lock m1;
+        Repro_check.Trace_prims.Mutex.lock m2;
+        Repro_check.Trace_prims.Mutex.unlock m2;
+        Repro_check.Trace_prims.Mutex.unlock m1;
+        Repro_check.Trace_prims.Dom.join d)
+  in
+  match r.violation with
+  | Some v -> Alcotest.(check string) "kind" "deadlock" v.kind
+  | None -> Alcotest.fail "classic lock-order deadlock not found"
+
+(* ---- Mailbox SPSC debug contract with real domains (satellite) -------- *)
+
+let test_spsc_violation_raises () =
+  let mb = Mailbox.create ~debug_spsc:true ~capacity:4 () in
+  Mailbox.push mb 1;
+  let d =
+    Domain.spawn (fun () ->
+        match Mailbox.push mb 2 with
+        | () -> false
+        | exception Mailbox.Spsc_violation _ -> true)
+  in
+  Alcotest.(check bool) "second producer domain raises Spsc_violation" true
+    (Domain.join d);
+  (* The default path stays permissive: no debug flag, no checking. *)
+  let quiet = Mailbox.create ~capacity:4 () in
+  Mailbox.push quiet 1;
+  let d2 = Domain.spawn (fun () -> Mailbox.push quiet 2) in
+  Domain.join d2;
+  Alcotest.(check int) "undebugged mailbox accepted both" 2 (Mailbox.length quiet)
+
+(* Growth lands exactly on the power-of-two wrap: capacity 2, head
+   offset 2, so the doubling recopies pending elements across the mask
+   change and the new slots wrap correctly. *)
+let test_growth_on_wrap () =
+  let mb = Mailbox.create ~capacity:2 () in
+  Mailbox.push mb 1;
+  Mailbox.push mb 2;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Mailbox.pop mb);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Mailbox.pop mb);
+  Mailbox.push mb 3;
+  Mailbox.push mb 4;
+  Alcotest.(check int) "still at base capacity" 2 (Mailbox.capacity mb);
+  Mailbox.push mb 5 (* tail - head = 2 = capacity: grows here, head = 2 *);
+  Alcotest.(check int) "doubled on the wrap" 4 (Mailbox.capacity mb);
+  Alcotest.(check (list int)) "FIFO preserved across growth" [ 3; 4; 5 ]
+    (let acc = ref [] in
+     Mailbox.drain mb ~f:(fun v -> acc := v :: !acc);
+     List.rev !acc)
+
+(* ---- traced vs untraced mailbox on random scripts (satellite) ---------- *)
+
+(* A script is a list of pushes (Some v) and pops (None). Run it
+   sequentially against the production mailbox and single-process under
+   the checker against the traced instantiation: the pop results and the
+   leftover drain must be identical — the traced shims change scheduling
+   observability, never semantics. *)
+let run_script_real script =
+  let mb = Mailbox.create ~capacity:2 () in
+  let log = ref [] in
+  List.iter
+    (function
+      | Some v -> Mailbox.push mb v
+      | None -> log := Mailbox.pop mb :: !log)
+    script;
+  Mailbox.drain mb ~f:(fun v -> log := Some v :: !log);
+  List.rev !log
+
+let run_script_traced script =
+  let out = ref [] in
+  let r =
+    Check.check (fun () ->
+        let mb = TM.create ~capacity:2 () in
+        let log = ref [] in
+        List.iter
+          (function
+            | Some v -> TM.push mb v
+            | None -> log := TM.pop mb :: !log)
+          script;
+        TM.drain mb ~f:(fun v -> log := Some v :: !log);
+        out := List.rev !log)
+  in
+  assert (r.violation = None);
+  (* Single process: exactly one schedule, so [out] is set. *)
+  assert (r.schedules = 1);
+  !out
+
+let prop_traced_matches_real =
+  QCheck.Test.make ~count:200 ~name:"traced mailbox agrees with untraced on any script"
+    QCheck.(list_of_size (Gen.int_range 0 24) (option (int_range 0 99)))
+    (fun script -> run_script_traced script = run_script_real script)
+
+(* ---- pool nesting refusal under checker shims (satellite) -------------- *)
+
+let test_pool_nested_scenario () =
+  let s = Option.get (Scen.find "pool-nested") in
+  let r = Scen.run_scenario s in
+  Alcotest.(check bool) "pool-nested passes under the checker" true
+    (Scen.outcome_ok s r);
+  Alcotest.(check bool) "nesting explored across schedules" true (r.schedules > 1)
+
+let suite =
+  [
+    Alcotest.test_case "scenario registry meets expectations" `Slow test_registry;
+    Alcotest.test_case "DPOR explores both orders of a race" `Quick test_explores_concurrency;
+    Alcotest.test_case "lock-order deadlock detected" `Quick test_deadlock_detected;
+    Alcotest.test_case "SPSC debug contract raises across domains" `Quick
+      test_spsc_violation_raises;
+    Alcotest.test_case "growth on the capacity wrap" `Quick test_growth_on_wrap;
+    Alcotest.test_case "pool nesting refusal under shims" `Quick test_pool_nested_scenario;
+    QCheck_alcotest.to_alcotest prop_traced_matches_real;
+  ]

@@ -31,5 +31,6 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("core.api", Test_core_api.suite);
       ("core.work", Test_work.suite);
+      ("check", Test_check.suite);
       ("perf.golden", Test_golden.suite);
     ]

@@ -99,7 +99,7 @@ let test_barrier_episodes () =
      proves no episode ever releases early and the sense flip is seen by
      parked waiters too (this host may have 1 core). *)
   let parties = 5 and episodes = 100 in
-  let b = Par_sim.Barrier.create ~parties in
+  let b = Par_sim.Barrier.create ~parties () in
   let count = Atomic.make 0 in
   let failures = Atomic.make 0 in
   let party me =

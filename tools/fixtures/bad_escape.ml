@@ -1,0 +1,35 @@
+(* Lint self-test fixture: every marked site must trip the domain-escape
+   pass of tools/lint.ml — shared mutable state reached from a
+   Par_sim.run_windows party body (~shard_step / ~shard_next) without
+   Mailbox/Atomic mediation. Never built (tools/dune marks fixtures/
+   data-only); `make lint` runs the linter over this file with
+   --expect-fail to prove the pass bites. *)
+
+let () =
+  let shared_total = ref 0 in
+  let per_shard = Array.make 4 0 in
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let outbox = Array.init 4 (fun _ -> Mailbox.create ()) in
+  (* Called from the party body: reached transitively, still checked. *)
+  let bump shard =
+    shared_total := !shared_total + 1 (* finding: ref write *);
+    per_shard.(shard) <- per_shard.(shard) + 1 (* findings: Array.get + set *);
+    Hashtbl.replace seen shard !shared_total (* finding: Hashtbl on shared table *)
+  in
+  let shard_step ~shard ~until =
+    ignore until;
+    bump shard;
+    (* NOT a finding: Array.get feeding a Mailbox call is the engine's
+       per-shard-channel idiom (mediated). *)
+    Mailbox.push outbox.(shard) shard;
+    (* NOT a finding: locally-bound mutable state is private to the body. *)
+    let mine = ref 0 in
+    incr mine
+  in
+  let shard_next ~shard = per_shard.(shard) (* finding: Array.get *) in
+  ignore
+    (Par_sim.run_windows ~domains:2 ~n_shards:4 ~window_ns:100 ~shard_step ~shard_next
+       ~host_step:(fun ~start:_ ~until -> until)
+       ~host_next:(fun () -> max_int)
+       ~stopped:(fun () -> true)
+       ())

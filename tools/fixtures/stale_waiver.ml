@@ -1,0 +1,17 @@
+(* Lint self-test fixture: a [@lint.deterministic] waiver that suppresses
+   nothing must itself be reported (stale-waiver rule), so waivers cannot
+   outlive the code they excused. Never built (tools/dune marks fixtures/
+   data-only); `make lint` runs the linter over this file with
+   --expect-fail to prove the rule bites. *)
+
+(* The only finding here must be the stale waiver itself: the annotated
+   expression is pure and trips no other rule. *)
+let total xs = (List.fold_left ( + ) 0 xs) [@lint.deterministic "nothing here needs waiving"]
+
+(* A live waiver for contrast: it suppresses the Hashtbl.iter rule, so it
+   must NOT be reported. *)
+let sum_table (t : (int, int) Hashtbl.t) =
+  let acc = ref 0 in
+  (Hashtbl.iter (fun _ v -> acc := !acc + v) t)
+  [@lint.deterministic "order-insensitive: commutative sum"];
+  !acc

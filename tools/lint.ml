@@ -1,4 +1,4 @@
-(* Determinism lint for the simulation library.
+(* Determinism + concurrency lint for the simulation library.
 
    The whole repo's credibility rests on bit-reproducible runs: every
    experiment, golden test and bench row assumes that a (seed, config)
@@ -17,14 +17,41 @@
                                   engine's window protocol (Par_sim, Mailbox,
                                   Pool); model code must go through those
 
+   Domain-escape pass: at every [Par_sim.run_windows] call site, the
+   [~shard_step] / [~shard_next] arguments are the {e party bodies} —
+   code that runs on a shard's domain concurrently with the other shards.
+   The pass walks those bodies (resolving same-file [let]-bound names and
+   following calls to same-file functions, transitively) and flags
+   non-[Atomic] shared mutable state reached without mediation:
+
+   - Array.get / Array.set (including the a.(i) sugar) on arrays not
+     bound inside the body — except an [Array.get] appearing directly as
+     an argument of a [Mailbox.*] / [Atomic.*] call (indexing a fixed
+     array of per-shard channels to reach the mediated channel is the
+     engine's own idiom);
+   - Hashtbl.* on tables not bound inside the body;
+   - ref operations (:=, !, incr, decr) on refs not bound inside the body;
+   - any mutable-field write (record.f <- v).
+
+   The pass is a syntactic over-approximation: "bound inside the body"
+   means the name is let/param/pattern-bound anywhere within it, and
+   reachability follows applied function names only (a function reached
+   through a data structure — e.g. a closure stored at setup time — is
+   not walked). Sites that are safe by a protocol argument the lint
+   cannot see (shard-partitioned arrays indexed by the party's own shard
+   id) carry a waiver stating that argument.
+
    Unordered iteration is sometimes fine — when the consumer sorts, or the
    operation commutes (censoring every in-flight request). Such sites
    carry an explicit waiver:
 
      (Hashtbl.iter f t) [@lint.deterministic "order-insensitive: ..."]
 
-   which suppresses only the Hashtbl and Domain/Atomic checks within the
-   annotated expression. Random and wall clocks have no waiver.
+   which suppresses only the Hashtbl, Domain/Atomic and domain-escape
+   checks within the annotated expression. Random and wall clocks have no
+   waiver. Every waiver must earn its keep: one that suppresses nothing
+   in any pass is itself reported as stale (so waivers cannot outlive the
+   code they excused) — remove it or move it to the site it belongs to.
 
    Usage:  lint PATH...              scan, exit 1 on any finding
            lint --expect-fail FILE   exit 0 iff the file DOES trip the
@@ -61,7 +88,52 @@ let rec root_member (li : Longident.t) =
    the Domain/Atomic rule applies. *)
 let outside_engine = ref true
 
-let check_ident ~waived ~loc (li : Longident.t) =
+(* ---- waivers: scoped suppression with staleness accounting ------------ *)
+
+(* One record per [@lint.deterministic] attribute in the scanned code,
+   keyed by source location so the determinism walk and the domain-escape
+   walk (which traverse the same trees independently) share the hit
+   counter. A waiver whose count stays zero suppressed nothing anywhere:
+   stale, reported as a finding of its own. *)
+type waiver = { w_loc : Location.t; mutable hits : int }
+
+let waiver_tbl : (string * int * int, waiver) Hashtbl.t = Hashtbl.create 16
+let all_waivers : waiver list ref = ref []
+let waiver_stack : waiver list ref = ref []
+
+let register_waiver (a : Parsetree.attribute) =
+  let pos = a.attr_loc.Location.loc_start in
+  let key = (pos.Lexing.pos_fname, pos.Lexing.pos_lnum, pos.Lexing.pos_cnum) in
+  match Hashtbl.find_opt waiver_tbl key with
+  | Some w -> w
+  | None ->
+    let w = { w_loc = a.attr_loc; hits = 0 } in
+    Hashtbl.replace waiver_tbl key w;
+    all_waivers := w :: !all_waivers;
+    w
+
+let with_waiver attrs f =
+  match
+    List.find_opt
+      (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt waiver_attr)
+      attrs
+  with
+  | Some a ->
+    let w = register_waiver a in
+    waiver_stack := w :: !waiver_stack;
+    f ();
+    waiver_stack := List.tl !waiver_stack
+  | None -> f ()
+
+let waived () = !waiver_stack <> []
+
+(* Credit the innermost enclosing waiver for one suppressed finding. *)
+let suppress () =
+  match !waiver_stack with
+  | w :: _ -> w.hits <- w.hits + 1
+  | [] -> assert false
+
+let check_ident ~loc (li : Longident.t) =
   match root_member li with
   | Some ("Random", fn) ->
     report ~loc
@@ -73,44 +145,30 @@ let check_ident ~waived ~loc (li : Longident.t) =
     report ~loc "Unix wall clocks are nondeterministic; simulated time must come from Sim.now"
   | Some ("Hashtbl", "hash") ->
     report ~loc "Hashtbl.hash varies across OCaml versions; derive an explicit key instead"
-  | Some ("Hashtbl", (("iter" | "fold") as fn)) when not waived ->
-    report ~loc
-      (Printf.sprintf
-         "Hashtbl.%s iterates in hash order; sort the result or waive with [@%s \"reason\"]"
-         fn waiver_attr)
-  | Some ((("Domain" | "Atomic") as m), fn) when !outside_engine && not waived ->
-    report ~loc
-      (Printf.sprintf
-         "%s.%s outside engine/: shared-memory parallelism is only deterministic behind \
-          the engine's window protocol (Par_sim / Mailbox / Pool); route through those or \
-          waive with [@%s \"reason\"]"
-         m fn waiver_attr)
+  | Some ("Hashtbl", (("iter" | "fold") as fn)) ->
+    if waived () then suppress ()
+    else
+      report ~loc
+        (Printf.sprintf
+           "Hashtbl.%s iterates in hash order; sort the result or waive with [@%s \"reason\"]"
+           fn waiver_attr)
+  | Some ((("Domain" | "Atomic") as m), fn) when !outside_engine ->
+    if waived () then suppress ()
+    else
+      report ~loc
+        (Printf.sprintf
+           "%s.%s outside engine/: shared-memory parallelism is only deterministic behind \
+            the engine's window protocol (Par_sim / Mailbox / Pool); route through those or \
+            waive with [@%s \"reason\"]"
+           m fn waiver_attr)
   | _ -> ()
-
-let has_waiver attrs =
-  List.exists
-    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt waiver_attr)
-    attrs
-
-(* The iterator threads "inside a waiver" through a mutable flag saved and
-   restored around each subtree that carries the attribute. *)
-let waived = ref false
-
-let with_waiver attrs f =
-  if has_waiver attrs then begin
-    let saved = !waived in
-    waived := true;
-    f ();
-    waived := saved
-  end
-  else f ()
 
 let iterator =
   let open Ast_iterator in
   let expr it (e : Parsetree.expression) =
     with_waiver e.pexp_attributes (fun () ->
         (match e.pexp_desc with
-        | Parsetree.Pexp_ident { txt; loc } -> check_ident ~waived:!waived ~loc txt
+        | Parsetree.Pexp_ident { txt; loc } -> check_ident ~loc txt
         | _ -> ());
         default_iterator.expr it e)
   in
@@ -127,6 +185,165 @@ let iterator =
   in
   { default_iterator with expr; value_binding; structure_item }
 
+(* ---- domain-escape pass ------------------------------------------------ *)
+
+let escape ~loc msg =
+  if waived () then suppress ()
+  else
+    report ~loc
+      (Printf.sprintf
+         "domain-escape: %s reachable from a Par_sim party body; mediate through \
+          Mailbox/Atomic or waive with [@%s \"why this site is shard-private\"]"
+         msg waiver_attr)
+
+(* Same-file [let]-bound names (any nesting depth) -> their expressions;
+   [Hashtbl.add] keeps shadowed bindings too, and the walk visits every
+   binding of a name — over-approximate, never blind. *)
+let bindings : (string, Parsetree.expression) Hashtbl.t = Hashtbl.create 64
+
+let collect_bindings ast =
+  let open Ast_iterator in
+  let value_binding it (vb : Parsetree.value_binding) =
+    (match vb.pvb_pat.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> Hashtbl.add bindings txt vb.pvb_expr
+    | _ -> ());
+    default_iterator.value_binding it vb
+  in
+  let it = { default_iterator with value_binding } in
+  it.structure it ast
+
+(* Names let/param/pattern-bound anywhere inside [e]: private to the
+   party body, so mutating them is not an escape. *)
+let local_names (e : Parsetree.expression) =
+  let acc : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let open Ast_iterator in
+  let pat it (p : Parsetree.pattern) =
+    (match p.Parsetree.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } | Parsetree.Ppat_alias (_, { txt; _ }) ->
+      Hashtbl.replace acc txt ()
+    | _ -> ());
+    default_iterator.pat it p
+  in
+  let it = { default_iterator with pat } in
+  it.expr it e;
+  acc
+
+let is_local_ident locals (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } -> Hashtbl.mem locals n
+  | _ -> false
+
+let describe_target (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } -> Printf.sprintf " '%s'" n
+  | _ -> ""
+
+(* Walk one party-body expression. [mediated] is true when [e] is a
+   direct argument of a Mailbox/Atomic call, which licenses an Array.get
+   at its head. Calls to same-file functions extend the worklist. *)
+let rec walk_escape ~locals ~visited ~queue ~mediated (e : Parsetree.expression) =
+  let walk = walk_escape ~locals ~visited ~queue in
+  with_waiver e.Parsetree.pexp_attributes (fun () ->
+      match e.Parsetree.pexp_desc with
+      | Parsetree.Pexp_apply
+          (({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ } as head), args) ->
+        let first_pos =
+          List.find_map
+            (function Asttypes.Nolabel, a -> Some a | _ -> None)
+            args
+        in
+        (match (root_member txt, txt) with
+        | Some ("Array", (("get" | "set") as fn)), _ ->
+          (match first_pos with
+          | Some arr when (mediated && String.equal fn "get") || is_local_ident locals arr
+            ->
+            ()
+          | Some arr ->
+            escape ~loc:e.Parsetree.pexp_loc
+              (Printf.sprintf "Array.%s on shared array%s" fn (describe_target arr))
+          | None -> ())
+        | Some ("Hashtbl", fn), _ ->
+          (match first_pos with
+          | Some t when is_local_ident locals t -> ()
+          | _ ->
+            escape ~loc:e.Parsetree.pexp_loc
+              (Printf.sprintf "Hashtbl.%s on shared table" fn))
+        | _, Longident.Lident (("!" | ":=" | "incr" | "decr") as op) ->
+          (match first_pos with
+          | Some r when is_local_ident locals r -> ()
+          | Some r ->
+            escape ~loc:e.Parsetree.pexp_loc
+              (Printf.sprintf "ref operation ( %s ) on shared ref%s" op
+                 (describe_target r))
+          | None -> ())
+        | _, Longident.Lident n
+          when Hashtbl.mem bindings n && not (Hashtbl.mem visited n) ->
+          Hashtbl.replace visited n ();
+          Queue.push n queue
+        | _ -> ());
+        let is_mediator =
+          match root_member txt with
+          | Some (("Mailbox" | "Atomic"), _) -> true
+          | _ -> false
+        in
+        List.iter (fun (_, a) -> walk ~mediated:is_mediator a) args;
+        ignore head
+      | Parsetree.Pexp_setfield (tgt, _, v) ->
+        if not (is_local_ident locals tgt) then
+          escape ~loc:e.Parsetree.pexp_loc
+            (Printf.sprintf "mutable-field write on shared record%s"
+               (describe_target tgt));
+        walk ~mediated:false tgt;
+        walk ~mediated:false v
+      | _ ->
+        (* Generic recursion: immediate children re-enter the walk. *)
+        let open Ast_iterator in
+        let it = { default_iterator with expr = (fun _ c -> walk ~mediated:false c) } in
+        default_iterator.expr it e)
+
+(* Party roots: the ~shard_step / ~shard_next arguments of every
+   run_windows application in the file. *)
+let escape_scan ast =
+  let roots : Parsetree.expression list ref = ref [] in
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_apply ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args)
+      when String.equal (Longident.last txt) "run_windows" ->
+      List.iter
+        (fun (lbl, a) ->
+          match lbl with
+          | Asttypes.Labelled ("shard_step" | "shard_next") -> roots := a :: !roots
+          | _ -> ())
+        args
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.structure it ast;
+  if !roots <> [] then begin
+    let visited : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let queue : string Queue.t = Queue.create () in
+    List.iter
+      (fun (r : Parsetree.expression) ->
+        match r.Parsetree.pexp_desc with
+        | Parsetree.Pexp_ident { txt = Longident.Lident n; _ } ->
+          if not (Hashtbl.mem visited n) then begin
+            Hashtbl.replace visited n ();
+            Queue.push n queue
+          end
+        | _ -> walk_escape ~locals:(local_names r) ~visited ~queue ~mediated:false r)
+      (List.rev !roots);
+    while not (Queue.is_empty queue) do
+      let n = Queue.pop queue in
+      List.iter
+        (fun b -> walk_escape ~locals:(local_names b) ~visited ~queue ~mediated:false b)
+        (Hashtbl.find_all bindings n)
+    done
+  end
+
+(* ---- driver ------------------------------------------------------------ *)
+
 let lint_file path =
   let ic = open_in path in
   Fun.protect
@@ -136,10 +353,14 @@ let lint_file path =
       Location.init lb path;
       match Parse.implementation lb with
       | ast ->
-        waived := false;
+        waiver_stack := [];
+        Hashtbl.reset bindings;
         outside_engine :=
           not (List.mem "engine" (String.split_on_char '/' path));
-        iterator.Ast_iterator.structure iterator ast
+        iterator.Ast_iterator.structure iterator ast;
+        waiver_stack := [];
+        collect_bindings ast;
+        escape_scan ast
       | exception e ->
         findings :=
           { file = path; line = 1; col = 0; msg = "parse error: " ^ Printexc.to_string e }
@@ -175,6 +396,14 @@ let () =
   end;
   let files = List.concat_map (fun p -> List.rev (collect p [])) (List.rev !paths) in
   List.iter lint_file files;
+  List.iter
+    (fun w ->
+      if w.hits = 0 then
+        report ~loc:w.w_loc
+          (Printf.sprintf
+             "stale [@%s] waiver: it suppresses nothing in any lint pass; remove it"
+             waiver_attr))
+    (List.rev !all_waivers);
   let found = List.rev !findings in
   if !expect_fail then
     if found = [] then begin
